@@ -1,0 +1,83 @@
+// Ablation 4 — sensitivity to accelerator interposition latency (§4, §5).
+//
+// The paper: "Enzian's CPU-to-FPGA coherence message latencies are higher
+// than what are expected for a CXL-attached device; we explore the impact of
+// accelerator latency on expected performance." This bench sweeps the
+// interposition round trip from 0 (host-attached PM) through CXL (85 ns),
+// Enzian (180 ns), up past the page-fault trap cost (1.5 µs), reporting the
+// Fig 2a AMAT and the modelled 32-thread throughput at each point.
+#include <cstdio>
+
+#include "pax/coherence/host_cache.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/model/amat.hpp"
+#include "pax/model/sim_hash_table.hpp"
+#include "pax/model/throughput.hpp"
+#include "pax/model/workload.hpp"
+#include "pax/pmem/pool.hpp"
+
+namespace {
+
+using namespace pax;
+
+// Measures the Fig 2a get() workload's cache stats once; the sweep then
+// reuses them (the workload doesn't change with device latency).
+coherence::HostCacheStats measure_get_stats() {
+  auto pm = pmem::PmemDevice::create_in_memory(96ull << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 4 << 20).value();
+  device::PaxDevice dev(&pool, device::DeviceConfig::defaults());
+  coherence::HostCacheSim host(&dev, coherence::HostCacheConfig{});
+
+  constexpr std::uint64_t kSlots = 1ull << 21;
+  model::SimHashTable table(&host, pool.data_offset(), kSlots);
+  model::KeyGenerator keys(model::KeyDist::kUniform, kSlots / 2, 0, 42);
+  for (std::uint64_t i = 0; i < kSlots / 2; ++i) {
+    if (!table.put(keys.next(), i).is_ok()) break;
+    if ((i & 0x3fff) == 0x3fff) (void)dev.persist(host.pull_fn());
+  }
+  host.reset_stats();
+  model::KeyGenerator get_keys(model::KeyDist::kUniform, kSlots / 2, 0, 43);
+  for (std::uint64_t i = 0; i < 1'000'000; ++i) {
+    (void)table.get(get_keys.next());
+  }
+  return host.stats();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 4: interposition latency sensitivity ===\n\n");
+  const auto stats = measure_get_stats();
+  const auto lat = simtime::MemoryLatency::c6420();
+
+  std::printf("%16s %12s %14s %16s\n", "round trip [ns]", "AMAT [ns]",
+              "AMAT vs PM", "model Mops@32");
+  const double pm_amat =
+      model::compute_amat(stats, lat, model::Media::kPm,
+                          simtime::InterconnectLatency::none())
+          .amat_ns;
+
+  for (double rt_ns : {0.0, 40.0, 85.0, 180.0, 375.0, 750.0, 1500.0}) {
+    const auto amat = model::compute_amat(
+        stats, lat, model::Media::kPm, simtime::InterconnectLatency{rt_ns});
+
+    // Throughput model: PAX with this interposition round trip.
+    model::ModelParams params;
+    params.pax_interposition_override_ns = rt_ns;
+    const double mops =
+        model::simulate_mops(model::SystemKind::kPaxCxl, 32, params);
+
+    const char* tag = rt_ns == 85.0    ? "  <- CXL"
+                      : rt_ns == 180.0 ? "  <- Enzian"
+                      : rt_ns == 1500.0 ? "  <- page-fault trap"
+                                        : "";
+    std::printf("%16.0f %12.1f %13.2fx %16.1f%s\n", rt_ns, amat.amat_ns,
+                amat.amat_ns / pm_amat, mops, tag);
+  }
+  std::printf(
+      "\nreading: AMAT degrades linearly with interposition latency at the\n"
+      "LLC-miss rate; a trap-based interposer (1.5 us) is ~an order of\n"
+      "magnitude worse than CXL, the paper's case for coherence-based\n"
+      "interposition (§1).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation 5 — device buffer eviction policy (§3.3).
+//
+// The paper: "the device buffer's eviction policy can try to minimize stalls
+// by preferring to evict cache lines whose undo log entries are already
+// durable." This bench compares that durability-aware policy against pure
+// LRU on a buffer under pressure, with the asynchronous log flusher lagging
+// behind (realistic batch flushing): the interesting metric is *stall
+// evictions* — evictions forced to wait for a synchronous log flush.
+#include <cinttypes>
+#include <cstdio>
+
+#include "pax/common/rng.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/pmem/pool.hpp"
+
+namespace {
+
+using namespace pax;
+
+struct Row {
+  const char* policy;
+  std::size_t flush_batch;
+  std::uint64_t stall_evictions;
+  std::uint64_t durable_evictions;
+  std::uint64_t clean_evictions;
+  std::uint64_t forced_flushes;
+};
+
+const char* policy_name(bool prefer_durable, device::Replacement repl) {
+  if (prefer_durable) {
+    return repl == device::Replacement::kClock ? "durable+CLOCK"
+                                               : "durable+LRU";
+  }
+  return repl == device::Replacement::kClock ? "pure CLOCK" : "pure LRU";
+}
+
+Row run(bool prefer_durable, device::Replacement repl,
+        std::size_t flush_batch) {
+  auto pm = pmem::PmemDevice::create_in_memory(64 << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 16 << 20).value();
+
+  device::DeviceConfig cfg;
+  cfg.hbm.capacity_lines = 512;
+  cfg.hbm.ways = 8;
+  cfg.hbm.prefer_durable_eviction = prefer_durable;
+  cfg.hbm.replacement = repl;
+  cfg.log_flush_batch_bytes = flush_batch;
+  // Isolate the eviction policy: lines leave the buffer only by eviction,
+  // not by background write-back.
+  cfg.proactive_writeback = false;
+  device::PaxDevice dev(&pool, cfg);
+
+  const std::uint64_t first = pool.data_offset() / kCacheLineSize;
+  Xoshiro256 rng(5);
+  constexpr std::uint64_t kOps = 60000;
+  constexpr std::uint64_t kLineSpace = 8192;
+
+  LineData d;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const LineIndex line{first + rng.next_below(kLineSpace)};
+    if (!dev.write_intent(line).is_ok()) {
+      if (!dev.persist(nullptr).ok()) std::abort();
+      continue;
+    }
+    d.bytes[0] = static_cast<std::byte>(i);
+    dev.writeback_line(line, d);
+    if ((i & 0x3f) == 0x3f) dev.tick();  // flusher runs every 64 ops
+  }
+  (void)dev.persist(nullptr);
+
+  const auto& hbm = dev.hbm_stats();
+  return Row{policy_name(prefer_durable, repl),
+             flush_batch,
+             hbm.stall_evictions,
+             hbm.durable_dirty_evictions,
+             hbm.clean_evictions,
+             dev.stats().forced_log_flushes};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 5: buffer eviction policy under pressure ===\n");
+  std::printf(
+      "512-line buffer, 8k-line working set, 60k writes, flusher every 64 "
+      "ops\n\n");
+  std::printf("%16s %12s %12s %14s %12s %14s\n", "policy", "flush batch",
+              "stall evict", "durable evict", "clean evict", "forced flush");
+  for (std::size_t batch : {4096u, 65536u, 1u << 20}) {
+    for (auto repl : {device::Replacement::kLru, device::Replacement::kClock}) {
+      for (bool durable : {true, false}) {
+        Row r = run(durable, repl, batch);
+        std::printf("%16s %12zu %12" PRIu64 " %14" PRIu64 " %12" PRIu64
+                    " %14" PRIu64 "\n",
+                    r.policy, r.flush_batch, r.stall_evictions,
+                    r.durable_evictions, r.clean_evictions, r.forced_flushes);
+      }
+    }
+  }
+  std::printf(
+      "\nreading: with a lazy flusher (large batches), pure LRU keeps "
+      "evicting\nlines whose undo records are still volatile, forcing "
+      "synchronous log\nflushes; the paper's durability-aware policy (§3.3) "
+      "avoids most of them.\n");
+  return 0;
+}

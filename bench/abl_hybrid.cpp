@@ -1,0 +1,43 @@
+// Ablation 12 — the §5.1 combined approach and its locality crossover.
+//
+// "Paging may capture spatial locality well for some workloads. PAX must
+// interpose on every last-level cache miss, but paging-based approaches
+// only incur overhead on the first access to a page per epoch … We may find
+// that a combination of the approaches works best."
+//
+// The DES compares, across spatial locality (page first-touches per op):
+//   PAX (CXL)   no traps; every LLC miss pays the device round trip
+//   Page-WAL    traps + synchronous 4 KiB page logs
+//   Hybrid      traps, then PAX line logging; reads unmediated (§5.1)
+#include <cstdio>
+
+#include "pax/model/throughput.hpp"
+
+int main() {
+  using namespace pax::model;
+  std::printf("=== Ablation 12: locality crossover — PAX vs paging vs "
+              "hybrid (8 threads, Mops) ===\n\n");
+  std::printf("%18s", "page touches/op");
+  for (double touches : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    std::printf("%9.2f", touches);
+  }
+  std::printf("\n");
+
+  for (auto kind :
+       {SystemKind::kPaxCxl, SystemKind::kPageWal, SystemKind::kHybrid}) {
+    std::printf("%18s", system_name(kind));
+    for (double touches : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+      ModelParams params;
+      params.pagewal_page_touch_per_op = touches;
+      std::printf("%9.1f", simulate_mops(kind, 8, params));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nreading: with high spatial locality (few page touches/op) the\n"
+      "hybrid beats pure PAX — reads skip the device round trip and the\n"
+      "rare trap is amortized; as locality disappears the trap cost blows\n"
+      "up paging-based designs and pure PAX wins. The combination dominates\n"
+      "page-WAL everywhere (it never writes 4 KiB log records).\n");
+  return 0;
+}

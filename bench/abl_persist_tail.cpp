@@ -1,0 +1,72 @@
+// Ablation 8 — persist() and tail latency: synchronous group commit vs the
+// §6 non-blocking persist.
+//
+// Group commit batches the snapshot cost onto one op per batch: the mean
+// stays low but the batch-boundary op eats the whole commit — a classic
+// tail-latency spike. §6's overlapped epochs replace that spike with a
+// cheap seal. This bench runs the DES with per-op latency collection and
+// reports the distribution for both modes across batch sizes, plus PMDK
+// (whose cost sits on *every* op) for contrast.
+#include <cstdio>
+
+#include "pax/model/throughput.hpp"
+
+namespace {
+
+using namespace pax;
+
+void print_profile(const char* label, double mops,
+                   const model::LatencyProfile& p) {
+  std::printf("%-22s %8.1f %9.0f %9.0f %9.0f %9.0f %9.0f %9.0f\n", label,
+              mops, p.mean_ns, p.p50_ns, p.p90_ns, p.p99_ns, p.p999_ns,
+              p.max_ns);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 8: persist mode vs op latency tail (8 threads) "
+              "===\n\n");
+  std::printf("%-22s %8s %9s %9s %9s %9s %9s %9s\n", "mode", "Mops", "mean",
+              "p50", "p90", "p99", "p99.9", "max [ns]");
+
+  model::ModelParams base;
+  base.ops_per_thread = 400000;
+
+  {
+    model::LatencyProfile prof;
+    const double mops =
+        model::simulate_mops(model::SystemKind::kPmdk, 8, base, &prof);
+    print_profile("PMDK (per-op sync)", mops, prof);
+  }
+
+  for (double interval : {256.0, 1024.0, 4096.0}) {
+    model::ModelParams sync = base;
+    sync.pax_persist_interval_ops = interval;
+    sync.pax_async_persist = false;
+    model::LatencyProfile sp;
+    const double sm =
+        model::simulate_mops(model::SystemKind::kPaxCxl, 8, sync, &sp);
+    char label[64];
+    std::snprintf(label, sizeof(label), "PAX sync, batch %d",
+                  static_cast<int>(interval));
+    print_profile(label, sm, sp);
+
+    model::ModelParams async_params = sync;
+    async_params.pax_async_persist = true;
+    model::LatencyProfile ap;
+    const double am = model::simulate_mops(model::SystemKind::kPaxCxl, 8,
+                                           async_params, &ap);
+    std::snprintf(label, sizeof(label), "PAX async, batch %d",
+                  static_cast<int>(interval));
+    print_profile(label, am, ap);
+  }
+
+  std::printf(
+      "\nreading: sync group commit concentrates the snapshot cost in the\n"
+      "boundary op (the p99.9/max spike grows with nothing else changing);\n"
+      "the §6 non-blocking persist replaces it with a seal, flattening the\n"
+      "tail while throughput holds. PMDK spreads its cost over every op —\n"
+      "flat tail, but a mean several times worse.\n");
+  return 0;
+}

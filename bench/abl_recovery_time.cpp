@@ -1,0 +1,108 @@
+// Ablation 10 — recovery cost (§3.4).
+//
+// Recovery work is proportional to the uncommitted epoch's undo log, not to
+// the pool size — a direct consequence of epoch-tagged logging. This bench
+// stages crashed pools with increasingly large in-flight epochs and times
+// the recovery routine itself (pool open + log scan + undo application) for
+// PAX's 64 B line records and for the page-WAL baseline's 4 KiB page
+// records (the Abl 2 amplification, showing up again at recovery time).
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "pax/baselines/pagewal/pagewal.hpp"
+#include "pax/common/rng.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/device/recovery.hpp"
+#include "pax/wal/wal.hpp"
+
+namespace {
+
+using namespace pax;
+
+constexpr std::size_t kPmBytes = 768ull << 20;
+constexpr std::size_t kLogBytes = 512ull << 20;
+
+// Stages a pool whose log holds `lines` uncommitted line-undo records (what
+// a crash mid-epoch leaves), returns the recovery routine's wall time.
+double pax_recovery_ms(std::uint64_t lines, std::uint64_t* applied) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPmBytes);
+  auto pool = pmem::PmemPool::create(pm.get(), kLogBytes).value();
+  {
+    device::DeviceConfig cfg;
+    cfg.log_flush_batch_bytes = 0;
+    device::PaxDevice dev(&pool, cfg);
+    const std::uint64_t first = pool.data_offset() / kCacheLineSize;
+    LineData d;
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      const LineIndex line{first + i * (kPageSize / kCacheLineSize)};
+      if (!dev.write_intent(line).is_ok()) std::abort();
+      d.bytes[0] = static_cast<std::byte>(i);
+      dev.writeback_line(line, d);
+    }
+    dev.tick(/*force_flush=*/true);  // records durable + data written back
+  }
+  pm->crash(pmem::CrashConfig::drop_all());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto opened = pmem::PmemPool::open(pm.get()).value();
+  auto report = device::recover_pool(opened);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (!report.ok()) std::abort();
+  *applied = report.value().records_applied;
+  return ms;
+}
+
+double pagewal_recovery_ms(std::uint64_t pages) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPmBytes);
+  auto pool = pmem::PmemPool::create(pm.get(), kLogBytes).value();
+
+  // Stage the uncommitted epoch's page-undo records (what a crash inside
+  // PageWalRuntime::persist() after the log flush leaves behind).
+  wal::LogWriter writer(pm.get(), pool.log_offset(), pool.log_size());
+  std::vector<std::byte> payload(sizeof(wal::PageUndoHeader) + kPageSize);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    wal::PageUndoHeader h{p};
+    std::memcpy(payload.data(), &h, sizeof(h));
+    if (!writer.append(1, wal::RecordType::kPageUndo, payload).ok()) {
+      std::abort();
+    }
+  }
+  writer.flush();
+  pm->crash(pmem::CrashConfig::drop_all());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto opened = pmem::PmemPool::open(pm.get()).value();
+  if (!baselines::pagewal::PageWalRuntime::recover(opened).is_ok()) {
+    std::abort();
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 10: recovery cost vs in-flight epoch size ===\n");
+  std::printf(
+      "crash with an uncommitted epoch of N sparse updates (1 line/page);\n"
+      "timing the recovery routine only (pool open + scan + undo)\n\n");
+  std::printf("%16s %16s %14s %18s %10s\n", "in-flight lines",
+              "records undone", "PAX rec [ms]", "pageWAL rec [ms]", "ratio");
+  for (std::uint64_t lines : {100ull, 1000ull, 10000ull, 50000ull}) {
+    std::uint64_t applied = 0;
+    const double pax_ms = pax_recovery_ms(lines, &applied);
+    const double pw_ms = pagewal_recovery_ms(lines);
+    std::printf("%16" PRIu64 " %16" PRIu64 " %14.2f %18.2f %9.1fx\n", lines,
+                applied, pax_ms, pw_ms, pw_ms / pax_ms);
+  }
+  std::printf(
+      "\nreading: recovery scales with the uncommitted write set, not the\n"
+      "pool (§3.4); the page-granular baseline pays its ~64x record-size\n"
+      "amplification again at recovery time.\n");
+  return 0;
+}

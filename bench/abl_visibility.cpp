@@ -1,0 +1,131 @@
+// Ablation 6 — protocol visibility: CXL.cache vs CXL.mem (§6).
+//
+// "CXL.mem can support basic functionality, but it does not have as much
+// visibility into coherence as CXL.cache" — this bench quantifies what the
+// visibility buys. Same write-heavy workload, same device, two attachments:
+//
+//   .cache  stores announce themselves (RdOwn) → the device logs early and
+//           writes back proactively through the epoch; persist() pulls the
+//           few still-cached lines with snoops.
+//   .mem    stores are silent; the device learns at eviction time, and
+//           persist() needs a host CLWB sweep over every dirty line — a
+//           serialized storm on the application's critical path (§4 calls
+//           out exactly this cost), plus the logging burst it triggers.
+#include <cinttypes>
+#include <cstdio>
+
+#include "pax/common/rng.hpp"
+#include "pax/coherence/host_cache.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/pmem/pool.hpp"
+#include "pax/simtime/latency.hpp"
+
+namespace {
+
+using namespace pax;
+
+constexpr std::uint64_t kOpsPerEpoch = 20000;
+constexpr std::uint64_t kEpochs = 5;
+constexpr std::uint64_t kLineSpace = 16384;
+
+struct Row {
+  const char* mode;
+  double device_msgs_per_op;     // mid-epoch messages to the device
+  double clwbs_per_epoch;        // persist-path CLWB sweep size
+  double async_log_fraction;     // undo records created before the boundary
+  double persist_path_ns;        // modelled persist-path cost per epoch
+};
+
+Row run(coherence::DeviceProtocol protocol) {
+  auto pm = pmem::PmemDevice::create_in_memory(64 << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 16 << 20).value();
+  device::DeviceConfig cfg;
+  cfg.hbm.capacity_lines = 8192;
+  cfg.hbm.ways = 8;
+  device::PaxDevice dev(&pool, cfg);
+
+  coherence::HostCacheConfig host_cfg;
+  host_cfg.protocol = protocol;
+  coherence::HostCacheSim host(&dev, host_cfg);
+
+  Xoshiro256 rng(3);
+  std::uint64_t total_clwbs = 0;
+  std::uint64_t logs_before_boundary = 0;
+  std::uint64_t logs_total = 0;
+  for (std::uint64_t e = 0; e < kEpochs; ++e) {
+    for (std::uint64_t i = 0; i < kOpsPerEpoch; ++i) {
+      const PoolOffset at =
+          pool.data_offset() + rng.next_below(kLineSpace) * kCacheLineSize;
+      if (!host.store_u64(at, rng.next()).is_ok()) std::abort();
+      if ((i & 0xff) == 0xff) dev.tick();
+    }
+    // How much undo logging already happened asynchronously, before the
+    // epoch boundary work begins?
+    const std::uint64_t logs_at_boundary = dev.stats().first_touch_logs;
+    const std::uint64_t clwb_before = host.stats().clwbs;
+    if (protocol == coherence::DeviceProtocol::kCxlMem) {
+      if (!host.clwb_all_dirty().is_ok()) std::abort();
+    }
+    total_clwbs += host.stats().clwbs - clwb_before;
+    if (!dev.persist(host.pull_fn()).ok()) std::abort();
+    const std::uint64_t logs_after = dev.stats().first_touch_logs;
+    logs_before_boundary += logs_at_boundary - (logs_total);
+    logs_total = logs_after;
+  }
+
+  const auto& hs = host.stats();
+  const double ops = double(kOpsPerEpoch * kEpochs);
+
+  // Mid-epoch device messages: reads + (mode-dependent) intents/writes.
+  const double msgs =
+      double(hs.rd_shared + hs.rd_own + hs.dirty_evicts + hs.mem_writes);
+
+  // Modelled application-visible persist-path cost per epoch. The paper's
+  // §4 contrast: device-issued RdShared pulls are pipelined *by the device*
+  // (one per pipeline slot, ~300 MHz, plus one link round trip), while
+  // CLWBs "are serialized [and] consume cycles" on the CPU.
+  const auto lat = simtime::MemoryLatency::c6420();
+  const auto cxl = simtime::InterconnectLatency::cxl();
+  const double device_slot_ns = 1e9 / simtime::BandwidthSpec::paper().device_pipeline_hz;
+  double persist_ns;
+  if (protocol == coherence::DeviceProtocol::kCxlMem) {
+    persist_ns = double(total_clwbs) / kEpochs * lat.clwb_ns +
+                 lat.sfence_drain_ns;
+  } else {
+    persist_ns = double(hs.snoops_served) / kEpochs * device_slot_ns +
+                 cxl.round_trip_ns + lat.sfence_drain_ns;
+  }
+
+  return Row{
+      protocol == coherence::DeviceProtocol::kCxlMem ? "CXL.mem" : "CXL.cache",
+      msgs / ops,
+      double(total_clwbs) / kEpochs,
+      logs_total == 0 ? 0.0
+                      : double(logs_before_boundary) / double(logs_total),
+      persist_ns};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 6: CXL.cache vs CXL.mem visibility (§6) ===\n");
+  std::printf("%" PRIu64 " epochs x %" PRIu64
+              " random u64 stores over %" PRIu64 " lines\n\n",
+              kEpochs, kOpsPerEpoch, kLineSpace);
+  std::printf("%10s %16s %16s %18s %18s\n", "mode", "dev msgs/op",
+              "CLWBs/epoch", "async log frac", "persist path [ns]");
+  for (auto protocol : {coherence::DeviceProtocol::kCxlCache,
+                        coherence::DeviceProtocol::kCxlMem}) {
+    Row r = run(protocol);
+    std::printf("%10s %16.3f %16.0f %18.2f %18.0f\n", r.mode,
+                r.device_msgs_per_op, r.clwbs_per_epoch,
+                r.async_log_fraction, r.persist_path_ns);
+  }
+  std::printf(
+      "\nreading: .cache's ownership visibility lets the device log early\n"
+      "and write back through the epoch, leaving persist() a handful of\n"
+      "snoops; .mem defers everything to a serialized per-epoch CLWB sweep\n"
+      "on the application's critical path (§4's argument against CLWB-based\n"
+      "flushing, quantified).\n");
+  return 0;
+}

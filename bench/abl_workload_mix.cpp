@@ -1,0 +1,122 @@
+// Ablation 7 — workload sensitivity (YCSB-style mixes, key skew).
+//
+// The paper's AMAT argument (§5) rests on CPU caches absorbing most
+// accesses; how much they absorb depends on the op mix and key skew. This
+// bench runs YCSB-like mixes through the full coherence stack and reports
+// what PAX actually pays per operation in each regime: device messages,
+// undo records, and the resulting AMAT under the Fig 2a latency model.
+//
+//   A  50% read / 50% update, zipfian      (update-heavy, skewed)
+//   B  95% read /  5% update, zipfian      (read-mostly, skewed)
+//   C 100% read,              zipfian      (read-only)
+//   W 100% update,            uniform      (the Fig 2b write-only workload)
+#include <cinttypes>
+#include <cstdio>
+
+#include "pax/coherence/host_cache.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/model/amat.hpp"
+#include "pax/model/sim_hash_table.hpp"
+#include "pax/model/workload.hpp"
+#include "pax/pmem/pool.hpp"
+
+namespace {
+
+using namespace pax;
+
+struct MixSpec {
+  const char* name;
+  double put_fraction;
+  model::KeyDist dist;
+  double theta;
+};
+
+struct Row {
+  const char* name;
+  double llc_miss_rate;
+  double dev_msgs_per_op;
+  double undo_records_per_op;
+  double pax_amat_ns;
+  double pm_amat_ns;
+};
+
+Row run(const MixSpec& mix) {
+  auto pm = pmem::PmemDevice::create_in_memory(96ull << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 16 << 20).value();
+  device::PaxDevice dev(&pool, device::DeviceConfig::defaults());
+  coherence::HostCacheSim host(&dev, coherence::HostCacheConfig{});
+
+  constexpr std::uint64_t kSlots = 1ull << 21;
+  constexpr std::uint64_t kKeys = kSlots / 2;
+  model::SimHashTable table(&host, pool.data_offset(), kSlots);
+
+  // Load phase.
+  model::KeyGenerator load_keys(model::KeyDist::kUniform, kKeys, 0, 42);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    if (!table.put(load_keys.next(), i).is_ok()) break;
+    if ((i & 0x3fff) == 0x3fff) (void)dev.persist(host.pull_fn());
+  }
+  (void)dev.persist(host.pull_fn());
+
+  // Measured phase.
+  host.reset_stats();
+  const auto dev_before = dev.stats();
+  model::WorkloadGen gen(
+      model::KeyGenerator(mix.dist, kKeys, mix.theta, 77), mix.put_fraction,
+      78);
+  constexpr std::uint64_t kOps = 1'000'000;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const model::Op op = gen.next();
+    if (op.type == model::Op::Type::kPut) {
+      if (!table.put(op.key, op.value).is_ok()) std::abort();
+    } else {
+      (void)table.get(op.key);
+    }
+    if ((i & 0x3fff) == 0x3fff) (void)dev.persist(host.pull_fn());
+  }
+
+  const auto& hs = host.stats();
+  const auto ds = dev.stats();
+  const auto lat = simtime::MemoryLatency::c6420();
+  const auto pax_amat = model::compute_amat(
+      hs, lat, model::Media::kPm, simtime::InterconnectLatency::cxl());
+  const auto pm_amat = model::compute_amat(
+      hs, lat, model::Media::kPm, simtime::InterconnectLatency::none());
+
+  return Row{mix.name,
+             hs.l1.miss_rate() * hs.l2.miss_rate() * hs.llc.miss_rate(),
+             double(hs.rd_shared + hs.rd_own + hs.dirty_evicts) / kOps,
+             double(ds.first_touch_logs - dev_before.first_touch_logs) / kOps,
+             pax_amat.amat_ns, pm_amat.amat_ns};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 7: YCSB-style workload mixes through PAX ===\n");
+  std::printf("1M ops on a 32 MiB table, persist every 16k ops\n\n");
+  std::printf("%4s %10s | %14s %14s %14s | %12s %12s %8s\n", "mix",
+              "put/dist", "LLC miss/acc", "dev msgs/op", "undo rec/op",
+              "PM AMAT", "PAX AMAT", "ovhd");
+  const MixSpec mixes[] = {
+      {"A", 0.5, model::KeyDist::kZipfian, 0.99},
+      {"B", 0.05, model::KeyDist::kZipfian, 0.99},
+      {"C", 0.0, model::KeyDist::kZipfian, 0.99},
+      {"W", 1.0, model::KeyDist::kUniform, 0},
+  };
+  for (const auto& mix : mixes) {
+    Row r = run(mix);
+    std::printf("%4s %6.0f%%/%s | %14.4f %14.4f %14.4f | %10.1fns %10.1fns "
+                "%+6.0f%%\n",
+                r.name, mix.put_fraction * 100,
+                mix.dist == model::KeyDist::kZipfian ? "zipf" : "unif",
+                r.llc_miss_rate, r.dev_msgs_per_op, r.undo_records_per_op,
+                r.pm_amat_ns, r.pax_amat_ns,
+                (r.pax_amat_ns / r.pm_amat_ns - 1.0) * 100.0);
+  }
+  std::printf(
+      "\nreading: skewed mixes (A-C) live in CPU caches — the device sees\n"
+      "a small fraction of accesses and PAX's AMAT overhead shrinks toward\n"
+      "zero; the uniform write-only sweep (W) is the paper's worst case.\n");
+  return 0;
+}

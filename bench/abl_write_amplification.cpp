@@ -1,0 +1,111 @@
+// Ablation 2 — write amplification: line-granular (PAX) vs page-granular
+// (page-fault WAL) logging (§1, §5.1).
+//
+// The paper's core complaint about paging-based crash consistency is 4 KiB
+// logging granularity vs the "specific size of the field being mutated".
+// Its §5.1 nuance: paging amortizes for workloads with spatial locality
+// (one trap covers a whole page). This bench sweeps locality — number of
+// 8 B updates per touched page — and reports, for both functional systems,
+// log bytes and PM media bytes per logical update.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "pax/baselines/pagewal/pagewal.hpp"
+#include "pax/common/rng.hpp"
+#include "pax/libpax/runtime.hpp"
+
+namespace {
+
+using namespace pax;
+
+constexpr std::size_t kPoolBytes = 128 << 20;
+constexpr std::uint64_t kPagesTouched = 512;
+
+struct Row {
+  double updates_per_page;
+  double pax_log_per_update;
+  double pax_media_per_update;
+  double pagewal_log_per_update;
+  double pagewal_media_per_update;
+};
+
+// Writes `updates_per_page` random 8 B fields in each of kPagesTouched
+// pages, then persists once.
+template <typename WriteFn>
+void run_workload(std::byte* base, double updates_per_page, WriteFn&& write) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t p = 1; p <= kPagesTouched; ++p) {
+    const std::uint64_t n = static_cast<std::uint64_t>(updates_per_page);
+    for (std::uint64_t u = 0; u < n; ++u) {
+      const std::uint64_t slot = rng.next_below(kPageSize / 8);
+      write(base + p * kPageSize + slot * 8, rng.next());
+    }
+  }
+}
+
+Row run(double updates_per_page) {
+  Row row{updates_per_page, 0, 0, 0, 0};
+  const double total_updates = updates_per_page * kPagesTouched;
+
+  {
+    libpax::RuntimeOptions opts;
+    opts.log_size = 32 << 20;
+    auto rt = libpax::PaxRuntime::create_in_memory(kPoolBytes, opts).value();
+    (void)rt->persist();
+    const auto log0 = rt->device().log_stats().bytes_staged;
+    rt->pm().reset_stats();
+    run_workload(rt->vpm_base(), updates_per_page,
+                 [](std::byte* at, std::uint64_t v) {
+                   std::memcpy(at, &v, 8);
+                 });
+    if (!rt->persist().ok()) std::abort();
+    row.pax_log_per_update =
+        double(rt->device().log_stats().bytes_staged - log0) / total_updates;
+    row.pax_media_per_update =
+        double(rt->pm().stats().media_bytes_written) / total_updates;
+  }
+  {
+    auto pm = pmem::PmemDevice::create_in_memory(kPoolBytes);
+    auto rt = baselines::pagewal::PageWalRuntime::attach(pm.get(), 64 << 20)
+                  .value();
+    pm->reset_stats();
+    run_workload(rt->base(), updates_per_page,
+                 [](std::byte* at, std::uint64_t v) {
+                   std::memcpy(at, &v, 8);
+                 });
+    if (!rt->persist().ok()) std::abort();
+    row.pagewal_log_per_update =
+        double(rt->stats().log_bytes) / total_updates;
+    row.pagewal_media_per_update =
+        double(pm->stats().media_bytes_written) / total_updates;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation 2: write amplification, line vs page logging ===\n");
+  std::printf(
+      "workload: k random 8 B updates in each of %" PRIu64
+      " pages, one epoch\n\n",
+      kPagesTouched);
+  std::printf("%14s | %14s %14s | %14s %14s | %10s\n", "updates/page",
+              "PAX log B/upd", "PAX media B", "pgWAL log B/upd",
+              "pgWAL media B", "log ratio");
+  for (double k : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    Row r = run(k);
+    std::printf("%14.0f | %14.1f %14.1f | %14.1f %14.1f | %9.1fx\n",
+                r.updates_per_page, r.pax_log_per_update,
+                r.pax_media_per_update, r.pagewal_log_per_update,
+                r.pagewal_media_per_update,
+                r.pagewal_log_per_update / r.pax_log_per_update);
+  }
+  std::printf(
+      "\nreading: at sparse updates the page log amplifies writes by tens of\n"
+      "times (§1); as locality rises (≥64 updates/page ≈ one per line) the\n"
+      "gap closes — the §5.1 argument for a combined approach.\n");
+  return 0;
+}

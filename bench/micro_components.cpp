@@ -1,0 +1,259 @@
+// Component microbenchmarks (google-benchmark): the building blocks whose
+// costs feed the analytical models — CRC framing, undo-log append/flush,
+// simulated PM data path, HBM buffer operations, host-cache simulation
+// overhead, persistent heap allocation, and recovery scan rate.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "pax/baselines/pmdk/tx.hpp"
+#include "pax/common/crc.hpp"
+#include "pax/common/rng.hpp"
+#include "pax/coherence/eci_adapter.hpp"
+#include "pax/coherence/host_cache.hpp"
+#include "pax/coherence/trace.hpp"
+#include "pax/libpax/sharded_map.hpp"
+#include "pax/device/hbm_cache.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/device/recovery.hpp"
+#include "pax/libpax/heap.hpp"
+#include "pax/pmem/pool.hpp"
+#include "pax/wal/wal.hpp"
+
+namespace {
+
+using namespace pax;
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<std::byte> buf(state.range(0));
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(buf));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_PmemStoreLine(benchmark::State& state) {
+  auto pm = pmem::PmemDevice::create_in_memory(16 << 20);
+  LineData d;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    pm->store_line(LineIndex{i++ & 0xffff}, d);
+  }
+}
+BENCHMARK(BM_PmemStoreLine);
+
+void BM_PmemStoreFlushDrain(benchmark::State& state) {
+  auto pm = pmem::PmemDevice::create_in_memory(16 << 20);
+  LineData d;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const LineIndex line{i++ & 0xffff};
+    pm->store_line(line, d);
+    pm->flush_line(line);
+    pm->drain();
+  }
+}
+BENCHMARK(BM_PmemStoreFlushDrain);
+
+void BM_UndoLogAppend(benchmark::State& state) {
+  auto pm = pmem::PmemDevice::create_in_memory(256 << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 128 << 20).value();
+  device::UndoLogger logger(pm.get(), pool.log_offset(), pool.log_size());
+  LineData d;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if (!logger.log_line(1, LineIndex{i++}, d).ok()) {
+      logger.reset_after_commit();
+      i = 0;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * kCacheLineSize);
+}
+BENCHMARK(BM_UndoLogAppend);
+
+void BM_UndoLogAppendFlushEvery(benchmark::State& state) {
+  auto pm = pmem::PmemDevice::create_in_memory(256 << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 128 << 20).value();
+  device::UndoLogger logger(pm.get(), pool.log_offset(), pool.log_size());
+  LineData d;
+  std::uint64_t i = 0;
+  const std::uint64_t batch = state.range(0);
+  for (auto _ : state) {
+    if (!logger.log_line(1, LineIndex{i++}, d).ok()) {
+      logger.reset_after_commit();
+      i = 0;
+    }
+    if (i % batch == 0) logger.flush();
+  }
+}
+BENCHMARK(BM_UndoLogAppendFlushEvery)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_HbmCacheInsertEvict(benchmark::State& state) {
+  device::HbmConfig cfg;
+  cfg.capacity_lines = 4096;
+  cfg.ways = 8;
+  device::HbmCache cache(cfg);
+  LineData d;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.insert(LineIndex{i++}, d, false, 0, 0));
+  }
+}
+BENCHMARK(BM_HbmCacheInsertEvict);
+
+void BM_DeviceWriteIntentFirstTouch(benchmark::State& state) {
+  auto pm = pmem::PmemDevice::create_in_memory(512 << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 256 << 20).value();
+  device::PaxDevice dev(&pool, device::DeviceConfig::defaults());
+  const std::uint64_t first = pool.data_offset() / kCacheLineSize;
+  std::uint64_t i = 0;
+  const std::uint64_t span = (pool.data_size() / kCacheLineSize) - 1;
+  for (auto _ : state) {
+    if (!dev.write_intent(LineIndex{first + (i++ % span)}).is_ok()) {
+      state.PauseTiming();
+      (void)dev.persist(nullptr);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_DeviceWriteIntentFirstTouch);
+
+void BM_HostCacheLoadHit(benchmark::State& state) {
+  auto pm = pmem::PmemDevice::create_in_memory(64 << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 4 << 20).value();
+  device::PaxDevice dev(&pool, device::DeviceConfig::defaults());
+  coherence::HostCacheSim host(&dev, coherence::HostCacheConfig{});
+  host.load_u64(pool.data_offset());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(host.load_u64(pool.data_offset()));
+  }
+}
+BENCHMARK(BM_HostCacheLoadHit);
+
+void BM_HeapAllocFree(benchmark::State& state) {
+  std::vector<std::byte>* backing =
+      new std::vector<std::byte>(64 << 20);
+  // PaxHeap needs page alignment; vectors aren't guaranteed: use aligned.
+  void* mem = std::aligned_alloc(4096, 64 << 20);
+  std::memset(mem, 0, 64 << 20);
+  libpax::PaxHeap heap(static_cast<std::byte*>(mem), 64 << 20);
+  const std::size_t size = state.range(0);
+  for (auto _ : state) {
+    void* p = heap.allocate(size);
+    benchmark::DoNotOptimize(p);
+    heap.deallocate(p);
+  }
+  std::free(mem);
+  delete backing;
+}
+BENCHMARK(BM_HeapAllocFree)->Arg(16)->Arg(64)->Arg(1024);
+
+void BM_RecoveryScan(benchmark::State& state) {
+  // Recovery rate over a log with `range` undo records.
+  const std::uint64_t records = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pm = pmem::PmemDevice::create_in_memory(256 << 20);
+    auto pool = pmem::PmemPool::create(pm.get(), 128 << 20).value();
+    device::UndoLogger logger(pm.get(), pool.log_offset(), pool.log_size());
+    LineData d;
+    const std::uint64_t first = pool.data_offset() / kCacheLineSize;
+    for (std::uint64_t i = 0; i < records; ++i) {
+      (void)logger.log_line(1, LineIndex{first + i}, d);
+    }
+    logger.flush();
+    state.ResumeTiming();
+
+    auto report = device::recover_pool(pool);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_RecoveryScan)->Arg(1000)->Arg(100000);
+
+void BM_EciAdapterVicd(benchmark::State& state) {
+  auto pm = pmem::PmemDevice::create_in_memory(512 << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 256 << 20).value();
+  device::PaxDevice dev(&pool, device::DeviceConfig::defaults());
+  coherence::EciAdapter adapter(&dev);
+  const std::uint64_t first = pool.data_offset() / coherence::kEciBlockSize;
+  coherence::EciBlockData data;
+  std::uint64_t i = 0;
+  const std::uint64_t span = pool.data_size() / coherence::kEciBlockSize - 1;
+  for (auto _ : state) {
+    const coherence::EciBlockIndex block{first + (i++ % span)};
+    if (!adapter.handle({coherence::EciOp::kRldx, block, std::nullopt})
+             .ok()) {
+      state.PauseTiming();
+      (void)dev.persist(nullptr);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(
+        adapter.handle({coherence::EciOp::kVicd, block, data}));
+  }
+}
+BENCHMARK(BM_EciAdapterVicd);
+
+void BM_TraceReplayRate(benchmark::State& state) {
+  // Build a synthetic 10k-message trace once; measure replay rate.
+  auto pm = pmem::PmemDevice::create_in_memory(64 << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 16 << 20).value();
+  const std::uint64_t first = pool.data_offset() / kCacheLineSize;
+  std::vector<coherence::CxlEvent> trace;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    trace.push_back({coherence::CxlOp::kRdOwn, LineIndex{first + i}, false});
+    trace.push_back(
+        {coherence::CxlOp::kDirtyEvict, LineIndex{first + i}, true});
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pm2 = pmem::PmemDevice::create_in_memory(64 << 20);
+    auto pool2 = pmem::PmemPool::create(pm2.get(), 16 << 20).value();
+    device::PaxDevice dev(&pool2, device::DeviceConfig::defaults());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(coherence::replay_trace(trace, &dev));
+  }
+  state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_TraceReplayRate);
+
+void BM_ShardedMapPut(benchmark::State& state) {
+  auto rt = libpax::PaxRuntime::create_in_memory(256 << 20).value();
+  auto map =
+      libpax::ShardedMap<std::uint64_t, std::uint64_t>::open(*rt, 16).value();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    map.put(i % 100000, i);
+    ++i;
+    if (i % 65536 == 0) {
+      state.PauseTiming();
+      (void)map.persist();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_ShardedMapPut);
+
+void BM_PmdkTxPut(benchmark::State& state) {
+  auto pm = pmem::PmemDevice::create_in_memory(64 << 20);
+  auto pool = pmem::PmemPool::create(pm.get(), 8 << 20).value();
+  baselines::pmdk::TxRuntime tx(&pool);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    (void)tx.tx_begin();
+    (void)tx.tx_snapshot(pool.data_offset() + (i % 1024) * 8, 8);
+    const std::uint64_t v = i++;
+    (void)tx.tx_store(pool.data_offset() + (i % 1024) * 8,
+                      std::as_bytes(std::span(&v, 1)));
+    (void)tx.tx_commit();
+  }
+}
+BENCHMARK(BM_PmdkTxPut);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+#include "pax/baselines/direct/direct_hashmap.hpp"
+
+#include <bit>
+
+#include "pax/common/check.hpp"
+
+namespace pax::baselines::direct {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Result<DirectHashMap> DirectHashMap::create(pmem::PmemPool* pool,
+                                            std::uint64_t nslots) {
+  PAX_CHECK(pool != nullptr);
+  if (!std::has_single_bit(nslots)) {
+    return invalid_argument("nslots must be a power of two");
+  }
+  if (pool->data_size() < nslots * 16) {
+    return out_of_space("data extent too small for slot array");
+  }
+  DirectHashMap map(pool, nslots);
+  // Zero the slot array (no fences — this structure never promises
+  // durability).
+  auto* pm = pool->device();
+  const std::uint64_t zero[2] = {0, 0};
+  for (std::uint64_t s = 0; s < nslots; ++s) {
+    pm->store(map.slot_at(s), std::as_bytes(std::span(zero, 2)));
+  }
+  return map;
+}
+
+Status DirectHashMap::put(std::uint64_t key, std::uint64_t value) {
+  if (key == 0) return invalid_argument("key 0 is reserved");
+  const std::uint64_t mask = nslots_ - 1;
+  for (std::uint64_t probe = 0; probe < nslots_; ++probe) {
+    const std::uint64_t s = (mix(key) + probe) & mask;
+    const std::uint64_t existing = pm_->load_u64(slot_at(s));
+    if (existing == key) {
+      pm_->store_u64(slot_at(s) + 8, value);
+      return Status::ok();
+    }
+    if (existing == 0) {
+      pm_->store_u64(slot_at(s), key);
+      pm_->store_u64(slot_at(s) + 8, value);
+      ++count_;
+      return Status::ok();
+    }
+  }
+  return out_of_space("table full");
+}
+
+std::optional<std::uint64_t> DirectHashMap::get(std::uint64_t key) const {
+  const std::uint64_t mask = nslots_ - 1;
+  for (std::uint64_t probe = 0; probe < nslots_; ++probe) {
+    const std::uint64_t s = (mix(key) + probe) & mask;
+    const std::uint64_t existing = pm_->load_u64(slot_at(s));
+    if (existing == key) return pm_->load_u64(slot_at(s) + 8);
+    if (existing == 0) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pax::baselines::direct

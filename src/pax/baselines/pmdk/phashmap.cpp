@@ -1,0 +1,234 @@
+#include "pax/baselines/pmdk/phashmap.hpp"
+
+#include <cstring>
+
+#include "pax/common/check.hpp"
+
+namespace pax::baselines::pmdk {
+namespace {
+
+constexpr std::uint64_t kMapMagic = 0x50414d48'53414850ULL;  // "PHASHMAP"
+
+// Header field offsets relative to the data extent start.
+constexpr PoolOffset kMagicOff = 0;
+constexpr PoolOffset kNBucketsOff = 8;
+constexpr PoolOffset kCountOff = 16;
+constexpr PoolOffset kBumpOff = 24;
+constexpr PoolOffset kFreeHeadOff = 32;
+constexpr PoolOffset kHeaderSize = 64;  // one line
+
+constexpr std::size_t kNodeSize = 32;  // 24 B payload padded to 32
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+PoolOffset PHashMap::bucket_at(std::uint64_t b) const {
+  return header_at() + kHeaderSize + b * 8;
+}
+
+std::uint64_t PHashMap::bucket_of(std::uint64_t key) const {
+  return mix(key) % nbuckets_;
+}
+
+PHashMap::Node PHashMap::load_node(PoolOffset off) const {
+  Node n{};
+  pm_->load(off, std::as_writable_bytes(std::span(&n, 1)));
+  return n;
+}
+
+Result<PHashMap> PHashMap::create(TxRuntime* tx, std::uint64_t nbuckets) {
+  PAX_CHECK(tx != nullptr);
+  if (nbuckets == 0) return invalid_argument("nbuckets must be positive");
+  auto* pool = tx->pool();
+  const std::size_t need = kHeaderSize + nbuckets * 8 + kNodeSize;
+  if (pool->data_size() < need) {
+    return out_of_space("data extent too small for bucket array");
+  }
+
+  PHashMap map(tx, nbuckets);
+  const PoolOffset base = map.header_at();
+  auto* pm = pool->device();
+
+  // Format transactionally so a crash mid-create leaves either nothing or a
+  // valid empty map. Freshly formatted space holds no live data, so only
+  // the magic (the "is formatted" flag) needs snapshot ordering: we write
+  // everything, flush, and only then persist the magic.
+  pm->store_u64(base + kNBucketsOff, nbuckets);
+  pm->store_u64(base + kCountOff, 0);
+  pm->store_u64(base + kBumpOff, kHeaderSize + nbuckets * 8);
+  pm->store_u64(base + kFreeHeadOff, 0);
+  const std::uint64_t zero = 0;
+  for (std::uint64_t b = 0; b < nbuckets; ++b) {
+    pm->store(map.bucket_at(b), std::as_bytes(std::span(&zero, 1)));
+  }
+  pm->flush_range(base, kHeaderSize + nbuckets * 8);
+  pm->drain();
+  pm->atomic_durable_store_u64(base + kMagicOff, kMapMagic);
+  return map;
+}
+
+Result<PHashMap> PHashMap::open(TxRuntime* tx) {
+  PAX_CHECK(tx != nullptr);
+  auto* pm = tx->pool()->device();
+  const PoolOffset base = tx->pool()->data_offset();
+  if (pm->load_u64(base + kMagicOff) != kMapMagic) {
+    return not_found("no PHashMap in pool");
+  }
+  const std::uint64_t nbuckets = pm->load_u64(base + kNBucketsOff);
+  if (nbuckets == 0 ||
+      kHeaderSize + nbuckets * 8 > tx->pool()->data_size()) {
+    return corruption("PHashMap header implausible");
+  }
+  return PHashMap(tx, nbuckets);
+}
+
+Result<PoolOffset> PHashMap::alloc_node_in_tx() {
+  const PoolOffset base = header_at();
+  const std::uint64_t free_head = pm_->load_u64(base + kFreeHeadOff);
+  if (free_head != 0) {
+    // Pop the free list. The recycled node's bytes are live (they may need
+    // rollback), so snapshot them before reuse.
+    PAX_RETURN_IF_ERROR(tx_->tx_snapshot(base + kFreeHeadOff, 8));
+    PAX_RETURN_IF_ERROR(tx_->tx_snapshot(free_head, kNodeSize));
+    const std::uint64_t next_free = pm_->load_u64(free_head);
+    const std::uint64_t v = next_free;
+    PAX_RETURN_IF_ERROR(
+        tx_->tx_store(base + kFreeHeadOff, std::as_bytes(std::span(&v, 1))));
+    ++stats_.node_recycles;
+    return free_head;
+  }
+
+  const std::uint64_t bump = pm_->load_u64(base + kBumpOff);
+  if (base + bump + kNodeSize > header_at() + tx_->pool()->data_size()) {
+    return out_of_space("PHashMap node space exhausted");
+  }
+  PAX_RETURN_IF_ERROR(tx_->tx_snapshot(base + kBumpOff, 8));
+  const std::uint64_t new_bump = bump + kNodeSize;
+  PAX_RETURN_IF_ERROR(
+      tx_->tx_store(base + kBumpOff, std::as_bytes(std::span(&new_bump, 1))));
+  // Bump-fresh memory holds no live data: no snapshot needed (the classic
+  // PMDK new-object optimization).
+  return base + bump;
+}
+
+Status PHashMap::put(std::uint64_t key, std::uint64_t value) {
+  ++stats_.puts;
+  PAX_RETURN_IF_ERROR(tx_->tx_begin());
+
+  const PoolOffset bucket = bucket_at(bucket_of(key));
+  const std::uint64_t head = pm_->load_u64(bucket);
+
+  // Update in place if present.
+  for (PoolOffset off = head; off != 0;) {
+    Node n = load_node(off);
+    if (n.key == key) {
+      Status s = tx_->tx_snapshot(off + 8, 8);  // old value
+      if (!s.is_ok()) {
+        (void)tx_->tx_abort();
+        return s;
+      }
+      s = tx_->tx_store(off + 8, std::as_bytes(std::span(&value, 1)));
+      if (!s.is_ok()) {
+        (void)tx_->tx_abort();
+        return s;
+      }
+      return tx_->tx_commit();
+    }
+    off = n.next;
+  }
+
+  // Insert at chain head.
+  auto run = [&]() -> Status {
+    auto node_off = alloc_node_in_tx();
+    if (!node_off.ok()) return node_off.status();
+    Node n{key, value, head};
+    PAX_RETURN_IF_ERROR(
+        tx_->tx_store(node_off.value(), std::as_bytes(std::span(&n, 1))));
+
+    PAX_RETURN_IF_ERROR(tx_->tx_snapshot(bucket, 8));
+    const std::uint64_t off = node_off.value();
+    PAX_RETURN_IF_ERROR(
+        tx_->tx_store(bucket, std::as_bytes(std::span(&off, 1))));
+
+    PAX_RETURN_IF_ERROR(tx_->tx_snapshot(header_at() + kCountOff, 8));
+    const std::uint64_t count = pm_->load_u64(header_at() + kCountOff) + 1;
+    PAX_RETURN_IF_ERROR(tx_->tx_store(header_at() + kCountOff,
+                                      std::as_bytes(std::span(&count, 1))));
+    return Status::ok();
+  };
+  Status s = run();
+  if (!s.is_ok()) {
+    (void)tx_->tx_abort();
+    return s;
+  }
+  return tx_->tx_commit();
+}
+
+std::optional<std::uint64_t> PHashMap::get(std::uint64_t key) const {
+  ++stats_.gets;
+  for (PoolOffset off = pm_->load_u64(bucket_at(bucket_of(key))); off != 0;) {
+    Node n = load_node(off);
+    if (n.key == key) return n.value;
+    off = n.next;
+  }
+  return std::nullopt;
+}
+
+Status PHashMap::erase(std::uint64_t key) {
+  ++stats_.erases;
+  PAX_RETURN_IF_ERROR(tx_->tx_begin());
+
+  auto run = [&]() -> Status {
+    const PoolOffset bucket = bucket_at(bucket_of(key));
+    PoolOffset link = bucket;  // the pointer slot referring to `off`
+    for (PoolOffset off = pm_->load_u64(bucket); off != 0;) {
+      Node n = load_node(off);
+      if (n.key != key) {
+        link = off + 16;  // &node.next
+        off = n.next;
+        continue;
+      }
+      // Unlink.
+      PAX_RETURN_IF_ERROR(tx_->tx_snapshot(link, 8));
+      PAX_RETURN_IF_ERROR(
+          tx_->tx_store(link, std::as_bytes(std::span(&n.next, 1))));
+      // Push the node onto the free list (its bytes are live → snapshot).
+      PAX_RETURN_IF_ERROR(tx_->tx_snapshot(off, kNodeSize));
+      const std::uint64_t free_head =
+          pm_->load_u64(header_at() + kFreeHeadOff);
+      PAX_RETURN_IF_ERROR(
+          tx_->tx_store(off, std::as_bytes(std::span(&free_head, 1))));
+      PAX_RETURN_IF_ERROR(tx_->tx_snapshot(header_at() + kFreeHeadOff, 8));
+      PAX_RETURN_IF_ERROR(tx_->tx_store(
+          header_at() + kFreeHeadOff, std::as_bytes(std::span(&off, 1))));
+      // Count.
+      PAX_RETURN_IF_ERROR(tx_->tx_snapshot(header_at() + kCountOff, 8));
+      const std::uint64_t count = pm_->load_u64(header_at() + kCountOff) - 1;
+      PAX_RETURN_IF_ERROR(tx_->tx_store(header_at() + kCountOff,
+                                        std::as_bytes(std::span(&count, 1))));
+      return Status::ok();
+    }
+    return not_found("key not in map");
+  };
+
+  Status s = run();
+  if (!s.is_ok()) {
+    (void)tx_->tx_abort();
+    return s;
+  }
+  return tx_->tx_commit();
+}
+
+std::uint64_t PHashMap::size() const {
+  return pm_->load_u64(header_at() + kCountOff);
+}
+
+}  // namespace pax::baselines::pmdk

@@ -1,0 +1,82 @@
+// Hand-crafted persistent hash map in the PMDK style: the "rewrite your
+// data structure around the logging discipline" approach the paper contrasts
+// with PAX's black-box reuse (§1, §2). Every mutation runs inside an undo-log
+// transaction; every in-place modification of live bytes is preceded by a
+// durable snapshot (flush + SFENCE) — giving this structure the multiple
+// ordered stalls per operation that Figure 2b's PMDK curve pays for.
+//
+// Layout inside the pool's data extent (all links are absolute pool
+// offsets; 0 means null):
+//
+//   MapHeader  { magic, nbuckets, count, bump, free_head }
+//   buckets[]  u64 chain heads
+//   nodes      { key, value, next } — bump-allocated, recycled via free list
+//
+// Keys and values are u64 (the paper's benchmark uses small 8 B keys and
+// values, §5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "pax/baselines/pmdk/tx.hpp"
+
+namespace pax::baselines::pmdk {
+
+struct PHashMapStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t node_recycles = 0;
+};
+
+class PHashMap {
+ public:
+  /// Formats a fresh map with `nbuckets` chains in `tx`'s pool data extent.
+  static Result<PHashMap> create(TxRuntime* tx, std::uint64_t nbuckets);
+
+  /// Opens an existing map (after TxRuntime recovery has run).
+  static Result<PHashMap> open(TxRuntime* tx);
+
+  /// Inserts or updates. Runs as one transaction.
+  Status put(std::uint64_t key, std::uint64_t value);
+
+  /// Plain reads; no transaction, no logging (§2: reads are not the
+  /// problem).
+  std::optional<std::uint64_t> get(std::uint64_t key) const;
+
+  /// Removes `key`; the node is recycled through the free list. Returns
+  /// kNotFound if absent.
+  Status erase(std::uint64_t key);
+
+  std::uint64_t size() const;
+  std::uint64_t nbuckets() const { return nbuckets_; }
+  const PHashMapStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    std::uint64_t value;
+    std::uint64_t next;
+  };
+
+  PHashMap(TxRuntime* tx, std::uint64_t nbuckets)
+      : tx_(tx), pm_(tx->pool()->device()), nbuckets_(nbuckets) {}
+
+  PoolOffset header_at() const { return tx_->pool()->data_offset(); }
+  PoolOffset bucket_at(std::uint64_t b) const;
+  std::uint64_t bucket_of(std::uint64_t key) const;
+
+  Node load_node(PoolOffset off) const;
+
+  /// Allocates node storage inside the active transaction (free list first,
+  /// then bump). Returns 0 when the data extent is exhausted.
+  Result<PoolOffset> alloc_node_in_tx();
+
+  TxRuntime* tx_;
+  pmem::PmemDevice* pm_;
+  std::uint64_t nbuckets_;
+  mutable PHashMapStats stats_;
+};
+
+}  // namespace pax::baselines::pmdk

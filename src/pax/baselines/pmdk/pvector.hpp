@@ -1,0 +1,57 @@
+// Hand-crafted persistent vector (PMDK style), the second structure of the
+// baseline family. Complements PHashMap with the other classic layout:
+// a contiguous array with capacity doubling, where growth must move the
+// whole payload — the pattern that makes hand-written PM code so easy to
+// get wrong and motivates the paper's black-box approach (§1, §2).
+//
+// Transactional discipline (like pmemobj):
+//   * push_back into existing capacity: snapshot only the size field; the
+//     target cell is beyond `size`, i.e. not live, so it needs no undo.
+//   * growth: the new array comes from bump allocation (fresh memory — no
+//     undo needed for the copy), then array_off/capacity/size flip under
+//     snapshots, so a crash either sees the old array or the new one.
+//   * set(): snapshot the cell, then write.
+//
+// Elements are u64. The old array is leaked on growth (pmemobj would free
+// it; a free list adds nothing to what this baseline measures).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "pax/baselines/pmdk/tx.hpp"
+
+namespace pax::baselines::pmdk {
+
+class PVector {
+ public:
+  /// Formats an empty vector at the start of `tx`'s pool data extent.
+  static Result<PVector> create(TxRuntime* tx,
+                                std::uint64_t initial_capacity = 8);
+
+  /// Opens an existing vector (after TxRuntime recovery).
+  static Result<PVector> open(TxRuntime* tx);
+
+  Status push_back(std::uint64_t value);
+  Status pop_back();
+  Status set(std::uint64_t index, std::uint64_t value);
+  std::optional<std::uint64_t> get(std::uint64_t index) const;
+
+  std::uint64_t size() const;
+  std::uint64_t capacity() const;
+
+ private:
+  explicit PVector(TxRuntime* tx)
+      : tx_(tx), pm_(tx->pool()->device()) {}
+
+  PoolOffset header_at() const { return tx_->pool()->data_offset(); }
+  PoolOffset cell_at(std::uint64_t index) const;
+
+  /// Doubles capacity inside the active transaction.
+  Status grow_in_tx();
+
+  TxRuntime* tx_;
+  pmem::PmemDevice* pm_;
+};
+
+}  // namespace pax::baselines::pmdk

@@ -1,0 +1,154 @@
+#include "pax/baselines/pmdk/tx.hpp"
+
+#include <cstring>
+
+#include "pax/common/check.hpp"
+#include "pax/common/log.hpp"
+
+namespace pax::baselines::pmdk {
+
+TxRuntime::TxRuntime(pmem::PmemPool* pool)
+    : pool_(pool),
+      pm_(pool->device()),
+      writer_(pm_, pool->log_offset(), pool->log_size()) {
+  Status s = recover();
+  PAX_CHECK_MSG(s.is_ok(), "PMDK-baseline recovery failed");
+}
+
+Status TxRuntime::recover() {
+  auto records =
+      wal::LogReader::read_all(pm_, pool_->log_offset(), pool_->log_size());
+  if (records.empty()) return Status::ok();
+
+  if (records.back().type == wal::RecordType::kTxCommit) {
+    // Crash landed after the commit record but before the log was zeroed:
+    // the transaction is durable; just clean up.
+    zero_log_head();
+    return Status::ok();
+  }
+  // Interrupted transaction: undo in reverse order.
+  apply_undo_records_reverse(records);
+  ++stats_.recovered_txs;
+  zero_log_head();
+  return Status::ok();
+}
+
+void TxRuntime::apply_undo_records_reverse(
+    const std::vector<wal::LogRecord>& records) {
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->type != wal::RecordType::kRangeUndo) continue;
+    PAX_CHECK(it->payload.size() >= sizeof(wal::RangeUndoHeader));
+    wal::RangeUndoHeader h{};
+    std::memcpy(&h, it->payload.data(), sizeof(h));
+    PAX_CHECK(it->payload.size() == sizeof(h) + h.length);
+    pm_->store(h.pool_offset,
+               {it->payload.data() + sizeof(h), h.length});
+    pm_->flush_range(h.pool_offset, h.length);
+  }
+  pm_->drain();
+  ++stats_.sfences;
+}
+
+void TxRuntime::zero_log_head() {
+  // Zeroing the first frame makes every stale record unreachable to the
+  // sequential scan (RecordType::kInvalid stops it).
+  const LineData zero{};
+  pm_->store_line(LineIndex::containing(pool_->log_offset()), zero);
+  pm_->flush_line(LineIndex::containing(pool_->log_offset()));
+  pm_->drain();
+  ++stats_.sfences;
+  ++stats_.flushes;
+  writer_.reset();
+}
+
+Status TxRuntime::tx_begin() {
+  mu_.lock();  // held until commit/abort: transactions are serialized
+  PAX_CHECK(!in_tx_);
+  in_tx_ = true;
+  ++tx_id_;
+  dirty_ranges_.clear();
+  return Status::ok();
+}
+
+Status TxRuntime::tx_snapshot(PoolOffset off, std::size_t len) {
+  PAX_CHECK(in_tx_);
+  if (off < pool_->data_offset() ||
+      off + len > pool_->data_offset() + pool_->data_size()) {
+    return invalid_argument("snapshot range outside pool data extent");
+  }
+
+  std::vector<std::byte> payload(sizeof(wal::RangeUndoHeader) + len);
+  wal::RangeUndoHeader h{off, static_cast<std::uint32_t>(len), 0};
+  std::memcpy(payload.data(), &h, sizeof(h));
+  pm_->load(off, {payload.data() + sizeof(h), len});
+
+  auto end = writer_.append(tx_id_, wal::RecordType::kRangeUndo, payload);
+  if (!end.ok()) return end.status();
+
+  // The snapshot must be durable before the caller's store: flush + SFENCE.
+  // This is the stall PAX eliminates (§2).
+  writer_.flush();
+  ++stats_.snapshots;
+  stats_.snapshot_bytes += len;
+  stats_.log_bytes += wal::record_frame_size(payload.size());
+  ++stats_.sfences;
+  ++stats_.flushes;
+  return Status::ok();
+}
+
+Status TxRuntime::tx_store(PoolOffset off, std::span<const std::byte> data) {
+  PAX_CHECK(in_tx_);
+  if (off < pool_->data_offset() ||
+      off + data.size() > pool_->data_offset() + pool_->data_size()) {
+    return invalid_argument("store outside pool data extent");
+  }
+  pm_->store(off, data);
+  dirty_ranges_.emplace_back(off, data.size());
+  return Status::ok();
+}
+
+Status TxRuntime::tx_commit() {
+  PAX_CHECK(in_tx_);
+
+  // 1. All data stores durable.
+  for (const auto& [off, len] : dirty_ranges_) {
+    pm_->flush_range(off, len);
+    ++stats_.flushes;
+  }
+  pm_->drain();
+  ++stats_.sfences;
+
+  // 2. Commit record durable: the transaction's point of no return.
+  auto end = writer_.append(tx_id_, wal::RecordType::kTxCommit, {});
+  if (!end.ok()) {
+    // Log full at commit: roll back instead.
+    Status abort_status = tx_abort();
+    (void)abort_status;
+    return end.status();
+  }
+  writer_.flush();
+  ++stats_.sfences;
+  ++stats_.flushes;
+
+  // 3. Retire the log.
+  zero_log_head();
+
+  ++stats_.txs_committed;
+  in_tx_ = false;
+  mu_.unlock();
+  return Status::ok();
+}
+
+Status TxRuntime::tx_abort() {
+  PAX_CHECK(in_tx_);
+  auto records =
+      wal::LogReader::read_all(pm_, pool_->log_offset(), pool_->log_size());
+  apply_undo_records_reverse(records);
+  zero_log_head();
+  ++stats_.txs_aborted;
+  in_tx_ = false;
+  mu_.unlock();
+  return Status::ok();
+}
+
+}  // namespace pax::baselines::pmdk

@@ -1,0 +1,89 @@
+// PMDK-style undo-log transactions — the baseline the paper's Figure 2b
+// compares against ("PMDK writes to an undo log before updating the table").
+//
+// The cost structure the paper attributes to this approach is reproduced
+// exactly (§2): before each in-place modification the transaction *snapshots*
+// the target range into a persistent undo log, and each snapshot must be
+// durable (flush + SFENCE) before the corresponding store may proceed —
+// "log the allocation of a new key and value, SFENCE, write the new key and
+// value, SFENCE, log the update of an internal pointer, SFENCE, ...". The
+// TxStats sfence counter is what the throughput model (Fig 2b) keys off.
+//
+// Commit protocol: flush all data stores, SFENCE, append a commit record,
+// flush + SFENCE, then zero the log head (making any stale records
+// unreachable). Recovery: if the log holds records without a trailing
+// commit record, the transaction was interrupted — apply its range
+// snapshots in reverse and zero the log.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "pax/common/status.hpp"
+#include "pax/common/types.hpp"
+#include "pax/pmem/pool.hpp"
+#include "pax/wal/wal.hpp"
+
+namespace pax::baselines::pmdk {
+
+struct TxStats {
+  std::uint64_t txs_committed = 0;
+  std::uint64_t txs_aborted = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t log_bytes = 0;
+  std::uint64_t sfences = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t recovered_txs = 0;  // interrupted txs undone at startup
+};
+
+class TxRuntime {
+ public:
+  /// Uses `pool`'s log extent for the transaction log. Runs recovery
+  /// immediately: an interrupted transaction is rolled back before the
+  /// constructor returns.
+  explicit TxRuntime(pmem::PmemPool* pool);
+
+  /// Starts a transaction. Transactions are serialized (one at a time);
+  /// callers model concurrency at a higher level.
+  Status tx_begin();
+
+  /// Undo-logs the current contents of [off, off+len) and makes the record
+  /// durable before returning (flush + SFENCE): the caller may then modify
+  /// the range in place.
+  Status tx_snapshot(PoolOffset off, std::size_t len);
+
+  /// In-place store inside the active transaction. The caller must have
+  /// snapshotted any previously-live bytes it overwrites. Ranges are
+  /// remembered and flushed at commit.
+  Status tx_store(PoolOffset off, std::span<const std::byte> data);
+
+  /// Durably applies the transaction.
+  Status tx_commit();
+
+  /// Rolls the active transaction back immediately (also what recovery does
+  /// for an interrupted one).
+  Status tx_abort();
+
+  bool in_tx() const { return in_tx_; }
+  const TxStats& stats() const { return stats_; }
+  pmem::PmemPool* pool() const { return pool_; }
+
+ private:
+  Status recover();
+  void zero_log_head();
+  void apply_undo_records_reverse(const std::vector<wal::LogRecord>& records);
+
+  pmem::PmemPool* pool_;
+  pmem::PmemDevice* pm_;
+  wal::LogWriter writer_;
+  std::mutex mu_;
+  bool in_tx_ = false;
+  std::uint64_t tx_id_ = 0;
+  std::vector<std::pair<PoolOffset, std::size_t>> dirty_ranges_;
+  TxStats stats_;
+};
+
+}  // namespace pax::baselines::pmdk

@@ -1,0 +1,25 @@
+#include "pax/coherence/cxl.hpp"
+
+namespace pax::coherence {
+
+const char* cxl_op_name(CxlOp op) {
+  switch (op) {
+    case CxlOp::kRdShared:
+      return "RdShared";
+    case CxlOp::kRdOwn:
+      return "RdOwn";
+    case CxlOp::kDirtyEvict:
+      return "DirtyEvict";
+    case CxlOp::kCleanEvict:
+      return "CleanEvict";
+    case CxlOp::kSnpData:
+      return "SnpData";
+    case CxlOp::kSnpInv:
+      return "SnpInv";
+    case CxlOp::kGo:
+      return "GO";
+  }
+  return "?";
+}
+
+}  // namespace pax::coherence

@@ -1,0 +1,52 @@
+// CXL.cache message vocabulary (the subset PAX interposes on, CXL 2.0
+// §3.2.4.3) plus the MESI line states the host cache model tracks.
+//
+// The host-cache simulator translates its own activity into these messages —
+// the same "adapter layer" idea the paper's prototypes use (§4): whatever
+// the underlying mechanism (Enzian ThunderX coherence, Pin-rewritten
+// loads/stores, or our simulated hierarchy), the device sees CXL-shaped
+// traffic. Tests assert on the message trace to pin down protocol behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "pax/common/types.hpp"
+
+namespace pax::coherence {
+
+/// Host cache line states (MESI).
+enum class MesiState : std::uint8_t {
+  kInvalid = 0,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+/// Device-to-host / host-to-device opcodes, named after their CXL.cache
+/// equivalents. "D2H" and "H2D" follow the CXL convention where the *device*
+/// is the subject — but note in PAX the accelerator is the home agent for
+/// vPM, so host requests travel H2D and snoops travel D2H.
+enum class CxlOp : std::uint8_t {
+  // Host cache → device (requests on LLC miss / upgrade):
+  kRdShared,    // load miss: fetch line, host caches it shared
+  kRdOwn,       // store miss / upgrade: host will modify the line
+  kDirtyEvict,  // host evicts a Modified line; data travels with it
+  kCleanEvict,  // host evicts a Shared/Exclusive line (no data)
+  // Device → host (snoops issued during persist()):
+  kSnpData,     // downgrade to Shared and forward current data
+  kSnpInv,      // invalidate (unused by the base design; kept for fidelity)
+  // Completion the device returns for host requests:
+  kGo,          // "global observation": request granted
+};
+
+const char* cxl_op_name(CxlOp op);
+
+/// One message on the simulated link, for traces and protocol tests.
+struct CxlEvent {
+  CxlOp op;
+  LineIndex line;
+  bool carried_data = false;  // DirtyEvict / SnpData responses carry 64 B
+};
+
+}  // namespace pax::coherence

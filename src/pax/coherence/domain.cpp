@@ -1,0 +1,62 @@
+#include "pax/coherence/domain.hpp"
+
+#include "pax/common/check.hpp"
+
+namespace pax::coherence {
+
+CoherenceDomain::CoherenceDomain(device::PaxDevice* device,
+                                 const HostCacheConfig& core_config,
+                                 unsigned core_count) {
+  PAX_CHECK(device != nullptr);
+  PAX_CHECK(core_count >= 1);
+  cores_.reserve(core_count);
+  for (unsigned i = 0; i < core_count; ++i) {
+    cores_.push_back(std::make_unique<HostCacheSim>(device, core_config));
+  }
+  // Wire peer snooping: core i consults every other core before acquiring
+  // a line.
+  for (unsigned i = 0; i < core_count; ++i) {
+    cores_[i]->set_peer_snooper([this, i](LineIndex line, bool exclusive) {
+      for (unsigned j = 0; j < cores_.size(); ++j) {
+        if (j == i) continue;
+        if (exclusive) {
+          // SnpInv: peers relinquish the line entirely; a Modified peer
+          // writes back through the device first.
+          cores_[j]->snoop_invalidate(line);
+        } else {
+          // SnpData: only a Modified peer matters for a load miss — it
+          // downgrades to Shared and its data reaches the home so our
+          // upcoming device read returns the newest value. (Shared peers
+          // hold the same bytes the device already has.)
+          if (cores_[j]->line_state(line) == MesiState::kModified) {
+            auto data = cores_[j]->snoop_data(line);
+            PAX_CHECK(data.has_value());
+            cores_[j]->device_writeback_for_snoop(line, *data);
+          }
+        }
+      }
+    });
+  }
+}
+
+device::PaxDevice::PullFn CoherenceDomain::pull_fn() {
+  return [this](LineIndex line) -> std::optional<LineData> {
+    std::optional<LineData> newest;
+    for (auto& core : cores_) {
+      // Downgrade every holder; the Modified one (at most one exists under
+      // MESI) supplies the value.
+      if (core->line_state(line) == MesiState::kModified) {
+        newest = core->snoop_data(line);
+      } else {
+        (void)core->snoop_data(line);  // S/E → S downgrade
+      }
+    }
+    return newest;
+  };
+}
+
+void CoherenceDomain::drop_all_without_writeback() {
+  for (auto& core : cores_) core->drop_all_without_writeback();
+}
+
+}  // namespace pax::coherence

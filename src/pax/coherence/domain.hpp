@@ -1,0 +1,52 @@
+// Multi-core coherence domain: several host caches sharing one PAX device.
+//
+// The single-core HostCacheSim models the paper's Figure 2a measurement
+// setup; real deployments (§3.5, §6 "highly concurrent workloads") have many
+// cores whose caches keep each other coherent *through the home agent* —
+// which for vPM addresses is the PAX device. The domain wires the cores
+// together MESI-style:
+//
+//   * before a core takes exclusive ownership (store), every peer holding
+//     the line is snooped with SnpInv — a Modified peer writes its data
+//     back to the device first, so no update can be lost;
+//   * before a core fills a load miss from the device, a Modified peer is
+//     downgraded with SnpData and its data forwarded through the device;
+//   * persist() pulls from all cores (any of them may hold the newest copy)
+//     and downgrades everywhere, preserving the §3.3 re-announcement
+//     invariant across every core.
+//
+// Important PAX property this preserves: *cross-core* ownership transfers
+// of a line within one epoch do not create new undo records — the first
+// RdOwn of the epoch logged the epoch-boundary value, and every subsequent
+// transfer routes current data through the device, never touching the log
+// (write_intent is per-epoch idempotent).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pax/coherence/host_cache.hpp"
+
+namespace pax::coherence {
+
+class CoherenceDomain {
+ public:
+  CoherenceDomain(device::PaxDevice* device, const HostCacheConfig& core_config,
+                  unsigned core_count);
+
+  unsigned core_count() const { return static_cast<unsigned>(cores_.size()); }
+  HostCacheSim& core(unsigned i) { return *cores_.at(i); }
+
+  /// persist() pull covering every core: returns the Modified copy if any
+  /// core holds one (downgrading it), else downgrades any Shared holders
+  /// and reports nothing (the device's own copy is current).
+  device::PaxDevice::PullFn pull_fn();
+
+  /// Crash: every core's volatile state vanishes.
+  void drop_all_without_writeback();
+
+ private:
+  std::vector<std::unique_ptr<HostCacheSim>> cores_;
+};
+
+}  // namespace pax::coherence

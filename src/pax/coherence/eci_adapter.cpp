@@ -1,0 +1,102 @@
+#include "pax/coherence/eci_adapter.hpp"
+
+#include <cstring>
+
+#include "pax/common/check.hpp"
+
+namespace pax::coherence {
+
+const char* eci_op_name(EciOp op) {
+  switch (op) {
+    case EciOp::kRldd:
+      return "RLDD";
+    case EciOp::kRldx:
+      return "RLDX";
+    case EciOp::kRc2d:
+      return "RC2D";
+    case EciOp::kVicd:
+      return "VICD";
+    case EciOp::kVicc:
+      return "VICC";
+    case EciOp::kVics:
+      return "VICS";
+  }
+  return "?";
+}
+
+EciAdapter::EciAdapter(device::PaxDevice* device) : device_(device) {
+  PAX_CHECK(device != nullptr);
+}
+
+EciBlockData EciAdapter::read_block(EciBlockIndex block) {
+  EciBlockData data;
+  for (std::size_t l = 0; l < kLinesPerEciBlock; ++l) {
+    const LineIndex line{block.first_line().value + l};
+    ++stats_.cxl_reads;
+    const LineData line_data = device_->read_line(line);
+    std::memcpy(data.bytes.data() + l * kCacheLineSize,
+                line_data.bytes.data(), kCacheLineSize);
+  }
+  return data;
+}
+
+Result<EciResponse> EciAdapter::handle(const EciMessage& message) {
+  ++stats_.messages;
+  EciResponse response;
+
+  switch (message.op) {
+    case EciOp::kRldd:
+      // Shared load: two CXL RdSharedes, block assembled for the response.
+      response.data = read_block(message.block);
+      return response;
+
+    case EciOp::kRldx:
+      // Exclusive load: write intent on both lines (undo logging), then the
+      // current data travels back like RdOwn's.
+      for (std::size_t l = 0; l < kLinesPerEciBlock; ++l) {
+        const LineIndex line{message.block.first_line().value + l};
+        ++stats_.cxl_write_intents;
+        PAX_RETURN_IF_ERROR(device_->write_intent(line));
+      }
+      response.data = read_block(message.block);
+      return response;
+
+    case EciOp::kRc2d:
+      // Upgrade without data transfer: intent only. The adapter must NOT
+      // touch the device's buffered copy (the remote already holds the
+      // block; the device will learn the new value at eviction/persist).
+      for (std::size_t l = 0; l < kLinesPerEciBlock; ++l) {
+        const LineIndex line{message.block.first_line().value + l};
+        ++stats_.cxl_write_intents;
+        PAX_RETURN_IF_ERROR(device_->write_intent(line));
+      }
+      return response;
+
+    case EciOp::kVicd: {
+      // Dirty victim: split the 128 B payload into two DirtyEvicts.
+      if (!message.data) {
+        return invalid_argument("VICD without block data");
+      }
+      for (std::size_t l = 0; l < kLinesPerEciBlock; ++l) {
+        const LineIndex line{message.block.first_line().value + l};
+        ++stats_.cxl_writebacks;
+        device_->writeback_line(
+            line, LineData::from_bytes(
+                      {message.data->bytes.data() + l * kCacheLineSize,
+                       kCacheLineSize}));
+      }
+      return response;
+    }
+
+    case EciOp::kVicc:
+    case EciOp::kVics:
+      // Clean/shared victims carry no modification: filtered out — the
+      // "filters" half of the paper's "filters and adapts".
+      ++stats_.filtered;
+      response.filtered = true;
+      return response;
+  }
+  PAX_UNREACHABLE("bad ECI op");
+}
+
+}  // namespace pax::coherence

@@ -1,0 +1,319 @@
+#include "pax/coherence/host_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pax/common/check.hpp"
+
+namespace pax::coherence {
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config) : ways_(config.ways) {
+  PAX_CHECK(config.ways >= 1);
+  std::size_t lines = config.capacity_bytes / kCacheLineSize;
+  std::size_t sets = std::max<std::size_t>(1, lines / config.ways);
+  std::size_t pow2 = 1;
+  while (pow2 * 2 <= sets) pow2 *= 2;
+  sets_.resize(pow2);
+  for (auto& s : sets_) s.resize(ways_);
+}
+
+std::vector<CacheLevel::Entry>& CacheLevel::set_for(LineIndex line) {
+  return sets_[std::hash<LineIndex>{}(line) & (sets_.size() - 1)];
+}
+const std::vector<CacheLevel::Entry>& CacheLevel::set_for(
+    LineIndex line) const {
+  return sets_[std::hash<LineIndex>{}(line) & (sets_.size() - 1)];
+}
+
+bool CacheLevel::access(LineIndex line, std::optional<LineIndex>& evicted) {
+  evicted.reset();
+  auto& set = set_for(line);
+  for (auto& e : set) {
+    if (e.valid && e.line == line) {
+      e.lru_tick = ++tick_;
+      return true;
+    }
+  }
+  // Miss: insert, evicting LRU if the set is full.
+  Entry* victim = nullptr;
+  for (auto& e : set) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (victim == nullptr || e.lru_tick < victim->lru_tick) victim = &e;
+  }
+  PAX_CHECK(victim != nullptr);
+  if (victim->valid) {
+    evicted = victim->line;
+  } else {
+    ++live_;
+  }
+  *victim = Entry{true, line, ++tick_};
+  return false;
+}
+
+bool CacheLevel::contains(LineIndex line) const {
+  for (const auto& e : set_for(line)) {
+    if (e.valid && e.line == line) return true;
+  }
+  return false;
+}
+
+void CacheLevel::remove(LineIndex line) {
+  for (auto& e : set_for(line)) {
+    if (e.valid && e.line == line) {
+      e.valid = false;
+      --live_;
+      return;
+    }
+  }
+}
+
+HostCacheSim::HostCacheSim(device::PaxDevice* device,
+                           const HostCacheConfig& config)
+    : device_(device),
+      config_(config),
+      record_trace_(config.record_trace),
+      l1_(config.l1),
+      l2_(config.l2),
+      llc_(config.llc) {
+  PAX_CHECK(device != nullptr);
+}
+
+void HostCacheSim::record(CxlOp op, LineIndex line, bool carried_data) {
+  if (record_trace_) trace_.push_back({op, line, carried_data});
+}
+
+void HostCacheSim::evict_from_llc(LineIndex line) {
+  // Inclusive hierarchy: leaving the LLC means leaving L1/L2 too.
+  l1_.remove(line);
+  l2_.remove(line);
+
+  auto state_it = state_.find(line);
+  PAX_CHECK(state_it != state_.end());
+  if (state_it->second == MesiState::kModified) {
+    ++stats_.dirty_evicts;
+    record(CxlOp::kDirtyEvict, line, /*carried_data=*/true);
+    if (config_.protocol == DeviceProtocol::kCxlMem) {
+      ++stats_.mem_writes;
+      // .mem: the eviction is a plain MemWr; the device first learns of the
+      // modification here and must capture the pre-image now.
+      Status s = device_->mem_write(line, data_.at(line));
+      PAX_CHECK_MSG(s.is_ok(), "undo log exhausted during .mem eviction");
+    } else {
+      device_->writeback_line(line, data_.at(line));
+    }
+  } else {
+    ++stats_.clean_evicts;
+    record(CxlOp::kCleanEvict, line, /*carried_data=*/false);
+  }
+  state_.erase(state_it);
+  data_.erase(line);
+}
+
+bool HostCacheSim::touch(LineIndex line) {
+  std::optional<LineIndex> evicted;
+
+  ++stats_.l1.accesses;
+  if (l1_.access(line, evicted)) {
+    ++stats_.l1.hits;
+    return true;  // L1 hit implies residency everywhere (inclusive).
+  }
+  // L1 insertion may push a tag out of L1; that line stays in L2/LLC.
+
+  ++stats_.l2.accesses;
+  std::optional<LineIndex> l2_victim;
+  if (l2_.access(line, l2_victim)) {
+    ++stats_.l2.hits;
+    // Inclusive: an L2 hit is an LLC resident; refresh LLC LRU silently.
+    std::optional<LineIndex> none;
+    llc_.access(line, none);
+    PAX_CHECK_MSG(!none, "inclusive hierarchy violated: L2 hit missed LLC");
+    return true;
+  }
+  if (l2_victim) l1_.remove(*l2_victim);  // back-invalidate L2 victims
+
+  ++stats_.llc.accesses;
+  std::optional<LineIndex> llc_victim;
+  const bool llc_hit = llc_.access(line, llc_victim);
+  if (llc_victim) evict_from_llc(*llc_victim);
+  if (llc_hit) ++stats_.llc.hits;
+  return llc_hit;
+}
+
+void HostCacheSim::load(PoolOffset offset, std::span<std::byte> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const PoolOffset cur = offset + done;
+    const LineIndex line = LineIndex::containing(cur);
+    const std::size_t in_line = cur % kCacheLineSize;
+    const std::size_t n =
+        std::min(kCacheLineSize - in_line, out.size() - done);
+
+    ++stats_.loads;
+    const bool resident = touch(line);
+    if (!resident) {
+      // Multi-core: a peer may hold the line Modified — it must reach the
+      // home (device) before we read it there.
+      if (peer_snooper_) peer_snooper_(line, /*exclusive=*/false);
+      // LLC miss on a device-homed line: RdShared to the PAX device.
+      ++stats_.rd_shared;
+      record(CxlOp::kRdShared, line, false);
+      data_[line] = device_->read_line(line);
+      record(CxlOp::kGo, line, true);
+      state_[line] = MesiState::kShared;
+    }
+    std::memcpy(out.data() + done, data_.at(line).bytes.data() + in_line, n);
+    done += n;
+  }
+}
+
+Status HostCacheSim::store(PoolOffset offset,
+                           std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const PoolOffset cur = offset + done;
+    const LineIndex line = LineIndex::containing(cur);
+    const std::size_t in_line = cur % kCacheLineSize;
+    const std::size_t n =
+        std::min(kCacheLineSize - in_line, data.size() - done);
+
+    ++stats_.stores;
+    const bool resident = touch(line);
+
+    auto state_it = state_.find(line);
+    const MesiState st =
+        resident && state_it != state_.end() ? state_it->second
+                                             : MesiState::kInvalid;
+
+    if (st != MesiState::kModified && st != MesiState::kExclusive) {
+      // Multi-core: strip every peer of the line before taking ownership.
+      if (peer_snooper_) peer_snooper_(line, /*exclusive=*/true);
+      if (config_.protocol == DeviceProtocol::kCxlCache) {
+        // Need write ownership: RdOwn. The device undo-logs the pre-image.
+        ++stats_.rd_own;
+        if (st == MesiState::kShared) ++stats_.upgrades;
+        record(CxlOp::kRdOwn, line, false);
+        PAX_RETURN_IF_ERROR(device_->write_intent(line));
+        if (!resident || !data_.contains(line)) {
+          // RdOwn carries the current data back (needed to merge a partial
+          // line store).
+          data_[line] = device_->read_line(line);
+        }
+        record(CxlOp::kGo, line, true);
+      } else {
+        // .mem: no ownership traffic — the store is silent to the device
+        // (its first notification is the eventual MemWr). Fetch the line if
+        // absent so partial stores merge correctly.
+        if (!resident || !data_.contains(line)) {
+          data_[line] = device_->read_line(line);
+        }
+      }
+    }
+    state_[line] = MesiState::kModified;
+    std::memcpy(data_.at(line).bytes.data() + in_line, data.data() + done, n);
+    done += n;
+  }
+  return Status::ok();
+}
+
+std::uint64_t HostCacheSim::load_u64(PoolOffset offset) {
+  std::uint64_t v = 0;
+  load(offset, std::as_writable_bytes(std::span(&v, 1)));
+  return v;
+}
+
+Status HostCacheSim::store_u64(PoolOffset offset, std::uint64_t value) {
+  return store(offset, std::as_bytes(std::span(&value, 1)));
+}
+
+std::optional<LineData> HostCacheSim::snoop_data(LineIndex line) {
+  auto it = state_.find(line);
+  if (it == state_.end()) return std::nullopt;
+  ++stats_.snoops_served;
+  record(CxlOp::kSnpData, line, true);
+  it->second = MesiState::kShared;  // downgrade: next store must RdOwn again
+  return data_.at(line);
+}
+
+device::PaxDevice::PullFn HostCacheSim::pull_fn() {
+  if (config_.protocol == DeviceProtocol::kCxlMem) {
+    // A .mem device cannot snoop: persist relies on a prior CLWB sweep.
+    return [](LineIndex) { return std::nullopt; };
+  }
+  return [this](LineIndex line) { return snoop_data(line); };
+}
+
+Status HostCacheSim::clwb_all_dirty() {
+  std::vector<LineIndex> dirty;
+  for (const auto& [line, st] : state_) {
+    if (st == MesiState::kModified) dirty.push_back(line);
+  }
+  for (LineIndex line : dirty) {
+    ++stats_.clwbs;
+    if (config_.protocol == DeviceProtocol::kCxlMem) {
+      ++stats_.mem_writes;
+      PAX_RETURN_IF_ERROR(device_->mem_write(line, data_.at(line)));
+    } else {
+      device_->writeback_line(line, data_.at(line));
+    }
+    // CLWB on current CPUs downgrades (future ones keep the line Shared —
+    // §4 note); we model the friendlier downgrade-to-Shared.
+    state_[line] = MesiState::kShared;
+  }
+  return Status::ok();
+}
+
+void HostCacheSim::snoop_invalidate(LineIndex line) {
+  auto it = state_.find(line);
+  if (it == state_.end()) return;
+  ++stats_.snoops_served;
+  record(CxlOp::kSnpInv, line, it->second == MesiState::kModified);
+  if (it->second == MesiState::kModified) {
+    // The modified data must reach the home before the peer takes over.
+    device_->writeback_line(line, data_.at(line));
+    ++stats_.dirty_evicts;
+  }
+  l1_.remove(line);
+  l2_.remove(line);
+  llc_.remove(line);
+  state_.erase(it);
+  data_.erase(line);
+}
+
+void HostCacheSim::drop_all_without_writeback() {
+  state_.clear();
+  data_.clear();
+  l1_ = CacheLevel(config_.l1);
+  l2_ = CacheLevel(config_.l2);
+  llc_ = CacheLevel(config_.llc);
+}
+
+void HostCacheSim::flush_and_invalidate_all() {
+  std::vector<LineIndex> lines;
+  lines.reserve(state_.size());
+  for (const auto& [line, st] : state_) lines.push_back(line);
+  for (LineIndex line : lines) {
+    if (llc_.contains(line)) llc_.remove(line);
+    l1_.remove(line);
+    l2_.remove(line);
+    auto st = state_.at(line);
+    if (st == MesiState::kModified) {
+      ++stats_.dirty_evicts;
+      record(CxlOp::kDirtyEvict, line, /*carried_data=*/true);
+      device_->writeback_line(line, data_.at(line));
+    } else {
+      record(CxlOp::kCleanEvict, line, /*carried_data=*/false);
+    }
+    state_.erase(line);
+    data_.erase(line);
+  }
+}
+
+MesiState HostCacheSim::line_state(LineIndex line) const {
+  auto it = state_.find(line);
+  return it == state_.end() ? MesiState::kInvalid : it->second;
+}
+
+}  // namespace pax::coherence

@@ -1,0 +1,207 @@
+// Host CPU cache hierarchy simulator.
+//
+// Models an inclusive 3-level (L1/L2/LLC) set-associative hierarchy of a
+// single core with MESI states for device-homed (vPM) lines. This is the
+// reproduction's stand-in for both of the paper's prototyping tracks (§4):
+// where the paper rewrites loads/stores with Pin and simulates a CPU cache
+// per access, our workloads drive load()/store() on this object, and LLC
+// misses for vPM lines turn into CXL.cache messages to the PaxDevice.
+//
+// Two things the crash-consistency design depends on are modelled exactly:
+//   * a store to a line not held Modified/Exclusive emits RdOwn — the
+//     device's only chance to undo-log the pre-image (§3.1 "Stores");
+//   * SnpData (issued per logged line during persist()) downgrades M/E → S
+//     and forwards the dirty data, so next-epoch stores must upgrade again
+//     and are therefore observed (§3.3's end-of-epoch pull).
+//
+// The hierarchy also produces the per-level hit/miss statistics that drive
+// the Figure 2a AMAT analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "pax/common/types.hpp"
+#include "pax/coherence/cxl.hpp"
+#include "pax/device/pax_device.hpp"
+
+namespace pax::coherence {
+
+struct CacheLevelConfig {
+  std::size_t capacity_bytes;
+  unsigned ways;
+};
+
+/// Which CXL protocol the device is attached with (§6 explores the
+/// visibility difference).
+enum class DeviceProtocol {
+  /// CXL.cache: the device sees ownership requests (RdOwn) and can snoop —
+  /// the full PAX design.
+  kCxlCache,
+  /// CXL.mem: the device is a memory expander. It sees reads and write-backs
+  /// only; no write intent, no snoops. persist() requires a host-side CLWB
+  /// sweep of every dirty line (clwb_all_dirty) because the device cannot
+  /// pull.
+  kCxlMem,
+};
+
+struct HostCacheConfig {
+  // Skylake Xeon Gold 6142 (Cloudlab c6420, the paper's testbed §5).
+  CacheLevelConfig l1{32 * 1024, 8};
+  CacheLevelConfig l2{1024 * 1024, 16};
+  CacheLevelConfig llc{22 * 1024 * 1024, 11};
+  DeviceProtocol protocol = DeviceProtocol::kCxlCache;
+  /// Record every CXL message in trace() (tests; off for big benches).
+  bool record_trace = false;
+};
+
+struct LevelStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses() const { return accesses - hits; }
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses()) /
+                               static_cast<double>(accesses);
+  }
+};
+
+struct HostCacheStats {
+  LevelStats l1, l2, llc;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t rd_shared = 0;    // LLC load misses → device
+  std::uint64_t rd_own = 0;       // store misses/upgrades → device
+  std::uint64_t upgrades = 0;     // of which: data was present, S → M
+  std::uint64_t dirty_evicts = 0;
+  std::uint64_t clean_evicts = 0;
+  std::uint64_t snoops_served = 0;
+  std::uint64_t mem_writes = 0;   // CXL.mem MemWr messages sent
+  std::uint64_t clwbs = 0;        // CLWB instructions issued (.mem persist)
+};
+
+/// Tag-only set-associative level with LRU replacement.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheLevelConfig& config);
+
+  /// Touches `line`: returns true on hit; on miss, inserts it and reports
+  /// any evicted line through `evicted`.
+  bool access(LineIndex line, std::optional<LineIndex>& evicted);
+
+  bool contains(LineIndex line) const;
+  void remove(LineIndex line);
+  std::size_t size() const { return live_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    LineIndex line;
+    std::uint64_t lru_tick = 0;
+  };
+
+  std::vector<Entry>& set_for(LineIndex line);
+  const std::vector<Entry>& set_for(LineIndex line) const;
+
+  unsigned ways_;
+  std::vector<std::vector<Entry>> sets_;
+  std::uint64_t tick_ = 0;
+  std::size_t live_ = 0;
+};
+
+class HostCacheSim {
+ public:
+  /// All loads/stores must fall inside the device's pool data extent; the
+  /// device is the home agent for those addresses.
+  HostCacheSim(device::PaxDevice* device, const HostCacheConfig& config);
+
+  // --- Data path ---------------------------------------------------------
+
+  /// Byte-granular load/store through the simulated hierarchy (may span
+  /// lines). store() returns the device's undo-logging status — kOutOfSpace
+  /// surfaces when the log extent fills.
+  void load(PoolOffset offset, std::span<std::byte> out);
+  Status store(PoolOffset offset, std::span<const std::byte> data);
+
+  std::uint64_t load_u64(PoolOffset offset);
+  Status store_u64(PoolOffset offset, std::uint64_t value);
+
+  // --- Coherence back-channel ---------------------------------------------
+
+  /// SnpData handler: if the host caches `line`, downgrades it to Shared
+  /// and returns the current data; nullopt otherwise. Wire this as the
+  /// device's persist() pull function.
+  std::optional<LineData> snoop_data(LineIndex line);
+
+  /// Convenience: a PullFn bound to this host cache (CXL.cache mode only;
+  /// in .mem mode the device cannot snoop, so this returns a function that
+  /// always reports "host has nothing" — use clwb_all_dirty() first).
+  device::PaxDevice::PullFn pull_fn();
+
+  /// CLWB sweep (the .mem persist protocol, and what §4 contrasts against
+  /// device-side pulls): writes every Modified line back to the device and
+  /// downgrades it to Shared. Counts one CLWB per dirty line. Returns the
+  /// first error from the device's logging path.
+  Status clwb_all_dirty();
+
+  DeviceProtocol protocol() const { return config_.protocol; }
+
+  /// SnpInv handler: writes back a Modified copy of `line` to the device,
+  /// then invalidates the line everywhere in this cache. Used by the
+  /// multi-core CoherenceDomain when a peer requests exclusive ownership.
+  void snoop_invalidate(LineIndex line);
+
+  /// Forwards a snoop response's data to the device (the home), as the
+  /// fabric does when SnpData hits a Modified line. The line must have been
+  /// modified this epoch (it was, or it couldn't have been Modified).
+  void device_writeback_for_snoop(LineIndex line, const LineData& data) {
+    device_->writeback_line(line, data);
+  }
+
+  /// Hook invoked before this cache acquires a line (`exclusive` = it will
+  /// modify). The CoherenceDomain uses it to snoop the other cores first.
+  using PeerSnooper = std::function<void(LineIndex, bool exclusive)>;
+  void set_peer_snooper(PeerSnooper snooper) {
+    peer_snooper_ = std::move(snooper);
+  }
+
+  /// Simulates power loss on the host side: all cached state vanishes
+  /// without any write-back (a real crash never flushes).
+  void drop_all_without_writeback();
+
+  /// Writes back every Modified line and invalidates everything (orderly
+  /// teardown, *not* a crash).
+  void flush_and_invalidate_all();
+
+  const HostCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = HostCacheStats{}; }
+
+  const std::vector<CxlEvent>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  MesiState line_state(LineIndex line) const;
+
+ private:
+  // Walks the hierarchy for stats and residency; true if the line was
+  // resident (in LLC) before the walk. Handles inclusive back-invalidation
+  // and dirty write-back on LLC eviction.
+  bool touch(LineIndex line);
+
+  void evict_from_llc(LineIndex line);
+  void record(CxlOp op, LineIndex line, bool carried_data);
+
+  device::PaxDevice* device_;
+  HostCacheConfig config_;
+  bool record_trace_;
+  CacheLevel l1_, l2_, llc_;
+  std::unordered_map<LineIndex, MesiState> state_;  // resident lines only
+  std::unordered_map<LineIndex, LineData> data_;    // resident lines only
+  HostCacheStats stats_;
+  std::vector<CxlEvent> trace_;
+  PeerSnooper peer_snooper_;
+};
+
+}  // namespace pax::coherence

@@ -1,0 +1,194 @@
+#include "pax/coherence/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+#include "pax/common/check.hpp"
+#include "pax/common/crc.hpp"
+
+namespace pax::coherence {
+namespace {
+
+constexpr std::uint64_t kTraceMagic = 0x4543415254584150ULL;  // "PAXTRACE"
+constexpr std::uint32_t kTraceVersion = 1;
+
+struct TraceHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t masked_crc;  // over the packed event array
+  std::uint64_t count;
+};
+
+struct PackedEvent {
+  std::uint64_t line;
+  std::uint8_t op;
+  std::uint8_t carried_data;
+  std::uint8_t pad[6];
+};
+static_assert(sizeof(PackedEvent) == 16);
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status save_trace(const std::string& path,
+                  const std::vector<CxlEvent>& events) {
+  std::vector<PackedEvent> packed(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    packed[i] = {events[i].line.value,
+                 static_cast<std::uint8_t>(events[i].op),
+                 static_cast<std::uint8_t>(events[i].carried_data ? 1 : 0),
+                 {}};
+  }
+
+  TraceHeader header{kTraceMagic, kTraceVersion,
+                     mask_crc(crc32c(packed.data(),
+                                     packed.size() * sizeof(PackedEvent))),
+                     events.size()};
+
+  File f(std::fopen(path.c_str(), "wb"));
+  if (!f) return io_error("cannot create trace file " + path);
+  if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1 ||
+      (packed.size() > 0 &&
+       std::fwrite(packed.data(), sizeof(PackedEvent), packed.size(),
+                   f.get()) != packed.size())) {
+    return io_error("short write to trace file " + path);
+  }
+  return Status::ok();
+}
+
+Result<std::vector<CxlEvent>> load_trace(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (!f) return io_error("cannot open trace file " + path);
+
+  TraceHeader header{};
+  if (std::fread(&header, sizeof(header), 1, f.get()) != 1) {
+    return corruption("trace file truncated (header)");
+  }
+  if (header.magic != kTraceMagic) return corruption("bad trace magic");
+  if (header.version != kTraceVersion) {
+    return corruption("unsupported trace version");
+  }
+  std::vector<PackedEvent> packed(header.count);
+  if (header.count > 0 &&
+      std::fread(packed.data(), sizeof(PackedEvent), header.count, f.get()) !=
+          header.count) {
+    return corruption("trace file truncated (events)");
+  }
+  if (header.masked_crc !=
+      mask_crc(crc32c(packed.data(), packed.size() * sizeof(PackedEvent)))) {
+    return corruption("trace CRC mismatch");
+  }
+
+  std::vector<CxlEvent> events(header.count);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    if (packed[i].op > static_cast<std::uint8_t>(CxlOp::kGo)) {
+      return corruption("trace contains an unknown opcode");
+    }
+    events[i] = {static_cast<CxlOp>(packed[i].op),
+                 LineIndex{packed[i].line}, packed[i].carried_data != 0};
+  }
+  return events;
+}
+
+TraceSummary summarize_trace(const std::vector<CxlEvent>& events) {
+  TraceSummary s;
+  std::unordered_set<LineIndex> lines;
+  for (const auto& e : events) {
+    ++s.total;
+    lines.insert(e.line);
+    switch (e.op) {
+      case CxlOp::kRdShared:
+        ++s.rd_shared;
+        break;
+      case CxlOp::kRdOwn:
+        ++s.rd_own;
+        break;
+      case CxlOp::kDirtyEvict:
+        ++s.dirty_evicts;
+        break;
+      case CxlOp::kCleanEvict:
+        ++s.clean_evicts;
+        break;
+      case CxlOp::kSnpData:
+      case CxlOp::kSnpInv:
+        ++s.snoops;
+        break;
+      case CxlOp::kGo:
+        break;
+    }
+  }
+  s.distinct_lines = lines.size();
+  return s;
+}
+
+Result<ReplayReport> replay_trace(const std::vector<CxlEvent>& events,
+                                  device::PaxDevice* device,
+                                  const ReplayOptions& options) {
+  PAX_CHECK(device != nullptr);
+  ReplayReport report;
+
+  // Deterministic synthetic payload per (line, nth-writeback).
+  std::unordered_map<LineIndex, std::uint64_t> write_counter;
+  // Lines announced (RdOwn'd) in the current replay epoch. The replayer
+  // inserts persists at points the original run did not have, which can
+  // split an RdOwn from its DirtyEvict across an epoch boundary; the
+  // write-back must then re-announce (exactly what a re-running host would
+  // do after the persist's downgrade).
+  std::unordered_set<LineIndex> announced;
+
+  for (const auto& event : events) {
+    switch (event.op) {
+      case CxlOp::kRdShared:
+        (void)device->read_line(event.line);
+        break;
+      case CxlOp::kRdOwn: {
+        PAX_RETURN_IF_ERROR(device->write_intent(event.line));
+        announced.insert(event.line);
+        break;
+      }
+      case CxlOp::kDirtyEvict: {
+        if (!announced.contains(event.line)) {
+          PAX_RETURN_IF_ERROR(device->write_intent(event.line));
+          announced.insert(event.line);
+        }
+        LineData data;
+        const std::uint64_t n = ++write_counter[event.line];
+        for (std::size_t b = 0; b < kCacheLineSize; ++b) {
+          data.bytes[b] =
+              static_cast<std::byte>((event.line.value * 31 + n * 7 + b) &
+                                     0xff);
+        }
+        device->writeback_line(event.line, data);
+        break;
+      }
+      case CxlOp::kCleanEvict:
+        break;  // no device action
+      case CxlOp::kSnpData:
+      case CxlOp::kSnpInv:
+      case CxlOp::kGo:
+        ++report.messages_skipped;
+        continue;  // device-originated / completion: not replayed
+    }
+    ++report.messages_replayed;
+    if (options.persist_every != 0 &&
+        report.messages_replayed % options.persist_every == 0) {
+      auto e = device->persist(nullptr);
+      if (!e.ok()) return e.status();
+      ++report.persists;
+      announced.clear();
+    }
+  }
+  auto e = device->persist(nullptr);
+  if (!e.ok()) return e.status();
+  ++report.persists;
+  return report;
+}
+
+}  // namespace pax::coherence

@@ -1,0 +1,35 @@
+// Invariant checking. PAX_CHECK fires on programming errors that must never
+// occur regardless of input (broken state machines, impossible enum values);
+// recoverable conditions use Status instead. Checks stay enabled in release
+// builds: in a storage system a silently-violated invariant corrupts data.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pax::internal {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "PAX_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace pax::internal
+
+#define PAX_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]]                                          \
+      ::pax::internal::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define PAX_CHECK_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]]                                          \
+      ::pax::internal::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define PAX_UNREACHABLE(msg) \
+  ::pax::internal::check_failed("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,72 @@
+#include "pax/common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace pax {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("PAX_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_store() {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_store().load()); }
+
+void set_log_level(LogLevel level) {
+  level_store().store(static_cast<int>(level));
+}
+
+namespace internal {
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= level_store().load();
+}
+
+std::string format_log(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[1024];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+void log_message(LogLevel level, const char* file, int line,
+                 const std::string& msg) {
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+  std::fprintf(stderr, "[pax %-5s %s:%d] %s\n", level_name(level), base, line,
+               msg.c_str());
+}
+
+}  // namespace internal
+}  // namespace pax

@@ -1,0 +1,39 @@
+// Minimal leveled logging to stderr. Off by default above kWarn so tests and
+// benches stay quiet; set PAX_LOG_LEVEL=debug|info|warn|error in the
+// environment or call set_log_level() to change.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace pax {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Current threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace internal {
+void log_message(LogLevel level, const char* file, int line,
+                 const std::string& msg);
+bool log_enabled(LogLevel level);
+std::string format_log(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace internal
+
+#define PAX_LOG(level, ...)                                              \
+  do {                                                                   \
+    if (::pax::internal::log_enabled(level)) {                           \
+      ::pax::internal::log_message(                                      \
+          level, __FILE__, __LINE__,                                     \
+          ::pax::internal::format_log(__VA_ARGS__));                     \
+    }                                                                    \
+  } while (0)
+
+#define PAX_LOG_DEBUG(...) PAX_LOG(::pax::LogLevel::kDebug, __VA_ARGS__)
+#define PAX_LOG_INFO(...) PAX_LOG(::pax::LogLevel::kInfo, __VA_ARGS__)
+#define PAX_LOG_WARN(...) PAX_LOG(::pax::LogLevel::kWarn, __VA_ARGS__)
+#define PAX_LOG_ERROR(...) PAX_LOG(::pax::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace pax

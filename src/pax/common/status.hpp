@@ -1,0 +1,105 @@
+// Lightweight Status / Result<T> error handling.
+//
+// Recoverable conditions (I/O failures, corrupt log records, pool-format
+// mismatches) are reported by value; invariant violations use PAX_CHECK
+// (see check.hpp). This mirrors common storage-engine practice and keeps
+// error paths explicit at call sites (Core Guidelines I.10, E.x).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace pax {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kIoError,          // underlying syscall / file failure
+  kCorruption,       // CRC mismatch, bad magic, torn record
+  kInvalidArgument,  // caller error detectable at runtime
+  kNotFound,         // missing pool / key / entry
+  kOutOfSpace,       // pool or log extent exhausted
+  kFailedPrecondition,
+};
+
+/// Human-readable name for a StatusCode.
+std::string_view status_code_name(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code-name>: <message>".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status io_error(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status corruption(std::string msg) {
+  return Status(StatusCode::kCorruption, std::move(msg));
+}
+inline Status invalid_argument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status not_found(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status out_of_space(std::string msg) {
+  return Status(StatusCode::kOutOfSpace, std::move(msg));
+}
+inline Status failed_precondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+
+/// Either a T or an error Status. Accessing value() on an error aborts, so
+/// callers must test ok() (or use value_or) first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Status status) : v_(std::move(status)) {}     // NOLINT(implicit)
+  Result(StatusCode code, std::string message)
+      : v_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  Status status() const {
+    return ok() ? Status::ok() : std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagate an error Status from an expression that yields Status.
+#define PAX_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::pax::Status pax_status_ = (expr);           \
+    if (!pax_status_.is_ok()) return pax_status_; \
+  } while (0)
+
+}  // namespace pax

@@ -1,0 +1,105 @@
+// Core value types shared across all PAX modules.
+//
+// PAX reasons about memory at CPU cache-line granularity (64 bytes): the
+// device observes coherence events per line, logs undo records per line, and
+// writes back per line. These types make line addressing explicit so that
+// byte offsets and line indices can never be confused.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+
+namespace pax {
+
+/// Size of one CPU cache line / coherence unit, in bytes.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Size of one virtual-memory page (x86-64 default), in bytes. Used by the
+/// page-fault frontends (libpax vPM region, pagewal baseline).
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Lines per page; useful for write-amplification accounting.
+inline constexpr std::size_t kLinesPerPage = kPageSize / kCacheLineSize;
+
+/// Snapshot epoch number. Epoch 0 is the "empty pool" snapshot; the first
+/// mutations belong to epoch 1, which becomes durable when persist() commits
+/// the epoch cell with value 1.
+using Epoch = std::uint64_t;
+
+/// A byte offset into a pool / vPM region. Offsets are used rather than raw
+/// pointers wherever the value must be meaningful across process restarts.
+using PoolOffset = std::uint64_t;
+
+/// Index of a cache line within a pool (offset / kCacheLineSize).
+struct LineIndex {
+  std::uint64_t value = 0;
+
+  constexpr PoolOffset byte_offset() const { return value * kCacheLineSize; }
+  constexpr auto operator<=>(const LineIndex&) const = default;
+
+  static constexpr LineIndex containing(PoolOffset off) {
+    return LineIndex{off / kCacheLineSize};
+  }
+};
+
+/// Index of a 4 KiB page within a pool.
+struct PageIndex {
+  std::uint64_t value = 0;
+
+  constexpr PoolOffset byte_offset() const { return value * kPageSize; }
+  constexpr LineIndex first_line() const {
+    return LineIndex{value * kLinesPerPage};
+  }
+  constexpr auto operator<=>(const PageIndex&) const = default;
+
+  static constexpr PageIndex containing(PoolOffset off) {
+    return PageIndex{off / kPageSize};
+  }
+};
+
+/// The payload of one cache line. Trivially copyable by design: line images
+/// move between the host cache model, the device buffer, the undo log, and
+/// PM media as opaque 64-byte values.
+struct LineData {
+  alignas(8) std::array<std::byte, kCacheLineSize> bytes{};
+
+  friend bool operator==(const LineData& a, const LineData& b) {
+    return std::memcmp(a.bytes.data(), b.bytes.data(), kCacheLineSize) == 0;
+  }
+
+  std::span<const std::byte> as_span() const { return bytes; }
+  std::span<std::byte> as_span() { return bytes; }
+
+  static LineData from_bytes(std::span<const std::byte> src) {
+    LineData d;
+    std::memcpy(d.bytes.data(), src.data(),
+                src.size() < kCacheLineSize ? src.size() : kCacheLineSize);
+    return d;
+  }
+};
+static_assert(sizeof(LineData) == kCacheLineSize);
+
+}  // namespace pax
+
+template <>
+struct std::hash<pax::LineIndex> {
+  std::size_t operator()(const pax::LineIndex& l) const noexcept {
+    // splitmix64 finalizer: line indices are often sequential, so mix well.
+    std::uint64_t x = l.value + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+template <>
+struct std::hash<pax::PageIndex> {
+  std::size_t operator()(const pax::PageIndex& p) const noexcept {
+    return std::hash<pax::LineIndex>{}(pax::LineIndex{p.value});
+  }
+};

@@ -1,0 +1,216 @@
+#include "pax/device/hbm_cache.hpp"
+
+#include "pax/common/check.hpp"
+
+namespace pax::device {
+namespace {
+
+std::size_t pick_set_count(std::size_t capacity_lines, unsigned ways) {
+  std::size_t sets = capacity_lines / ways;
+  if (sets == 0) sets = 1;
+  // Round down to a power of two so set indexing is a mask of mixed bits.
+  std::size_t pow2 = 1;
+  while (pow2 * 2 <= sets) pow2 *= 2;
+  return pow2;
+}
+
+}  // namespace
+
+HbmCache::HbmCache(const HbmConfig& config)
+    : ways_(config.ways),
+      prefer_durable_(config.prefer_durable_eviction),
+      replacement_(config.replacement) {
+  PAX_CHECK(config.ways >= 1);
+  PAX_CHECK(config.capacity_lines >= config.ways);
+  sets_.resize(pick_set_count(config.capacity_lines, config.ways));
+  for (auto& s : sets_) s.ways.resize(ways_);
+}
+
+HbmCache::Set& HbmCache::set_for(LineIndex line) {
+  return sets_[std::hash<LineIndex>{}(line) & (sets_.size() - 1)];
+}
+const HbmCache::Set& HbmCache::set_for(LineIndex line) const {
+  return sets_[std::hash<LineIndex>{}(line) & (sets_.size() - 1)];
+}
+
+HbmCache::Entry* HbmCache::find(LineIndex line) {
+  for (auto& e : set_for(line).ways) {
+    if (e.valid && e.line == line) return &e;
+  }
+  return nullptr;
+}
+const HbmCache::Entry* HbmCache::find(LineIndex line) const {
+  for (const auto& e : set_for(line).ways) {
+    if (e.valid && e.line == line) return &e;
+  }
+  return nullptr;
+}
+
+std::optional<LineData> HbmCache::lookup(LineIndex line) {
+  if (Entry* e = find(line)) {
+    ++stats_.hits;
+    e->lru_tick = ++tick_;
+    e->ref = true;
+    return e->data;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+bool HbmCache::is_dirty(LineIndex line) const {
+  const Entry* e = find(line);
+  return e != nullptr && e->dirty;
+}
+
+std::optional<EvictedLine> HbmCache::insert(LineIndex line,
+                                            const LineData& data, bool dirty,
+                                            std::uint64_t log_record_end,
+                                            std::uint64_t durable_log_offset) {
+  Set& set = set_for(line);
+
+  // Update in place if present.
+  if (Entry* e = find(line)) {
+    e->data = data;
+    e->dirty = e->dirty || dirty;
+    if (dirty) e->log_record_end = log_record_end;
+    e->lru_tick = ++tick_;
+    e->ref = true;
+    return std::nullopt;
+  }
+
+  ++stats_.insertions;
+
+  // Free way?
+  for (auto& e : set.ways) {
+    if (!e.valid) {
+      e = Entry{true, line, data, dirty, log_record_end, ++tick_};
+      ++live_;
+      return std::nullopt;
+    }
+  }
+
+  const unsigned victim_way =
+      replacement_ == Replacement::kClock
+          ? pick_victim_clock(set, durable_log_offset)
+          : pick_victim_lru(set, durable_log_offset);
+  Entry* victim = &set.ways[victim_way];
+  if (replacement_ == Replacement::kClock) {
+    set.hand = (victim_way + 1) % ways_;
+  }
+
+  ++stats_.evictions;
+  if (!victim->dirty) {
+    ++stats_.clean_evictions;
+  } else if (victim->log_record_end <= durable_log_offset) {
+    ++stats_.durable_dirty_evictions;
+  } else {
+    ++stats_.stall_evictions;
+  }
+
+  EvictedLine out{victim->line, victim->data, victim->dirty,
+                  victim->log_record_end};
+  *victim = Entry{true, line, data, dirty, log_record_end, ++tick_, false};
+  return out;
+}
+
+unsigned HbmCache::pick_victim_lru(Set& set,
+                                   std::uint64_t durable_log_offset) const {
+  // Scan the set once, remembering the LRU entry of each preference class:
+  // clean, dirty-with-durable-record, any.
+  int any = -1, clean = -1, durable_dirty = -1;
+  for (unsigned w = 0; w < ways_; ++w) {
+    const Entry& e = set.ways[w];
+    if (any < 0 || e.lru_tick < set.ways[any].lru_tick) any = w;
+    if (!e.dirty && (clean < 0 || e.lru_tick < set.ways[clean].lru_tick)) {
+      clean = w;
+    }
+    if (e.dirty && e.log_record_end <= durable_log_offset &&
+        (durable_dirty < 0 ||
+         e.lru_tick < set.ways[durable_dirty].lru_tick)) {
+      durable_dirty = w;
+    }
+  }
+  if (prefer_durable_) {
+    if (clean >= 0) return clean;
+    if (durable_dirty >= 0) return durable_dirty;
+  }
+  PAX_CHECK(any >= 0);
+  return any;
+}
+
+unsigned HbmCache::pick_victim_clock(Set& set,
+                                     std::uint64_t durable_log_offset) const {
+  // Second-chance: from the hand, entries with the ref bit get it cleared
+  // and are skipped (once). Among no-ref entries (in hand order), prefer
+  // clean, then durable-dirty, then the first seen. If everything had its
+  // ref bit set, the full sweep cleared them, so the fallback rescan finds
+  // victims in plain hand order.
+  for (int pass = 0; pass < 2; ++pass) {
+    int first = -1, clean = -1, durable_dirty = -1;
+    for (unsigned i = 0; i < ways_; ++i) {
+      const unsigned w = (set.hand + i) % ways_;
+      Entry& e = set.ways[w];
+      if (e.ref) {
+        e.ref = false;  // second chance
+        continue;
+      }
+      if (first < 0) first = w;
+      if (!e.dirty && clean < 0) clean = w;
+      if (e.dirty && e.log_record_end <= durable_log_offset &&
+          durable_dirty < 0) {
+        durable_dirty = w;
+      }
+    }
+    if (prefer_durable_) {
+      if (clean >= 0) return clean;
+      if (durable_dirty >= 0) return durable_dirty;
+    }
+    if (first >= 0) return first;
+  }
+  return set.hand;  // unreachable: pass 2 always finds a no-ref entry
+}
+
+void HbmCache::mark_clean(LineIndex line) {
+  if (Entry* e = find(line)) {
+    e->dirty = false;
+    e->log_record_end = 0;
+  }
+}
+
+void HbmCache::update_if_present(LineIndex line, const LineData& data) {
+  if (Entry* e = find(line)) {
+    e->data = data;
+    e->dirty = false;
+    e->log_record_end = 0;
+  }
+}
+
+void HbmCache::mark_all_clean() {
+  for (auto& set : sets_) {
+    for (auto& e : set.ways) {
+      if (e.valid) {
+        e.dirty = false;
+        e.log_record_end = 0;
+      }
+    }
+  }
+}
+
+void HbmCache::remove(LineIndex line) {
+  if (Entry* e = find(line)) {
+    e->valid = false;
+    --live_;
+  }
+}
+
+void HbmCache::for_each_dirty(
+    const std::function<void(LineIndex, const LineData&, std::uint64_t)>& fn)
+    const {
+  for (const auto& set : sets_) {
+    for (const auto& e : set.ways) {
+      if (e.valid && e.dirty) fn(e.line, e.data, e.log_record_end);
+    }
+  }
+}
+
+}  // namespace pax::device

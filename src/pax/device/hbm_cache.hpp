@@ -1,0 +1,130 @@
+// The PAX device's on-board HBM buffer (Figure 1, "HBM Cache").
+//
+// It plays both roles the paper gives it: a read cache of PM lines, and the
+// buffer of host-modified lines awaiting write-back. Entries are organized
+// set-associatively with per-set LRU. The eviction policy is the one §3.3
+// describes: prefer clean victims, then dirty victims whose undo-log record
+// is already durable (they can be written back without waiting), and only
+// as a last resort a dirty victim whose record still needs a log flush —
+// the "stall" case the device tries to minimize. A pure-LRU mode exists for
+// the eviction-policy ablation (Abl 5 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "pax/common/types.hpp"
+
+namespace pax::device {
+
+/// How the victim is ordered within a set. Orthogonal to the §3.3
+/// durability preference (which picks the *class* of victim).
+enum class Replacement {
+  kLru,    // exact recency order (timestamp per entry)
+  kClock,  // second-chance: one ref bit per entry, cheaper in hardware —
+           // what an FPGA implementation would actually build
+};
+
+struct HbmConfig {
+  std::size_t capacity_lines = 4096;
+  unsigned ways = 8;
+  /// §3.3 durability-aware policy on; false = ignore durability (ablation).
+  bool prefer_durable_eviction = true;
+  Replacement replacement = Replacement::kLru;
+};
+
+struct HbmStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t clean_evictions = 0;
+  std::uint64_t durable_dirty_evictions = 0;  // record already durable
+  std::uint64_t stall_evictions = 0;          // record needed a forced flush
+};
+
+/// A line leaving the buffer; the device decides what to do with it.
+struct EvictedLine {
+  LineIndex line;
+  LineData data;
+  bool dirty = false;
+  std::uint64_t log_record_end = 0;  // durability watermark of its undo record
+};
+
+class HbmCache {
+ public:
+  explicit HbmCache(const HbmConfig& config);
+
+  /// Looks a line up; refreshes LRU on hit.
+  std::optional<LineData> lookup(LineIndex line);
+
+  /// True if the line is present and dirty.
+  bool is_dirty(LineIndex line) const;
+
+  /// Inserts or updates a line. `durable_log_offset` is the log's current
+  /// durability watermark, used by victim selection. Returns the evicted
+  /// line if the target set was full with other lines.
+  std::optional<EvictedLine> insert(LineIndex line, const LineData& data,
+                                    bool dirty, std::uint64_t log_record_end,
+                                    std::uint64_t durable_log_offset);
+
+  /// Marks a buffered line clean (after the device wrote it back to PM).
+  void mark_clean(LineIndex line);
+
+  /// If the line is buffered, replaces its contents with `data` and marks it
+  /// clean (used when a persist() pull observed a newer host copy). No-op if
+  /// absent — never allocates a way.
+  void update_if_present(LineIndex line, const LineData& data);
+
+  /// Marks every buffered line clean (epoch boundary: persist() wrote
+  /// everything back).
+  void mark_all_clean();
+
+  void remove(LineIndex line);
+
+  /// Invokes `fn` on each dirty entry (used by proactive write-back and by
+  /// persist()).
+  void for_each_dirty(
+      const std::function<void(LineIndex, const LineData&, std::uint64_t)>&
+          fn) const;
+
+  std::size_t size() const { return live_; }
+  std::size_t capacity() const { return sets_.size() * ways_; }
+  const HbmStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    LineIndex line;
+    LineData data;
+    bool dirty = false;
+    std::uint64_t log_record_end = 0;
+    std::uint64_t lru_tick = 0;
+    bool ref = false;  // CLOCK second-chance bit
+  };
+  struct Set {
+    std::vector<Entry> ways;
+    unsigned hand = 0;  // CLOCK hand
+  };
+
+  // Victim selection for each replacement scheme; returns the way index.
+  unsigned pick_victim_lru(Set& set, std::uint64_t durable_log_offset) const;
+  unsigned pick_victim_clock(Set& set, std::uint64_t durable_log_offset) const;
+
+  Set& set_for(LineIndex line);
+  const Set& set_for(LineIndex line) const;
+  Entry* find(LineIndex line);
+  const Entry* find(LineIndex line) const;
+
+  unsigned ways_;
+  bool prefer_durable_;
+  Replacement replacement_;
+  std::vector<Set> sets_;
+  std::uint64_t tick_ = 0;
+  std::size_t live_ = 0;
+  mutable HbmStats stats_;
+};
+
+}  // namespace pax::device

@@ -1,0 +1,418 @@
+#include "pax/device/pax_device.hpp"
+
+#include "pax/common/check.hpp"
+#include "pax/common/log.hpp"
+
+namespace pax::device {
+
+PaxDevice::PaxDevice(pmem::PmemPool* pool, const DeviceConfig& config)
+    : pool_(pool),
+      pm_(pool->device()),
+      config_(config),
+      hbm_(config.hbm),
+      epoch_(pool->committed_epoch() + 1) {
+  PAX_CHECK(pool != nullptr);
+  // Split the log extent into two banks (§6 epoch overlap). Synchronous-only
+  // workloads never leave bank 0.
+  const std::size_t half =
+      (pool->log_size() / 2) & ~(kCacheLineSize - 1);
+  PAX_CHECK_MSG(half >= kCacheLineSize, "log extent too small to bank");
+  loggers_[0] =
+      std::make_unique<UndoLogger>(pm_, pool->log_offset(), half);
+  loggers_[1] = std::make_unique<UndoLogger>(
+      pm_, pool->log_offset() + half, pool->log_size() - half);
+}
+
+void PaxDevice::check_line_in_data_extent(LineIndex line) const {
+  const PoolOffset off = line.byte_offset();
+  PAX_CHECK_MSG(off >= pool_->data_offset() &&
+                    off + kCacheLineSize <= pool_->data_offset() +
+                                                pool_->data_size(),
+                "line outside the pool data extent");
+}
+
+LineData PaxDevice::device_view(LineIndex line) {
+  if (auto cached = hbm_.lookup(line)) return *cached;
+  return pm_->load_line(line);
+}
+
+LineData PaxDevice::read_line(LineIndex line) {
+  check_line_in_data_extent(line);
+  std::lock_guard lock(mu_);
+  ++stats_.read_reqs;
+
+  if (auto cached = hbm_.lookup(line)) {
+    ++stats_.read_hbm_hits;
+    return *cached;
+  }
+  ++stats_.read_pm;
+  LineData data = pm_->load_line(line);
+
+  // Fill the HBM cache with the clean copy; handle any dirty victim.
+  auto victim = hbm_.insert(line, data, /*dirty=*/false, 0,
+                            loggers_[active_bank_]->durable());
+  if (victim && victim->dirty) {
+    if (!record_is_durable(victim->log_record_end)) {
+      ++stats_.forced_log_flushes;
+      flush_all_logs();
+    }
+    write_line_to_pm(victim->line, victim->data, victim->log_record_end);
+  }
+  return data;
+}
+
+LineData PaxDevice::peek_line(LineIndex line) {
+  check_line_in_data_extent(line);
+  std::lock_guard lock(mu_);
+  return device_view(line);
+}
+
+Status PaxDevice::write_intent(LineIndex line) {
+  check_line_in_data_extent(line);
+  std::lock_guard lock(mu_);
+  ++stats_.write_intents;
+
+  if (epoch_logged_.contains(line)) return Status::ok();  // already captured
+
+  // First touch this epoch: the device's current view of the line *is* the
+  // epoch-boundary value — everything from prior epochs was either written
+  // back and committed, or (with an epoch sealed for async commit) captured
+  // into the device at seal time.
+  const LineData old_data = device_view(line);
+  auto end = loggers_[active_bank_]->log_line(epoch_, line, old_data);
+  if (!end.ok()) return end.status();
+
+  ++stats_.first_touch_logs;
+  epoch_logged_.emplace(line, pack_record(active_bank_, end.value()));
+  return Status::ok();
+}
+
+LineData PaxDevice::read_committed_line(LineIndex line) {
+  check_line_in_data_extent(line);
+  std::lock_guard lock(mu_);
+
+  // The pre-image lives in the log at [end - frame, end); frames for line
+  // undo records have a fixed size.
+  constexpr std::size_t kFrame =
+      wal::record_frame_size(sizeof(wal::LineUndoPayload));
+  auto preimage_from = [&](std::uint64_t packed) {
+    const unsigned bank = (packed & kBankBit) ? 1 : 0;
+    const std::uint64_t end = packed & ~kBankBit;
+    PAX_CHECK(end >= kFrame);
+    const PoolOffset extent_base =
+        bank == 0 ? pool_->log_offset()
+                  : pool_->log_offset() +
+                        ((pool_->log_size() / 2) & ~(kCacheLineSize - 1));
+    wal::LineUndoPayload payload{};
+    pm_->load(extent_base + end - kFrame + sizeof(wal::RecordHeader),
+              std::as_writable_bytes(std::span(&payload, 1)));
+    PAX_CHECK_MSG(payload.line_index == line.value,
+                  "undo record offset bookkeeping corrupted");
+    return payload.old_data;
+  };
+
+  if (has_sealed_) {
+    if (auto it = sealed_logged_.find(line); it != sealed_logged_.end()) {
+      return preimage_from(it->second);
+    }
+  }
+  if (auto it = epoch_logged_.find(line); it != epoch_logged_.end()) {
+    return preimage_from(it->second);
+  }
+  return device_view(line);  // unmodified since the last commit
+}
+
+Status PaxDevice::mem_write(LineIndex line, const LineData& data) {
+  check_line_in_data_extent(line);
+  std::lock_guard lock(mu_);
+  ++stats_.mem_writes;
+
+  auto it = epoch_logged_.find(line);
+  if (it == epoch_logged_.end()) {
+    // First MemWr for this line this epoch: the device view still holds the
+    // epoch-boundary value (the incoming data is not yet applied).
+    const LineData old_data = device_view(line);
+    auto end = loggers_[active_bank_]->log_line(epoch_, line, old_data);
+    if (!end.ok()) return end.status();
+    ++stats_.first_touch_logs;
+    it = epoch_logged_
+             .emplace(line, pack_record(active_bank_, end.value()))
+             .first;
+  }
+
+  auto victim = hbm_.insert(line, data, /*dirty=*/true, it->second,
+                            loggers_[active_bank_]->durable());
+  if (victim && victim->dirty) {
+    if (!record_is_durable(victim->log_record_end)) {
+      ++stats_.forced_log_flushes;
+      flush_all_logs();
+    }
+    write_line_to_pm(victim->line, victim->data, victim->log_record_end);
+  }
+  return Status::ok();
+}
+
+void PaxDevice::writeback_line(LineIndex line, const LineData& data) {
+  check_line_in_data_extent(line);
+  std::lock_guard lock(mu_);
+  ++stats_.host_writebacks;
+
+  auto it = epoch_logged_.find(line);
+  // Under epoch overlap the host may also evict a line it modified only in
+  // the sealed epoch (seal downgraded it to shared; a shared eviction
+  // carries no data, but a dirty eviction can still race the seal). Accept
+  // a sealed-epoch record as ownership proof too.
+  std::uint64_t packed;
+  if (it != epoch_logged_.end()) {
+    packed = it->second;
+  } else {
+    auto sealed_it = sealed_logged_.find(line);
+    PAX_CHECK_MSG(sealed_it != sealed_logged_.end(),
+                  "host wrote back a line it never took write ownership of");
+    packed = sealed_it->second;
+  }
+
+  auto victim = hbm_.insert(line, data, /*dirty=*/true, packed,
+                            loggers_[active_bank_]->durable());
+  if (victim && victim->dirty) {
+    if (!record_is_durable(victim->log_record_end)) {
+      ++stats_.forced_log_flushes;
+      flush_all_logs();
+    }
+    write_line_to_pm(victim->line, victim->data, victim->log_record_end);
+  }
+}
+
+void PaxDevice::write_line_to_pm(LineIndex line, const LineData& data,
+                                 std::uint64_t packed_record) {
+  // Core crash-consistency invariant: no new data reaches PM media before
+  // the undo record that can roll it back is durable.
+  PAX_CHECK_MSG(record_is_durable(packed_record),
+                "write-back attempted before undo record was durable");
+  pm_->store_line(line, data);
+  pm_->flush_line(line);
+  ++stats_.pm_writeback_lines;
+  hbm_.mark_clean(line);
+}
+
+void PaxDevice::flush_all_logs() {
+  for (auto& logger : loggers_) {
+    if (logger->staged() > logger->durable()) logger->flush();
+  }
+  pm_->drain();
+}
+
+void PaxDevice::tick(bool force_flush) {
+  std::lock_guard lock(mu_);
+
+  std::uint64_t staged_volatile = 0;
+  for (const auto& logger : loggers_) {
+    staged_volatile += logger->staged() - logger->durable();
+  }
+  if ((force_flush && staged_volatile > 0) ||
+      staged_volatile >= config_.log_flush_batch_bytes) {
+    flush_all_logs();
+  }
+
+  if (!config_.proactive_writeback) return;
+
+  // Proactively write back buffered dirty lines whose records are durable
+  // (§3.3: frees buffer space and shrinks the work left for persist()).
+  std::vector<std::tuple<LineIndex, LineData, std::uint64_t>> ready;
+  hbm_.for_each_dirty(
+      [&](LineIndex line, const LineData& data, std::uint64_t packed) {
+        if (record_is_durable(packed)) ready.emplace_back(line, data, packed);
+      });
+  for (const auto& [line, data, packed] : ready) {
+    write_line_to_pm(line, data, packed);
+    ++stats_.proactive_writebacks;
+  }
+}
+
+Result<Epoch> PaxDevice::persist(const PullFn& pull) {
+  std::lock_guard lock(mu_);
+  ++stats_.persists;
+
+  // Complete any outstanding async epoch first: epochs commit in order.
+  if (has_sealed_) {
+    auto committed = commit_sealed_locked();
+    if (!committed.ok()) return committed;
+  }
+
+  // 1. Every undo record of this epoch becomes durable.
+  flush_all_logs();
+
+  // 2. For every line modified this epoch, obtain its authoritative current
+  //    value — from the host if it still caches it (RdShared: also revokes
+  //    exclusivity so next-epoch stores re-announce themselves), else from
+  //    the device buffer, else PM already has it — and write it to PM.
+  std::vector<std::pair<LineIndex, LineData>> committed_lines;
+  if (commit_hook_) committed_lines.reserve(epoch_logged_.size());
+  for (const auto& [line, packed] : epoch_logged_) {
+    ++stats_.persist_pulls;
+    std::optional<LineData> host_copy = pull ? pull(line) : std::nullopt;
+    LineData value;
+    if (host_copy) {
+      value = *host_copy;
+      // The pulled copy supersedes any (possibly stale) buffered copy.
+      hbm_.update_if_present(line, value);
+    } else if (auto buffered = hbm_.lookup(line)) {
+      value = *buffered;
+    } else {
+      // Neither host nor buffer holds it: the proactive path already wrote
+      // it back; re-reading PM keeps the store below idempotent.
+      value = pm_->load_line(line);
+    }
+    pm_->store_line(line, value);
+    pm_->flush_line(line);
+    ++stats_.pm_writeback_lines;
+    hbm_.mark_clean(line);
+    if (commit_hook_) committed_lines.emplace_back(line, value);
+  }
+
+  // 3. Fence: all data write-back durable before the commit record.
+  pm_->drain();
+
+  // 4. Atomically transition the pool to the new snapshot (§3.3).
+  const Epoch committed = epoch_;
+  pool_->commit_epoch(committed);
+  if (commit_hook_) commit_hook_(committed, committed_lines);
+
+  // 5. New epoch: the active log bank is reusable (every record inside is
+  //    now stale under the committed epoch cell).
+  loggers_[active_bank_]->reset_after_commit();
+  epoch_logged_.clear();
+  hbm_.mark_all_clean();
+  epoch_ = committed + 1;
+
+  PAX_LOG_DEBUG("persist: committed epoch %llu",
+                static_cast<unsigned long long>(committed));
+  return committed;
+}
+
+Result<Epoch> PaxDevice::seal_epoch(const PullFn& pull) {
+  std::lock_guard lock(mu_);
+  if (has_sealed_) {
+    return failed_precondition(
+        "an epoch is already sealed; commit it before sealing another");
+  }
+  ++stats_.epoch_seals;
+
+  // Capture the host's current values for every modified line, revoking
+  // exclusivity (next-epoch stores must re-announce). The values land in
+  // the HBM buffer as dirty lines gated on their (sealed-bank) records.
+  for (const auto& [line, packed] : epoch_logged_) {
+    ++stats_.persist_pulls;
+    if (std::optional<LineData> host_copy = pull ? pull(line) : std::nullopt) {
+      auto victim = hbm_.insert(line, *host_copy, /*dirty=*/true, packed,
+                                loggers_[active_bank_]->durable());
+      if (victim && victim->dirty) {
+        if (!record_is_durable(victim->log_record_end)) {
+          ++stats_.forced_log_flushes;
+          flush_all_logs();
+        }
+        write_line_to_pm(victim->line, victim->data, victim->log_record_end);
+      }
+    }
+  }
+
+  // Freeze the epoch and switch new work to the other bank.
+  sealed_logged_ = std::move(epoch_logged_);
+  epoch_logged_.clear();
+  sealed_epoch_ = epoch_;
+  has_sealed_ = true;
+  active_bank_ ^= 1;
+  PAX_CHECK_MSG(loggers_[active_bank_]->staged() == 0,
+                "switching to a log bank that still holds live records");
+  epoch_ = sealed_epoch_ + 1;
+  return sealed_epoch_;
+}
+
+Result<Epoch> PaxDevice::commit_sealed() {
+  std::lock_guard lock(mu_);
+  return commit_sealed_locked();
+}
+
+Result<Epoch> PaxDevice::commit_sealed_locked() {
+  if (!has_sealed_) return pool_->committed_epoch();
+  ++stats_.async_commits;
+
+  // 1. All records durable — both banks: a sealed line may have been
+  //    re-modified in the active epoch, and the value written below could
+  //    be that newer one; its active-bank undo record must be durable
+  //    before the value reaches PM (the gating invariant under overlap).
+  flush_all_logs();
+
+  // 2. Write back every sealed line from the device's view (the seal pulled
+  //    the host copies; any concurrent newer value is safe per the flushed
+  //    active-bank record — recovery rolls it back to this epoch's value).
+  std::vector<std::pair<LineIndex, LineData>> committed_lines;
+  if (commit_hook_) committed_lines.reserve(sealed_logged_.size());
+  for (const auto& [line, packed] : sealed_logged_) {
+    const LineData value = device_view(line);
+    pm_->store_line(line, value);
+    pm_->flush_line(line);
+    ++stats_.pm_writeback_lines;
+    // Only mark clean if the active epoch hasn't re-dirtied it.
+    if (!epoch_logged_.contains(line)) hbm_.mark_clean(line);
+    if (commit_hook_) committed_lines.emplace_back(line, value);
+  }
+
+  // 3. Fence, then the atomic epoch-cell commit.
+  pm_->drain();
+  pool_->commit_epoch(sealed_epoch_);
+  if (commit_hook_) commit_hook_(sealed_epoch_, committed_lines);
+
+  // 4. The sealed bank's records are stale now; reclaim it.
+  const unsigned sealed_bank = active_bank_ ^ 1;
+  loggers_[sealed_bank]->reset_after_commit();
+  sealed_logged_.clear();
+  const Epoch committed = sealed_epoch_;
+  has_sealed_ = false;
+
+  PAX_LOG_DEBUG("commit_sealed: committed epoch %llu",
+                static_cast<unsigned long long>(committed));
+  return committed;
+}
+
+bool PaxDevice::has_sealed_epoch() const {
+  std::lock_guard lock(mu_);
+  return has_sealed_;
+}
+
+void PaxDevice::set_commit_hook(CommitHook hook) {
+  std::lock_guard lock(mu_);
+  commit_hook_ = std::move(hook);
+}
+
+Epoch PaxDevice::current_epoch() const {
+  std::lock_guard lock(mu_);
+  return epoch_;
+}
+
+std::size_t PaxDevice::epoch_logged_lines() const {
+  std::lock_guard lock(mu_);
+  return epoch_logged_.size();
+}
+
+std::uint64_t PaxDevice::log_bytes_in_use() const {
+  std::lock_guard lock(mu_);
+  return loggers_[0]->staged() + loggers_[1]->staged();
+}
+
+UndoLoggerStats PaxDevice::log_stats() const {
+  std::lock_guard lock(mu_);
+  UndoLoggerStats total = loggers_[0]->stats();
+  const UndoLoggerStats& other = loggers_[1]->stats();
+  total.records += other.records;
+  total.bytes_staged += other.bytes_staged;
+  total.flushes += other.flushes;
+  return total;
+}
+
+DeviceStats PaxDevice::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace pax::device

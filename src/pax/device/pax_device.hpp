@@ -1,0 +1,246 @@
+// The PAX device model: the paper's core contribution (§3, Figure 1).
+//
+// The device is the coherence home of the vPM region. Frontends (the
+// CXL.cache host-cache simulator in pax/coherence, or the paging frontend in
+// pax/libpax — the paper's §5.1 hybrid) translate host activity into three
+// data-path entry points:
+//
+//   read_line()       RdShared  — serve a host load miss (HBM cache, then PM)
+//   write_intent()    RdOwn     — host will modify the line; the device
+//                                 captures the epoch-boundary pre-image into
+//                                 the asynchronous undo log (§3.2)
+//   writeback_line()  DirtyEvict — host evicted a modified line; the device
+//                                 buffers it, writing it back to PM as soon
+//                                 as (and only once) its undo record is
+//                                 durable (§3.3)
+//
+// tick() runs the write-back coordinator: batch log flushes plus proactive
+// write-back of buffered dirty lines, which is what keeps the per-epoch
+// working set unbounded by buffer capacity.
+//
+// persist() executes the paper's epoch-commit protocol: flush the undo log,
+// pull the current value of every line modified this epoch from the host
+// (the CXL RdShared downgrade — the pull callback must also strip the host
+// of exclusive ownership so next-epoch stores are observed again), write
+// everything back to PM, fence, then atomically commit the epoch cell.
+//
+// Non-blocking persist (§6 "we believe it may be possible to make persist()
+// fully non-blocking, so that epochs overlap"): the undo-log extent is split
+// into two *banks*. seal_epoch() pulls the host's current values for the
+// epoch's lines (revoking ownership), freezes the epoch's undo set, and
+// switches new mutations onto the other bank — the application continues
+// immediately. commit_sealed() later completes the durable work (log flush,
+// write-back, epoch-cell commit) off the critical path. Correctness under
+// overlap rests on the same gating invariant as everything else: a line's
+// newer (active-epoch) value may reach PM during the sealed commit, but only
+// after the active epoch's undo record for it is durable, so recovery always
+// lands exactly on a committed snapshot. Recovery scans both banks and
+// applies uncommitted records newest-epoch-first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "pax/common/status.hpp"
+#include "pax/common/types.hpp"
+#include "pax/device/hbm_cache.hpp"
+#include "pax/device/undo_logger.hpp"
+#include "pax/pmem/pool.hpp"
+
+namespace pax::device {
+
+struct DeviceConfig {
+  HbmConfig hbm;
+  /// Write buffered dirty lines back to PM during tick() once their undo
+  /// records are durable (§3.3). Off = write-back only at persist().
+  bool proactive_writeback = true;
+  /// tick() flushes the log when this many staged-but-volatile bytes
+  /// accumulate (group flushing keeps "async" cheap).
+  std::size_t log_flush_batch_bytes = 4096;
+
+  static DeviceConfig defaults() { return DeviceConfig{}; }
+};
+
+struct DeviceStats {
+  std::uint64_t read_reqs = 0;
+  std::uint64_t read_hbm_hits = 0;
+  std::uint64_t read_pm = 0;
+  std::uint64_t write_intents = 0;        // RdOwn messages observed
+  std::uint64_t first_touch_logs = 0;     // undo records actually created
+  std::uint64_t host_writebacks = 0;      // DirtyEvict messages observed
+  std::uint64_t mem_writes = 0;           // CXL.mem MemWr messages observed
+  std::uint64_t pm_writeback_lines = 0;   // lines written to PM media path
+  std::uint64_t proactive_writebacks = 0; // ... of which before persist()
+  std::uint64_t forced_log_flushes = 0;   // stalls: eviction beat the flusher
+  std::uint64_t persists = 0;
+  std::uint64_t persist_pulls = 0;        // RdShared pulls issued at persist
+  std::uint64_t epoch_seals = 0;          // §6 non-blocking persist: seals
+  std::uint64_t async_commits = 0;        // ... and their completions
+};
+
+class PaxDevice {
+ public:
+  /// The device homes the pool's data extent and logs into its log extent.
+  /// The epoch resumes from the pool's committed epoch cell (callers run
+  /// recovery first; see device/recovery.hpp).
+  PaxDevice(pmem::PmemPool* pool, const DeviceConfig& config);
+
+  // --- Data path (called by frontends) ----------------------------------
+
+  /// Serves a host load miss. `line` is an absolute pool line index inside
+  /// the data extent.
+  LineData read_line(LineIndex line);
+
+  /// Notes host intent to modify `line`; performs first-touch-per-epoch
+  /// undo logging. Fails with kOutOfSpace when the log extent is full (the
+  /// application must persist() more often or size the extent larger).
+  Status write_intent(LineIndex line);
+
+  /// Accepts a modified line evicted from host caches. The host must have
+  /// announced the modification via write_intent() first.
+  void writeback_line(LineIndex line, const LineData& data);
+
+  /// Device-internal view of a line (buffer over PM) without stats or cache
+  /// fill. The paging frontend uses this to diff dirty pages at cache-line
+  /// granularity (§5.1 hybrid).
+  LineData peek_line(LineIndex line);
+
+  /// Reads `line` as of the most recently *committed* snapshot, even while
+  /// the current (and a sealed) epoch are mutating it — a consistent
+  /// time-travel read, free because the undo log already holds every
+  /// modified line's committed pre-image:
+  ///   * line logged in the sealed epoch → that record's pre-image is the
+  ///     last committed value;
+  ///   * else logged in the active epoch → its pre-image was captured at
+  ///     the last boundary (seal or commit), which equals the committed
+  ///     value when the line wasn't also sealed;
+  ///   * else unmodified since the last commit → the device view is it.
+  /// Readers get snapshot isolation without quiescing writers (§6's "new
+  /// lens" on coherence-visible state).
+  LineData read_committed_line(LineIndex line);
+
+  /// CXL.mem write path (§6: ".mem can support basic functionality, but it
+  /// does not have as much visibility into coherence as .cache"). A memory
+  /// expander sees no ownership requests and cannot snoop: the device
+  /// learns of a modification only when the dirty line arrives (MemWr).
+  /// The pre-image is captured then — the incoming data has not yet been
+  /// applied, so the device view still holds the epoch-boundary value.
+  /// persist() in .mem mode needs the *host* to have flushed every dirty
+  /// line first (a CLWB sweep), because the device cannot pull.
+  Status mem_write(LineIndex line, const LineData& data);
+
+  // --- Write-back coordinator -------------------------------------------
+
+  /// One unit of background work: flush the log if the staged batch is big
+  /// enough (or `force_flush`), then proactively write back durable-logged
+  /// dirty lines.
+  void tick(bool force_flush = false);
+
+  // --- Epoch commit ------------------------------------------------------
+
+  /// Fetches the host's current copy of a line and revokes host exclusive
+  /// ownership (CXL RdShared). Returns nullopt if the host no longer caches
+  /// the line.
+  using PullFn = std::function<std::optional<LineData>(LineIndex)>;
+
+  /// Commits the current epoch as a crash-consistent snapshot and starts
+  /// the next one. Returns the committed epoch number. If an epoch is
+  /// sealed but not yet committed, it is committed first.
+  Result<Epoch> persist(const PullFn& pull);
+
+  // --- Non-blocking persist (§6 extension) --------------------------------
+
+  /// Freezes the current epoch for asynchronous commit: pulls the host's
+  /// current copies of its modified lines (revoking exclusivity), moves new
+  /// mutations onto the other log bank, and returns the sealed epoch
+  /// number. The caller regains control without waiting for any
+  /// persistence work. At most one epoch may be sealed at a time: callers
+  /// must commit_sealed() (or persist()) before sealing again.
+  Result<Epoch> seal_epoch(const PullFn& pull);
+
+  /// Completes the sealed epoch's durable work: flushes the logs, writes
+  /// the sealed lines back to PM, fences, and commits the epoch cell.
+  /// No-op returning the last committed epoch if nothing is sealed.
+  Result<Epoch> commit_sealed();
+
+  bool has_sealed_epoch() const;
+
+  // --- Commit hook (replication, §6) --------------------------------------
+
+  /// Called after every epoch commit (sync or sealed) with the committed
+  /// epoch number and the final values of every line that epoch modified.
+  /// Used by the replication extension (device/replication.hpp) to ship
+  /// epochs to a backup. Invoked with the device lock held: keep it short
+  /// or enqueue.
+  using CommitHook = std::function<void(
+      Epoch, const std::vector<std::pair<LineIndex, LineData>>&)>;
+  void set_commit_hook(CommitHook hook);
+
+  /// Epoch currently accumulating modifications ( = last committed + 1).
+  Epoch current_epoch() const;
+
+  /// Number of distinct lines undo-logged in the current epoch.
+  std::size_t epoch_logged_lines() const;
+
+  /// Bytes currently occupied in the undo-log extent (resets at each epoch
+  /// commit) — the live footprint a crash would have to roll back.
+  std::uint64_t log_bytes_in_use() const;
+
+  DeviceStats stats() const;
+  const HbmStats& hbm_stats() const { return hbm_.stats(); }
+  UndoLoggerStats log_stats() const;
+
+ private:
+  // Undo records are addressed as (bank, end-offset) packed into one u64:
+  // the bank index occupies the top bit. HbmCache carries these packed
+  // tokens opaquely.
+  static constexpr std::uint64_t kBankBit = 1ull << 63;
+  static std::uint64_t pack_record(unsigned bank, std::uint64_t end) {
+    return end | (bank ? kBankBit : 0);
+  }
+  bool record_is_durable(std::uint64_t packed) const {
+    const unsigned bank = (packed & kBankBit) ? 1 : 0;
+    return (packed & ~kBankBit) <= loggers_[bank]->durable();
+  }
+
+  // Writes a data line to PM media. The caller must have ensured the line's
+  // undo record (if any this epoch) is durable; checked here.
+  void write_line_to_pm(LineIndex line, const LineData& data,
+                        std::uint64_t packed_record);
+
+  // Flushes both log banks (all staged records become durable).
+  void flush_all_logs();
+
+  // Commits the sealed epoch. Caller holds mu_.
+  Result<Epoch> commit_sealed_locked();
+
+  // Current device-side view of a line (buffer over PM), no stats.
+  LineData device_view(LineIndex line);
+
+  void check_line_in_data_extent(LineIndex line) const;
+
+  pmem::PmemPool* pool_;
+  pmem::PmemDevice* pm_;
+  DeviceConfig config_;
+
+  mutable std::mutex mu_;
+  // Two log banks over the two halves of the pool's log extent (§6
+  // overlap); synchronous-only use stays on bank 0.
+  std::unique_ptr<UndoLogger> loggers_[2];
+  unsigned active_bank_ = 0;
+  HbmCache hbm_;
+  Epoch epoch_;  // epoch being accumulated (not yet committed)
+  // line -> packed undo-record token, for every line logged this epoch.
+  std::unordered_map<LineIndex, std::uint64_t> epoch_logged_;
+  // Sealed-but-uncommitted epoch (§6): its logged set and number.
+  std::unordered_map<LineIndex, std::uint64_t> sealed_logged_;
+  Epoch sealed_epoch_ = 0;
+  bool has_sealed_ = false;
+  CommitHook commit_hook_;
+  DeviceStats stats_;
+};
+
+}  // namespace pax::device

@@ -1,0 +1,22 @@
+#include "pax/device/undo_logger.hpp"
+
+#include <span>
+
+namespace pax::device {
+
+Result<std::uint64_t> UndoLogger::log_line(Epoch epoch, LineIndex line,
+                                           const LineData& old_data) {
+  wal::LineUndoPayload payload{};
+  payload.line_index = line.value;
+  payload.old_data = old_data;
+
+  auto end = writer_.append(epoch, wal::RecordType::kLineUndo,
+                            std::as_bytes(std::span(&payload, 1)));
+  if (end.ok()) {
+    ++stats_.records;
+    stats_.bytes_staged += wal::record_frame_size(sizeof(payload));
+  }
+  return end;
+}
+
+}  // namespace pax::device

@@ -1,0 +1,63 @@
+// The device's asynchronous undo logger (Figure 1, "Undo Logger").
+//
+// Whenever the host signals intent to modify a cache line (the first time in
+// an epoch), the logger captures the line's epoch-boundary pre-image into an
+// epoch-tagged undo record. Records are *staged* immediately but become
+// durable lazily: the write-back coordinator flushes the log in batches off
+// the application's critical path (§3.2), and data-line write-back is gated
+// on each record's end offset falling below the durable watermark (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "pax/common/status.hpp"
+#include "pax/common/types.hpp"
+#include "pax/wal/wal.hpp"
+
+namespace pax::device {
+
+struct UndoLoggerStats {
+  std::uint64_t records = 0;
+  std::uint64_t bytes_staged = 0;
+  std::uint64_t flushes = 0;
+};
+
+class UndoLogger {
+ public:
+  UndoLogger(pmem::PmemDevice* device, PoolOffset extent_offset,
+             std::size_t extent_size)
+      : writer_(device, extent_offset, extent_size) {}
+
+  /// Stages an undo record holding `old_data`, the pre-image of `line` at
+  /// the current epoch boundary. Returns the record end offset (the
+  /// watermark write-back of the new data must wait for).
+  Result<std::uint64_t> log_line(Epoch epoch, LineIndex line,
+                                 const LineData& old_data);
+
+  /// Makes all staged records durable.
+  void flush() {
+    ++stats_.flushes;
+    writer_.flush();
+  }
+
+  std::uint64_t staged() const { return writer_.appended(); }
+  std::uint64_t durable() const { return writer_.durable(); }
+
+  /// True if `record_end` (a value returned by log_line) is durable.
+  bool is_durable(std::uint64_t record_end) const {
+    return record_end <= writer_.durable();
+  }
+
+  /// Restarts the log after an epoch commit made all records stale.
+  void reset_after_commit() { writer_.reset(); }
+
+  const UndoLoggerStats& stats() const { return stats_; }
+  std::size_t extent_size() const { return writer_.extent_size(); }
+
+ private:
+  wal::LogWriter writer_;
+  UndoLoggerStats stats_;
+};
+
+}  // namespace pax::device

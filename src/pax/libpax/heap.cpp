@@ -1,0 +1,199 @@
+#include "pax/libpax/heap.hpp"
+
+#include <bit>
+#include <cstring>
+#include <unordered_map>
+
+#include "pax/common/check.hpp"
+
+namespace pax::libpax {
+namespace {
+
+// Per-block prefix. 16 bytes keeps payloads 16-aligned.
+struct BlockHeader {
+  std::uint32_t class_index;  // kNumClasses = bump-only large block
+  std::uint32_t align_pad;    // bytes between the header's natural slot and
+                              // the start of the padded block (for frees of
+                              // over-aligned allocations)
+  std::uint64_t payload_size;
+};
+static_assert(sizeof(BlockHeader) == 16);
+
+constexpr std::size_t class_size(std::size_t idx) {
+  return kMinClassSize << idx;
+}
+
+// Smallest class whose size ≥ n, or kNumClasses if n > kMaxClassSize.
+std::size_t class_for(std::size_t n) {
+  if (n <= kMinClassSize) return 0;
+  if (n > kMaxClassSize) return kNumClasses;
+  return static_cast<std::size_t>(
+      std::bit_width(n - 1) - std::bit_width(kMinClassSize) + 1);
+}
+
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+// Persistent heap superblock at region offset 0. Mutations to this struct
+// are ordinary stores into the vPM region and therefore crash-rolled-back
+// with everything else.
+struct PaxHeap::Header {
+  std::uint64_t magic;
+  std::uint64_t bump;                        // next unused region offset
+  std::uint64_t root;                        // application root offset
+  std::uint64_t free_heads[kNumClasses];     // offsets of free-list heads
+};
+
+PaxHeap::Header* PaxHeap::header() const {
+  return reinterpret_cast<Header*>(base_);
+}
+
+PaxHeap::PaxHeap(std::byte* base, std::size_t size)
+    : base_(base), size_(size) {
+  PAX_CHECK(base != nullptr);
+  PAX_CHECK_MSG(reinterpret_cast<std::uintptr_t>(base) % kPageSize == 0,
+                "heap base must be page-aligned (offset alignment == pointer "
+                "alignment)");
+  PAX_CHECK(size >= kPageSize);
+  if (header()->magic == kHeapMagic && header()->bump >= sizeof(Header) &&
+      header()->bump <= size) {
+    recovered_ = true;
+  } else {
+    format();
+  }
+}
+
+void PaxHeap::format() {
+  Header* h = header();
+  std::memset(h, 0, sizeof(Header));
+  h->bump = align_up(sizeof(Header), 64);
+  h->root = 0;
+  h->magic = kHeapMagic;
+}
+
+void* PaxHeap::allocate(std::size_t n, std::size_t align) {
+  PAX_CHECK_MSG(std::has_single_bit(align) && align <= 4096,
+                "alignment must be a power of two <= 4096");
+  if (n == 0) n = 1;
+  std::lock_guard lock(mu_);
+  Header* h = header();
+
+  const std::size_t cls = class_for(n);
+  ++stats_.allocations;
+  stats_.bytes_requested += n;
+
+  // Free-list hit (classes only; alignment beyond 16 falls through to bump
+  // because recycled blocks are only 16-aligned).
+  if (cls < kNumClasses && align <= 16 && h->free_heads[cls] != 0) {
+    const std::uint64_t block_off = h->free_heads[cls];
+    std::uint64_t next;
+    std::memcpy(&next, base_ + block_off, sizeof(next));
+    h->free_heads[cls] = next;
+    ++stats_.freelist_hits;
+    auto* bh = reinterpret_cast<BlockHeader*>(base_ + block_off -
+                                              sizeof(BlockHeader));
+    PAX_CHECK(bh->class_index == cls);
+    bh->payload_size = n;
+    return base_ + block_off;
+  }
+
+  // Bump allocation: [pad][BlockHeader][payload(aligned)].
+  const std::size_t reserve =
+      cls < kNumClasses ? class_size(cls) : align_up(n, 16);
+  std::uint64_t header_at = align_up(h->bump, 16);
+  std::uint64_t payload_at =
+      align_up(header_at + sizeof(BlockHeader), align);
+  header_at = payload_at - sizeof(BlockHeader);
+
+  if (payload_at + reserve > size_) return nullptr;  // region exhausted
+
+  auto* bh = reinterpret_cast<BlockHeader*>(base_ + header_at);
+  bh->class_index = static_cast<std::uint32_t>(cls);
+  bh->align_pad = static_cast<std::uint32_t>(header_at - h->bump);
+  bh->payload_size = n;
+  h->bump = payload_at + reserve;
+  stats_.bytes_reserved += reserve + sizeof(BlockHeader);
+  return base_ + payload_at;
+}
+
+void PaxHeap::deallocate(void* p) {
+  if (p == nullptr) return;
+  std::lock_guard lock(mu_);
+  Header* h = header();
+
+  auto* bytes = static_cast<std::byte*>(p);
+  PAX_CHECK_MSG(bytes > base_ + sizeof(BlockHeader) && bytes < base_ + size_,
+                "free of pointer outside the heap");
+  auto* bh = reinterpret_cast<BlockHeader*>(bytes - sizeof(BlockHeader));
+  const std::size_t cls = bh->class_index;
+  ++stats_.frees;
+
+  if (cls >= kNumClasses) {
+    ++stats_.large_frees_dropped;  // bump-only block: space not recycled
+    return;
+  }
+  PAX_CHECK_MSG(class_size(cls) >= bh->payload_size,
+                "heap block header corrupted");
+  const std::uint64_t block_off =
+      static_cast<std::uint64_t>(bytes - base_);
+  std::uint64_t next = h->free_heads[cls];
+  std::memcpy(base_ + block_off, &next, sizeof(next));
+  h->free_heads[cls] = block_off;
+}
+
+std::uint64_t PaxHeap::root_offset() const {
+  std::lock_guard lock(mu_);
+  return header()->root;
+}
+
+void PaxHeap::set_root_offset(std::uint64_t off) {
+  std::lock_guard lock(mu_);
+  PAX_CHECK(off < size_);
+  header()->root = off;
+}
+
+std::uint64_t PaxHeap::ptr_to_offset(const void* p) const {
+  if (p == nullptr) return 0;
+  auto* bytes = static_cast<const std::byte*>(p);
+  PAX_CHECK(bytes >= base_ && bytes < base_ + size_);
+  return static_cast<std::uint64_t>(bytes - base_);
+}
+
+std::size_t PaxHeap::bytes_used() const {
+  std::lock_guard lock(mu_);
+  return header()->bump;
+}
+
+HeapStats PaxHeap::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+namespace {
+std::mutex g_heap_registry_mu;
+std::unordered_map<std::byte*, PaxHeap*>& heap_registry() {
+  static std::unordered_map<std::byte*, PaxHeap*> registry;
+  return registry;
+}
+}  // namespace
+
+void register_heap(std::byte* base, PaxHeap* heap) {
+  std::lock_guard lock(g_heap_registry_mu);
+  heap_registry()[base] = heap;
+}
+
+void unregister_heap(std::byte* base) {
+  std::lock_guard lock(g_heap_registry_mu);
+  heap_registry().erase(base);
+}
+
+PaxHeap* find_registered_heap(std::byte* base) {
+  std::lock_guard lock(g_heap_registry_mu);
+  auto it = heap_registry().find(base);
+  return it == heap_registry().end() ? nullptr : it->second;
+}
+
+}  // namespace pax::libpax

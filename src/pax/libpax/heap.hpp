@@ -1,0 +1,98 @@
+// Region-resident persistent heap.
+//
+// All allocator metadata (bump pointer, free lists, root offset) lives
+// *inside* the vPM region, so it is snapshotted and rolled back together
+// with the data structures it manages — an interrupted epoch can never leak
+// or double-allocate across a crash, because recovery rewinds the heap and
+// the structure to the same instant.
+//
+// Design: size-class segregated free lists. Every block is preceded by a
+// 16-byte header recording its class; freed blocks are pushed onto their
+// class's intrusive list (the "next" offset is stored in the block body).
+// Classes are powers of two from 16 B to 1 MiB; larger allocations are
+// bump-only (freed ones are dropped — document on the API).
+//
+// Offsets, never pointers, are stored in region metadata, so the heap is
+// position-independent even if the fixed mapping hint ever fails.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "pax/common/status.hpp"
+#include "pax/common/types.hpp"
+
+namespace pax::libpax {
+
+inline constexpr std::uint64_t kHeapMagic = 0x50414548'58415031ULL;
+inline constexpr std::size_t kMinClassSize = 16;
+inline constexpr std::size_t kMaxClassSize = 1 << 20;
+inline constexpr std::size_t kNumClasses = 17;  // 16 B ... 1 MiB, powers of 2
+
+struct HeapStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t freelist_hits = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t bytes_reserved = 0;  // after class rounding + headers
+  std::uint64_t large_frees_dropped = 0;
+};
+
+/// The persistent heap over a caller-provided memory window (the vPM
+/// region's bytes). Thread-safe.
+class PaxHeap {
+ public:
+  /// Attaches to `base[0, size)`. If the window does not hold a valid heap
+  /// (fresh pool), formats one.
+  PaxHeap(std::byte* base, std::size_t size);
+
+  /// True if the constructor found an existing heap rather than formatting.
+  bool recovered() const { return recovered_; }
+
+  /// Allocates `n` bytes aligned to at least 16 (or `align` if larger;
+  /// `align` must be a power of two ≤ 4096). Returns nullptr when the
+  /// region is exhausted.
+  void* allocate(std::size_t n, std::size_t align = 16);
+
+  /// Returns a block to its size-class free list. `p` must come from
+  /// allocate(). Blocks larger than the largest class are dropped (their
+  /// space is reclaimed only by reformatting).
+  void deallocate(void* p);
+
+  /// The persistent root offset (0 = unset). Applications park the offset
+  /// of their top-level object here; it rolls back with everything else.
+  std::uint64_t root_offset() const;
+  void set_root_offset(std::uint64_t off);
+
+  void* offset_to_ptr(std::uint64_t off) const {
+    return off == 0 ? nullptr : base_ + off;
+  }
+  std::uint64_t ptr_to_offset(const void* p) const;
+
+  std::byte* base() const { return base_; }
+  std::size_t bytes_used() const;
+  std::size_t capacity() const { return size_; }
+  HeapStats stats() const;
+
+ private:
+  struct Header;  // persistent, defined in heap.cpp
+
+  Header* header() const;
+  void format();
+
+  std::byte* base_;
+  std::size_t size_;
+  bool recovered_ = false;
+  mutable std::mutex mu_;
+  HeapStats stats_;
+};
+
+/// Process-global registry mapping region base addresses to live heaps.
+/// PaxRuntime registers its heap on open and unregisters on close; the
+/// restart-safe PaxStlAllocator resolves heaps through it (see
+/// stl_allocator.hpp for why).
+void register_heap(std::byte* base, PaxHeap* heap);
+void unregister_heap(std::byte* base);
+PaxHeap* find_registered_heap(std::byte* base);
+
+}  // namespace pax::libpax

@@ -1,0 +1,98 @@
+// ObjectStore — a named-blob store on libpax: the paper's motivating
+// application shape ("applications can interact with vast amounts of data
+// in granular patterns while avoiding costly kernel boundary crossings,
+// data movement, and serialization/deserialization overheads", §1) as a
+// reusable library.
+//
+// Objects are arbitrary byte blobs keyed by string names. Everything —
+// the name index (a std::map), the names, the blob bytes — lives in vPM
+// through the standard allocator, so the store inherits libpax's whole
+// contract: snapshot atomicity across any set of puts/removes, black-box
+// recovery, and zero serialization (a get() hands back a pointer into
+// persistent memory).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pax/libpax/persistent.hpp"
+
+namespace pax::libpax {
+
+class ObjectStore {
+ public:
+  using PString =
+      std::basic_string<char, std::char_traits<char>, PaxStlAllocator<char>>;
+  using Blob = std::vector<std::byte, PaxStlAllocator<std::byte>>;
+
+  /// Opens (or recovers) the store rooted in `runtime`'s pool.
+  static Result<ObjectStore> open(PaxRuntime& runtime) {
+    auto root = Persistent<Index>::open(runtime);
+    if (!root.ok()) return root.status();
+    return ObjectStore(&runtime, std::move(root).value());
+  }
+
+  /// Inserts or replaces the object `name`.
+  void put(std::string_view name, std::span<const std::byte> bytes) {
+    Blob blob(bytes.begin(), bytes.end(),
+              PaxStlAllocator<std::byte>(&runtime_->heap()));
+    index_->insert_or_assign(make_name(name), std::move(blob));
+  }
+
+  /// Zero-copy read: a view directly into persistent memory, valid until
+  /// the object is overwritten or removed.
+  std::optional<std::span<const std::byte>> get(std::string_view name) const {
+    auto it = index_->find(make_name(name));
+    if (it == index_->end()) return std::nullopt;
+    return std::span<const std::byte>(it->second.data(), it->second.size());
+  }
+
+  bool remove(std::string_view name) {
+    return index_->erase(make_name(name)) > 0;
+  }
+
+  bool contains(std::string_view name) const {
+    return index_->find(make_name(name)) != index_->end();
+  }
+
+  std::size_t size() const { return index_->size(); }
+
+  /// Names in lexicographic order, optionally restricted to a prefix.
+  std::vector<std::string> list(std::string_view prefix = {}) const {
+    std::vector<std::string> names;
+    for (auto it = index_->lower_bound(make_name(prefix));
+         it != index_->end(); ++it) {
+      const std::string_view name(it->first.data(), it->first.size());
+      if (name.substr(0, prefix.size()) != prefix) break;
+      names.emplace_back(name);
+    }
+    return names;
+  }
+
+  /// Commits everything since the last snapshot (all puts/removes atomic).
+  Result<Epoch> commit() { return runtime_->persist(); }
+
+  bool recovered() const { return root_.recovered(); }
+
+ private:
+  using Index = std::map<PString, Blob, std::less<PString>,
+                         PaxStlAllocator<std::pair<const PString, Blob>>>;
+
+  ObjectStore(PaxRuntime* runtime, Persistent<Index> root)
+      : runtime_(runtime), root_(std::move(root)), index_(root_.get()) {}
+
+  PString make_name(std::string_view s) const {
+    return PString(s.begin(), s.end(),
+                   PaxStlAllocator<char>(&runtime_->heap()));
+  }
+
+  PaxRuntime* runtime_;
+  Persistent<Index> root_;
+  Index* index_;
+};
+
+}  // namespace pax::libpax

@@ -1,0 +1,103 @@
+// Persistent<T>: typed handle to a pool's root object (Listing 1's
+// Persistent<HashMap>::new(&allocator)).
+//
+// open() either recovers the existing root (any crash has already been
+// rolled back by PaxRuntime construction) or creates a fresh instance —
+// "the application always recovers at the most recent persistent snapshot
+// or with a new, empty instance of the structure" (§3.4). A type tag stored
+// next to the root catches reopening a pool as the wrong type.
+//
+// Nothing becomes durable until PaxRuntime::persist(): creating the root
+// and then crashing yields a pool that simply creates a fresh root again.
+#pragma once
+
+#include <typeinfo>
+#include <utility>
+
+#include "pax/common/status.hpp"
+#include "pax/libpax/runtime.hpp"
+
+namespace pax::libpax {
+
+namespace internal {
+
+/// Stable-ish type fingerprint: FNV-1a over the mangled name. Good enough
+/// to catch honest mistakes (not a security boundary; documented).
+inline std::uint64_t type_fingerprint(const std::type_info& info) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char* p = info.name(); *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace internal
+
+template <typename T>
+class Persistent {
+ public:
+  /// Opens the pool's root object, constructing it with `factory(mem)`
+  /// (placement-new into `mem`) if the pool has none yet.
+  template <typename Factory>
+  static Result<Persistent> open(PaxRuntime& runtime, Factory&& factory) {
+    PaxHeap& heap = runtime.heap();
+    const std::uint64_t expect = internal::type_fingerprint(typeid(T));
+
+    if (std::uint64_t root = heap.root_offset(); root != 0) {
+      auto* slot = static_cast<Slot*>(heap.offset_to_ptr(root));
+      if (slot->type_hash != expect) {
+        return Status(StatusCode::kFailedPrecondition,
+                      "pool root holds a different type");
+      }
+      return Persistent(&runtime, &slot->value, /*recovered=*/true);
+    }
+
+    auto* slot = static_cast<Slot*>(
+        heap.allocate(sizeof(Slot), alignof(Slot) > 16 ? alignof(Slot) : 16));
+    if (slot == nullptr) {
+      return Status(StatusCode::kOutOfSpace, "pool data extent exhausted");
+    }
+    slot->type_hash = expect;
+    slot->reserved = 0;
+    std::forward<Factory>(factory)(static_cast<void*>(&slot->value));
+    heap.set_root_offset(heap.ptr_to_offset(slot));
+    return Persistent(&runtime, &slot->value, /*recovered=*/false);
+  }
+
+  /// Convenience for standard containers: constructs the root with the
+  /// pool's allocator, e.g. std::unordered_map(alloc).
+  static Result<Persistent> open(PaxRuntime& runtime) {
+    return open(runtime, [&runtime](void* mem) {
+      using Alloc = typename T::allocator_type;
+      new (mem) T(Alloc(&runtime.heap()));
+    });
+  }
+
+  T* get() const { return value_; }
+  T* operator->() const { return value_; }
+  T& operator*() const { return *value_; }
+
+  /// True if the object was recovered from an earlier session rather than
+  /// freshly constructed.
+  bool recovered() const { return recovered_; }
+
+  /// Shorthand for runtime.persist().
+  Result<Epoch> persist() { return runtime_->persist(); }
+
+ private:
+  struct Slot {
+    std::uint64_t type_hash;
+    std::uint64_t reserved;
+    T value;
+  };
+
+  Persistent(PaxRuntime* runtime, T* value, bool recovered)
+      : runtime_(runtime), value_(value), recovered_(recovered) {}
+
+  PaxRuntime* runtime_;
+  T* value_;
+  bool recovered_;
+};
+
+}  // namespace pax::libpax

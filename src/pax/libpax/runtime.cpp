@@ -1,0 +1,249 @@
+#include "pax/libpax/runtime.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "pax/common/check.hpp"
+#include "pax/common/log.hpp"
+
+namespace pax::libpax {
+namespace {
+
+// Per-device remembered vPM base, so reopening a pool maps the region at the
+// same address and recovered raw pointers stay valid (within one process;
+// across processes the global fixed hint does the same job).
+std::mutex g_base_mu;
+std::unordered_map<const pmem::PmemDevice*, std::uintptr_t>& base_registry() {
+  static std::unordered_map<const pmem::PmemDevice*, std::uintptr_t> reg;
+  return reg;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PaxRuntime>> PaxRuntime::map_pool(
+    const std::string& path, std::size_t pool_size,
+    const RuntimeOptions& options) {
+  auto pm = pmem::PmemDevice::open_file(path, pool_size, /*create=*/true);
+  if (!pm.ok()) return pm.status();
+  auto owned = std::move(pm).value();
+  pmem::PmemDevice* raw = owned.get();
+  return build(std::move(owned), raw, options);
+}
+
+Result<std::unique_ptr<PaxRuntime>> PaxRuntime::create_in_memory(
+    std::size_t pool_size, const RuntimeOptions& options) {
+  auto owned = pmem::PmemDevice::create_in_memory(pool_size);
+  pmem::PmemDevice* raw = owned.get();
+  return build(std::move(owned), raw, options);
+}
+
+Result<std::unique_ptr<PaxRuntime>> PaxRuntime::attach(
+    pmem::PmemDevice* pm, const RuntimeOptions& options) {
+  return build(nullptr, pm, options);
+}
+
+Result<std::unique_ptr<PaxRuntime>> PaxRuntime::build(
+    std::unique_ptr<pmem::PmemDevice> owned_pm, pmem::PmemDevice* pm,
+    const RuntimeOptions& options) {
+  if (options.log_size % kPageSize != 0) {
+    return invalid_argument("log_size must be page-aligned");
+  }
+  if (pm->size() % kPageSize != 0) {
+    return invalid_argument("pool size must be page-aligned");
+  }
+
+  auto rt = std::unique_ptr<PaxRuntime>(new PaxRuntime());
+  rt->owned_pm_ = std::move(owned_pm);
+  rt->pm_ = pm;
+
+  // Open the pool; a never-formatted device (magic == 0) is formatted.
+  if (pm->load_u64(0) == 0) {
+    auto created = pmem::PmemPool::create(pm, options.log_size);
+    if (!created.ok()) return created.status();
+    rt->pool_ = created.value();
+  } else {
+    auto opened = pmem::PmemPool::open(pm);
+    if (!opened.ok()) return opened.status();
+    rt->pool_ = opened.value();
+  }
+
+  // Roll back any interrupted epoch before anything touches the data (§3.4).
+  auto report = device::recover_pool(*rt->pool_);
+  if (!report.ok()) return report.status();
+  rt->recovery_report_ = report.value();
+
+  rt->device_ =
+      std::make_unique<device::PaxDevice>(&*rt->pool_, options.device);
+
+  // Map the vPM region: an explicit hint wins (replication failover),
+  // otherwise reuse the base any earlier mapping of this device had.
+  std::uintptr_t hint = options.vpm_base_hint;
+  if (hint == 0) {
+    std::lock_guard lock(g_base_mu);
+    auto it = base_registry().find(pm);
+    if (it != base_registry().end()) hint = it->second;
+  }
+  const std::size_t region_size = rt->pool_->data_size() & ~(kPageSize - 1);
+  auto region = VpmRegion::create(region_size, hint);
+  if (!region.ok()) return region.status();
+  rt->region_ = std::move(region).value();
+  {
+    std::lock_guard lock(g_base_mu);
+    base_registry()[pm] =
+        reinterpret_cast<std::uintptr_t>(rt->region_->base());
+  }
+
+  // Seed the region from the recovered PM image.
+  pm->load(rt->pool_->data_offset(),
+           {rt->region_->base(), rt->region_->size()});
+
+  // Arm write tracking *before* the heap constructor so a fresh heap's
+  // format writes are captured like any application store.
+  PAX_RETURN_IF_ERROR(rt->region_->protect_all());
+
+  rt->heap_ =
+      std::make_unique<PaxHeap>(rt->region_->base(), rt->region_->size());
+  register_heap(rt->region_->base(), rt->heap_.get());
+
+  if (options.start_flusher_thread) {
+    rt->flusher_ = std::thread([rt_ptr = rt.get(),
+                                interval = options.flusher_interval] {
+      while (!rt_ptr->stop_flusher_.load(std::memory_order_acquire)) {
+        rt_ptr->sync_step();
+        std::this_thread::sleep_for(interval);
+      }
+    });
+  }
+
+  PAX_LOG_INFO("pool mapped: epoch=%llu, vPM %zu bytes at %p%s",
+               static_cast<unsigned long long>(rt->pool_->committed_epoch()),
+               rt->region_->size(), static_cast<void*>(rt->region_->base()),
+               rt->heap_->recovered() ? " (heap recovered)" : " (heap fresh)");
+  return rt;
+}
+
+PaxRuntime::~PaxRuntime() {
+  if (flusher_.joinable()) {
+    stop_flusher_.store(true, std::memory_order_release);
+    flusher_.join();
+  }
+  if (region_) unregister_heap(region_->base());
+  // Deliberately no flush/persist: destruction without persist() behaves
+  // like a crash, which is what the snapshot contract promises.
+}
+
+Status PaxRuntime::sync_pages(const std::vector<PageIndex>& pages) {
+  for (PageIndex page : pages) {
+    ++stats_.pages_diffed;
+    const std::byte* page_bytes = region_->page_span(page).data();
+    for (std::size_t l = 0; l < kLinesPerPage; ++l) {
+      ++stats_.lines_diff_checked;
+      const LineIndex pool_line = region_line_to_pool_line(page, l);
+      const LineData device_copy = device_->peek_line(pool_line);
+      if (std::memcmp(page_bytes + l * kCacheLineSize,
+                      device_copy.bytes.data(), kCacheLineSize) == 0) {
+        continue;
+      }
+      ++stats_.lines_dirty_found;
+      PAX_RETURN_IF_ERROR(device_->write_intent(pool_line));
+      device_->writeback_line(
+          pool_line,
+          LineData::from_bytes({page_bytes + l * kCacheLineSize,
+                                kCacheLineSize}));
+    }
+  }
+  return Status::ok();
+}
+
+void PaxRuntime::sync_step() {
+  std::lock_guard lock(sync_mu_);
+  ++stats_.sync_steps;
+  // Pages stay writable and dirty until persist() re-protects them, so any
+  // store racing this diff is re-examined later; see runtime.hpp.
+  Status s = sync_pages(region_->dirty_pages());
+  if (!s.is_ok()) {
+    PAX_LOG_WARN("background sync: %s", s.to_string().c_str());
+    return;
+  }
+  device_->tick();
+  // Complete a pending non-blocking persist off the application's path.
+  if (device_->has_sealed_epoch()) {
+    auto committed = device_->commit_sealed();
+    if (!committed.ok()) {
+      PAX_LOG_WARN("async commit: %s",
+                   committed.status().to_string().c_str());
+    }
+  }
+}
+
+Result<Epoch> PaxRuntime::persist_async() {
+  std::lock_guard lock(sync_mu_);
+  if (device_->has_sealed_epoch()) {
+    // Epochs commit in order: finish the previous one first.
+    auto committed = device_->commit_sealed();
+    if (!committed.ok()) return committed.status();
+  }
+
+  const std::vector<PageIndex> dirty = region_->dirty_pages();
+  PAX_RETURN_IF_ERROR(sync_pages(dirty));
+
+  auto pull = [this](LineIndex line) -> std::optional<LineData> {
+    const PoolOffset off = line.byte_offset() - pool_->data_offset();
+    return LineData::from_bytes({region_->base() + off, kCacheLineSize});
+  };
+  auto sealed = device_->seal_epoch(pull);
+  if (!sealed.ok()) return sealed.status();
+
+  PAX_RETURN_IF_ERROR(region_->protect_pages(dirty));
+  return sealed;
+}
+
+Result<Epoch> PaxRuntime::complete_persist() {
+  std::lock_guard lock(sync_mu_);
+  return device_->commit_sealed();
+}
+
+Result<Epoch> PaxRuntime::persist() {
+  std::lock_guard lock(sync_mu_);
+  ++stats_.persists;
+
+  const std::vector<PageIndex> dirty = region_->dirty_pages();
+  PAX_RETURN_IF_ERROR(sync_pages(dirty));
+
+  // The pull callback hands the device the region's (authoritative) current
+  // line; re-protecting the pages below is the ownership-revocation half of
+  // the RdShared analogy.
+  auto pull = [this](LineIndex line) -> std::optional<LineData> {
+    const PoolOffset off = line.byte_offset() - pool_->data_offset();
+    return LineData::from_bytes({region_->base() + off, kCacheLineSize});
+  };
+  auto committed = device_->persist(pull);
+  if (!committed.ok()) return committed.status();
+
+  PAX_RETURN_IF_ERROR(region_->protect_pages(dirty));
+  return committed;
+}
+
+void PaxRuntime::read_snapshot(PoolOffset region_offset,
+                               std::span<std::byte> out) {
+  PAX_CHECK(region_offset + out.size() <= region_->size());
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const PoolOffset cur = region_offset + done;
+    const LineIndex pool_line =
+        LineIndex::containing(pool_->data_offset() + cur);
+    const std::size_t in_line = cur % kCacheLineSize;
+    const std::size_t n =
+        std::min(kCacheLineSize - in_line, out.size() - done);
+    const LineData committed = device_->read_committed_line(pool_line);
+    std::memcpy(out.data() + done, committed.bytes.data() + in_line, n);
+    done += n;
+  }
+}
+
+RuntimeStats PaxRuntime::stats() const {
+  std::lock_guard lock(sync_mu_);
+  return stats_;
+}
+
+}  // namespace pax::libpax

@@ -1,0 +1,182 @@
+// PaxRuntime: the top of the libpax stack — the object Listing 1's
+// HWSnapshotter::map_pool() returns in the paper.
+//
+// It assembles the full PAX pipeline for one pool:
+//
+//   pool file / in-memory PM  →  PmemPool  →  recovery (§3.4)
+//        →  PaxDevice (undo logger, HBM buffer, write-back coordinator)
+//        →  VpmRegion (write-fault tracking — the §5.1 paging frontend)
+//        →  PaxHeap + PaxStlAllocator (unmodified std:: containers)
+//
+// The application mutates the region with plain loads and stores. First
+// stores to a page fault once per epoch (the RdOwn-equivalent); persist()
+// diffs dirty pages against the device's copy at cache-line granularity,
+// undo-logs and writes back exactly the changed lines, commits the epoch
+// cell, and re-arms the page protections. After a crash, map_pool() rolls
+// the pool back to the last persist() — the application cannot observe a
+// partially applied epoch.
+//
+// Thread safety: many application threads may mutate the region; persist()
+// must be called while no thread is mutating (§3.5, the paper's contract).
+// The optional background flusher thread performs the same work as
+// sync_step() under an internal lock and respects the same contract
+// (it only *adds* log/write-back progress; it never commits an epoch).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "pax/common/status.hpp"
+#include "pax/common/types.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/device/recovery.hpp"
+#include "pax/libpax/heap.hpp"
+#include "pax/libpax/stl_allocator.hpp"
+#include "pax/libpax/vpm_region.hpp"
+#include "pax/pmem/pool.hpp"
+
+namespace pax::libpax {
+
+struct RuntimeOptions {
+  /// Undo-log extent size (page-aligned). Bounds the per-epoch write set:
+  /// ~96 B of log per first-touched line.
+  std::size_t log_size = 4 << 20;
+  device::DeviceConfig device = device::DeviceConfig::defaults();
+  /// Start a background thread running sync_step() periodically: the
+  /// "asynchronous logging and write back" of §3.2 without explicit calls.
+  bool start_flusher_thread = false;
+  std::chrono::microseconds flusher_interval{500};
+  /// Map the vPM region at this exact base (0 = automatic). Needed when a
+  /// pool replicated from another node/runtime must present recovered raw
+  /// pointers at the address the origin used (replication failover).
+  std::uintptr_t vpm_base_hint = 0;
+};
+
+struct RuntimeStats {
+  std::uint64_t persists = 0;
+  std::uint64_t pages_diffed = 0;
+  std::uint64_t lines_diff_checked = 0;
+  std::uint64_t lines_dirty_found = 0;
+  std::uint64_t sync_steps = 0;
+};
+
+class PaxRuntime {
+ public:
+  /// Opens (creating or recovering) a pool file of `pool_size` bytes.
+  static Result<std::unique_ptr<PaxRuntime>> map_pool(
+      const std::string& path, std::size_t pool_size,
+      const RuntimeOptions& options = {});
+
+  /// Pool on in-memory simulated PM owned by the runtime (for quick starts
+  /// and tests that don't need files).
+  static Result<std::unique_ptr<PaxRuntime>> create_in_memory(
+      std::size_t pool_size, const RuntimeOptions& options = {});
+
+  /// Attaches to an existing (borrowed) PM device — the crash-test hook:
+  /// destroy the runtime, crash() the device, attach again, observe
+  /// recovery. Reopening the same device reuses the same vPM base address
+  /// so recovered raw pointers remain valid.
+  static Result<std::unique_ptr<PaxRuntime>> attach(
+      pmem::PmemDevice* pm, const RuntimeOptions& options = {});
+
+  /// Tears down without any flush or commit — everything since the last
+  /// persist() is discarded, exactly as a crash would.
+  ~PaxRuntime();
+
+  PaxRuntime(const PaxRuntime&) = delete;
+  PaxRuntime& operator=(const PaxRuntime&) = delete;
+
+  // --- Application surface ----------------------------------------------
+
+  /// The persistent heap; combine with PaxStlAllocator<T> or allocate raw.
+  PaxHeap& heap() { return *heap_; }
+
+  template <typename T>
+  PaxStlAllocator<T> allocator() {
+    return PaxStlAllocator<T>(heap_.get());
+  }
+
+  std::byte* vpm_base() const { return region_->base(); }
+  std::size_t vpm_size() const { return region_->size(); }
+
+  /// Commits everything modified since the last persist() as one atomic
+  /// snapshot (§3.3). Call only while no thread is mutating vPM.
+  Result<Epoch> persist();
+
+  /// Non-blocking persist (the paper's §6 extension): captures the epoch's
+  /// modified lines into the device, re-arms page tracking, and returns the
+  /// sealed epoch number without waiting for any durable work. The commit
+  /// completes on the next sync_step() (the background flusher does this),
+  /// complete_persist(), or persist(). Until then the sealed epoch is NOT
+  /// yet crash-durable. Same quiescence contract as persist().
+  Result<Epoch> persist_async();
+
+  /// Completes a pending non-blocking persist; returns the now-committed
+  /// epoch (or the last committed epoch if nothing was pending).
+  Result<Epoch> complete_persist();
+
+  /// Snapshot-isolated read: copies [offset, offset+out.size()) of the vPM
+  /// region *as of the last committed epoch*, concurrently with writers —
+  /// mutations since the last persist are invisible, whether the device
+  /// has already staged them (their undo pre-image is returned) or they
+  /// still live only in the region (the device's view IS the committed
+  /// value). See PaxDevice::read_committed_line.
+  void read_snapshot(PoolOffset region_offset, std::span<std::byte> out);
+
+  /// The most recent durable snapshot epoch.
+  Epoch committed_epoch() const { return pool_->committed_epoch(); }
+
+  /// One deterministic unit of background work: diff currently-dirty pages,
+  /// stage undo records, let the device flush/write back (§3.2). persist()
+  /// does all of this itself; sync_step() just moves work off its path.
+  void sync_step();
+
+  // --- Introspection ------------------------------------------------------
+
+  device::PaxDevice& device() { return *device_; }
+  VpmRegion& region() { return *region_; }
+  pmem::PmemDevice& pm() { return *pm_; }
+  pmem::PmemPool& pool() { return *pool_; }
+  const device::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+  RuntimeStats stats() const;
+
+ private:
+  PaxRuntime() = default;
+
+  static Result<std::unique_ptr<PaxRuntime>> build(
+      std::unique_ptr<pmem::PmemDevice> owned_pm, pmem::PmemDevice* pm,
+      const RuntimeOptions& options);
+
+  /// Diffs the given pages line-by-line against the device view; issues
+  /// write_intent + writeback_line for changed lines. Returns first error.
+  Status sync_pages(const std::vector<PageIndex>& pages);
+
+  PoolOffset page_pool_offset(PageIndex page) const {
+    return pool_->data_offset() + page.byte_offset();
+  }
+  LineIndex region_line_to_pool_line(PageIndex page, std::size_t line) const {
+    return LineIndex{(page_pool_offset(page) / kCacheLineSize) + line};
+  }
+
+  std::unique_ptr<pmem::PmemDevice> owned_pm_;
+  pmem::PmemDevice* pm_ = nullptr;
+  std::optional<pmem::PmemPool> pool_;
+  device::RecoveryReport recovery_report_;
+  std::unique_ptr<device::PaxDevice> device_;
+  std::unique_ptr<VpmRegion> region_;
+  std::unique_ptr<PaxHeap> heap_;
+
+  mutable std::mutex sync_mu_;  // serializes sync_step/persist internals
+  RuntimeStats stats_;
+
+  std::thread flusher_;
+  std::atomic<bool> stop_flusher_{false};
+};
+
+}  // namespace pax::libpax

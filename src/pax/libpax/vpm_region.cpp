@@ -1,0 +1,194 @@
+#include "pax/libpax/vpm_region.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "pax/common/check.hpp"
+#include "pax/common/log.hpp"
+
+namespace pax::libpax {
+namespace {
+
+// Fixed mapping hint so persistent raw pointers survive restarts. Regions
+// are placed sequentially from here (multiple pools in one process).
+constexpr std::uintptr_t kVpmBaseHint = 0x2000'0000'0000ULL;
+
+// Registry of live regions consulted by the global SIGSEGV handler.
+// Fixed-size atomic slots: the handler can read it lock-free at any moment
+// without racing a container reallocation.
+constexpr std::size_t kMaxRegions = 64;
+std::mutex g_registry_mu;  // serializes registration/unregistration only
+std::atomic<VpmRegion*> g_regions[kMaxRegions]{};
+std::atomic<std::uintptr_t> g_next_hint{kVpmBaseHint};
+struct sigaction g_prev_sigsegv;
+bool g_handler_installed = false;
+
+void forward_to_previous(int sig, siginfo_t* info, void* ctx) {
+  if (g_prev_sigsegv.sa_flags & SA_SIGINFO) {
+    if (g_prev_sigsegv.sa_sigaction != nullptr) {
+      g_prev_sigsegv.sa_sigaction(sig, info, ctx);
+      return;
+    }
+  } else if (g_prev_sigsegv.sa_handler != SIG_DFL &&
+             g_prev_sigsegv.sa_handler != SIG_IGN &&
+             g_prev_sigsegv.sa_handler != nullptr) {
+    g_prev_sigsegv.sa_handler(sig);
+    return;
+  }
+  // Restore default disposition and re-raise: genuine crash.
+  signal(SIGSEGV, SIG_DFL);
+  raise(SIGSEGV);
+}
+
+void sigsegv_handler(int sig, siginfo_t* info, void* ctx) {
+  // NOTE: only async-signal-safe operations here. The registry is read
+  // without the mutex — regions are registered before any page of theirs is
+  // protected and unregistered after all are unprotected, and the vector is
+  // only mutated while no fault can target its regions.
+  void* addr = info->si_addr;
+  for (auto& slot : g_regions) {
+    VpmRegion* region = slot.load(std::memory_order_acquire);
+    if (region != nullptr && region->handle_fault(addr)) return;
+  }
+  forward_to_previous(sig, info, ctx);
+}
+
+void install_handler_once() {
+  std::lock_guard lock(g_registry_mu);
+  if (g_handler_installed) return;
+  struct sigaction sa {};
+  sa.sa_sigaction = sigsegv_handler;
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  sigemptyset(&sa.sa_mask);
+  PAX_CHECK(sigaction(SIGSEGV, &sa, &g_prev_sigsegv) == 0);
+  g_handler_installed = true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<VpmRegion>> VpmRegion::create(
+    std::size_t size, std::uintptr_t fixed_hint) {
+  if (size == 0 || size % kPageSize != 0) {
+    return invalid_argument("vPM region size must be page-aligned");
+  }
+  install_handler_once();
+
+  const std::uintptr_t hint =
+      fixed_hint != 0
+          ? fixed_hint
+          : g_next_hint.fetch_add((size + (std::uintptr_t{1} << 30)) &
+                                  ~((std::uintptr_t{1} << 30) - 1));
+  void* base = ::mmap(reinterpret_cast<void*>(hint), size,
+                      PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED_NOREPLACE, -1, 0);
+  if (base == MAP_FAILED) {
+    // Hint occupied (unusual): fall back to any address. Persistent raw
+    // pointers then only survive within this process lifetime.
+    PAX_LOG_WARN("vPM fixed hint unavailable, falling back: %s",
+                 std::strerror(errno));
+    base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) {
+      return io_error(std::string("mmap vPM region: ") + std::strerror(errno));
+    }
+  }
+
+  auto region = std::unique_ptr<VpmRegion>(
+      new VpmRegion(static_cast<std::byte*>(base), size));
+  {
+    std::lock_guard lock(g_registry_mu);
+    bool placed = false;
+    for (auto& slot : g_regions) {
+      VpmRegion* expected = nullptr;
+      if (slot.compare_exchange_strong(expected, region.get())) {
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      return failed_precondition("too many live vPM regions");
+    }
+  }
+  return region;
+}
+
+VpmRegion::VpmRegion(std::byte* b, std::size_t size)
+    : base_(b),
+      size_(size),
+      dirty_(new std::atomic<std::uint8_t>[size / kPageSize]) {
+  for (std::size_t i = 0; i < page_count(); ++i) {
+    dirty_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+VpmRegion::~VpmRegion() {
+  // Unprotect first so no fault can race the unregistration.
+  ::mprotect(base_, size_, PROT_READ | PROT_WRITE);
+  {
+    std::lock_guard lock(g_registry_mu);
+    for (auto& slot : g_regions) {
+      VpmRegion* expected = this;
+      slot.compare_exchange_strong(expected, nullptr);
+    }
+  }
+  ::munmap(base_, size_);
+}
+
+Status VpmRegion::protect_all() {
+  if (::mprotect(base_, size_, PROT_READ) != 0) {
+    return io_error(std::string("mprotect: ") + std::strerror(errno));
+  }
+  for (std::size_t i = 0; i < page_count(); ++i) {
+    dirty_[i].store(0, std::memory_order_relaxed);
+  }
+  return Status::ok();
+}
+
+Status VpmRegion::protect_pages(std::span<const PageIndex> pages) {
+  for (PageIndex page : pages) {
+    PAX_CHECK(page.value < page_count());
+    if (::mprotect(base_ + page.byte_offset(), kPageSize, PROT_READ) != 0) {
+      return io_error(std::string("mprotect page: ") + std::strerror(errno));
+    }
+    dirty_[page.value].store(0, std::memory_order_relaxed);
+  }
+  return Status::ok();
+}
+
+std::vector<PageIndex> VpmRegion::dirty_pages() const {
+  std::vector<PageIndex> out;
+  for (std::size_t i = 0; i < page_count(); ++i) {
+    if (dirty_[i].load(std::memory_order_acquire) != 0) {
+      out.push_back(PageIndex{i});
+    }
+  }
+  return out;
+}
+
+bool VpmRegion::is_dirty(PageIndex page) const {
+  PAX_CHECK(page.value < page_count());
+  return dirty_[page.value].load(std::memory_order_acquire) != 0;
+}
+
+bool VpmRegion::handle_fault(void* addr) {
+  auto* p = static_cast<std::byte*>(addr);
+  if (p < base_ || p >= base_ + size_) return false;
+
+  const std::size_t page = static_cast<std::size_t>(p - base_) / kPageSize;
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  dirty_[page].store(1, std::memory_order_release);
+  // Unprotect the page; the faulting store retries and succeeds. If two
+  // threads fault the same page, both mark it dirty and both mprotect —
+  // idempotent.
+  if (::mprotect(base_ + page * kPageSize, kPageSize,
+                 PROT_READ | PROT_WRITE) != 0) {
+    return false;  // fall through to the previous handler → crash loudly
+  }
+  return true;
+}
+
+}  // namespace pax::libpax

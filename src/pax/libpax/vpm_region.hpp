@@ -1,0 +1,83 @@
+// The vPM region: the application-visible window onto the pool's data extent.
+//
+// libpax maps an anonymous region at a fixed address hint (so raw pointers
+// inside persistent structures stay valid across process restarts, the same
+// trick PMDK's mmap hint plays), seeds it from PM, and write-protects it.
+// The first store to each page raises a write fault; the SIGSEGV handler
+// marks the page dirty and unprotects it. This is precisely the paging
+// hybrid the paper proposes in §5.1: the fault is the device's RdOwn-
+// equivalent first-touch notification, after which libpax tracks the page's
+// modifications at cache-line granularity by diffing against the device's
+// copy (see PaxRuntime::sync_dirty_lines).
+//
+// Faults on non-vPM addresses are forwarded to the previously installed
+// SIGSEGV disposition, so real bugs still crash loudly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pax/common/status.hpp"
+#include "pax/common/types.hpp"
+
+namespace pax::libpax {
+
+class VpmRegion {
+ public:
+  /// Maps `size` bytes (page-aligned) and installs the fault handler. The
+  /// region starts fully unprotected (writable); call protect_all() after
+  /// seeding it. `fixed_hint`, if nonzero, requests a specific base address
+  /// — PaxRuntime passes the address a pool was mapped at before, so that
+  /// recovered raw pointers stay valid when the same pool is reopened.
+  static Result<std::unique_ptr<VpmRegion>> create(std::size_t size,
+                                                   std::uintptr_t fixed_hint = 0);
+
+  ~VpmRegion();
+  VpmRegion(const VpmRegion&) = delete;
+  VpmRegion& operator=(const VpmRegion&) = delete;
+
+  std::byte* base() const { return base_; }
+  std::size_t size() const { return size_; }
+  std::size_t page_count() const { return size_ / kPageSize; }
+
+  std::span<std::byte> page_span(PageIndex page) const {
+    return {base_ + page.byte_offset(), kPageSize};
+  }
+
+  /// Write-protects every page and clears the dirty set: the state at an
+  /// epoch boundary.
+  Status protect_all();
+
+  /// Write-protects the given pages and clears their dirty flags (used
+  /// after persist() handled exactly those pages).
+  Status protect_pages(std::span<const PageIndex> pages);
+
+  /// Pages written since their last protection, in index order. Does not
+  /// clear flags or re-protect — pages remain writable until protected
+  /// again, so a concurrent writer cannot slip through unseen.
+  std::vector<PageIndex> dirty_pages() const;
+
+  bool is_dirty(PageIndex page) const;
+  std::uint64_t fault_count() const {
+    return faults_.load(std::memory_order_relaxed);
+  }
+
+  /// Dispatches a fault at `addr` (called by the global handler). Returns
+  /// true if the address belongs to this region and was handled.
+  bool handle_fault(void* addr);
+
+ private:
+  VpmRegion(std::byte* b, std::size_t size);
+
+  std::byte* base_;
+  std::size_t size_;
+  // One flag per page; written from the signal handler (atomics only).
+  std::unique_ptr<std::atomic<std::uint8_t>[]> dirty_;
+  std::atomic<std::uint64_t> faults_{0};
+};
+
+}  // namespace pax::libpax

@@ -1,0 +1,41 @@
+#include "pax/model/amat.hpp"
+
+namespace pax::model {
+
+AmatBreakdown compute_amat(const coherence::HostCacheStats& stats,
+                           const simtime::MemoryLatency& lat, Media media,
+                           const simtime::InterconnectLatency& interposition) {
+  AmatBreakdown out;
+  out.m1 = stats.l1.miss_rate();
+  out.m2 = stats.l2.miss_rate();
+  out.m3 = stats.llc.miss_rate();
+  out.misses_per_access = out.m1 * out.m2 * out.m3;
+
+  const double media_ns =
+      (media == Media::kDram ? lat.dram_ns : lat.pm_read_ns) +
+      interposition.round_trip_ns;
+
+  out.l1_ns = lat.l1_ns;
+  out.l2_ns = out.m1 * lat.l2_ns;
+  out.llc_ns = out.m1 * out.m2 * lat.llc_ns;
+  out.memory_ns = out.m1 * out.m2 * out.m3 * media_ns;
+  out.amat_ns = out.l1_ns + out.l2_ns + out.llc_ns + out.memory_ns;
+  return out;
+}
+
+std::vector<Fig2aRow> fig2a_rows(const coherence::HostCacheStats& stats,
+                                 const simtime::MemoryLatency& lat) {
+  using simtime::InterconnectLatency;
+  return {
+      {"DRAM", compute_amat(stats, lat, Media::kDram,
+                            InterconnectLatency::none())},
+      {"PM", compute_amat(stats, lat, Media::kPm,
+                          InterconnectLatency::none())},
+      {"PM via CXL", compute_amat(stats, lat, Media::kPm,
+                                  InterconnectLatency::cxl())},
+      {"PM via Enzian", compute_amat(stats, lat, Media::kPm,
+                                     InterconnectLatency::enzian())},
+  };
+}
+
+}  // namespace pax::model

@@ -1,0 +1,47 @@
+// Average Memory Access Time model (Figure 2a).
+//
+// The paper's §5 "AMAT estimates" combine measured per-level miss rates with
+// per-medium access latencies:
+//
+//   AMAT = t_L1 + m1·( t_L2 + m2·( t_LLC + m3·( t_media + t_interposition )))
+//
+// where m_i are local miss rates of each level and t_interposition is the
+// extra round trip an LLC miss pays when the line is homed at an accelerator
+// (0 for host-attached DRAM/PM, ~70 ns for a CXL device, several hundred ns
+// for the Enzian prototype, >1 µs for a page-fault trap — simtime/latency.hpp
+// collects the sources).
+#pragma once
+
+#include "pax/coherence/host_cache.hpp"
+#include "pax/simtime/latency.hpp"
+
+namespace pax::model {
+
+struct AmatBreakdown {
+  double amat_ns = 0;
+  double l1_ns = 0;     // contribution of the L1 hit time
+  double l2_ns = 0;     // contribution of L2 accesses
+  double llc_ns = 0;    // contribution of LLC accesses
+  double memory_ns = 0; // contribution of misses to media (+ interposition)
+  double m1 = 0, m2 = 0, m3 = 0;        // local miss rates
+  double misses_per_access = 0;         // global LLC-miss rate
+};
+
+/// Media selection for the memory term.
+enum class Media { kDram, kPm };
+
+/// Computes the AMAT breakdown for measured cache statistics under a given
+/// media latency and interposition cost.
+AmatBreakdown compute_amat(const coherence::HostCacheStats& stats,
+                           const simtime::MemoryLatency& lat, Media media,
+                           const simtime::InterconnectLatency& interposition);
+
+/// The four bars of Figure 2a, in paper order.
+struct Fig2aRow {
+  const char* label;
+  AmatBreakdown amat;
+};
+std::vector<Fig2aRow> fig2a_rows(const coherence::HostCacheStats& stats,
+                                 const simtime::MemoryLatency& lat);
+
+}  // namespace pax::model

@@ -1,0 +1,46 @@
+#include "pax/model/sim_hash_table.hpp"
+
+#include <bit>
+
+#include "pax/common/check.hpp"
+
+namespace pax::model {
+
+SimHashTable::SimHashTable(coherence::HostCacheSim* host, PoolOffset base,
+                           std::uint64_t nslots)
+    : host_(host), base_(base), nslots_(nslots) {
+  PAX_CHECK(host != nullptr);
+  PAX_CHECK(std::has_single_bit(nslots));
+}
+
+Status SimHashTable::put(std::uint64_t key, std::uint64_t value) {
+  if (key == 0) return invalid_argument("key 0 reserved");
+  const std::uint64_t mask = nslots_ - 1;
+  for (std::uint64_t probe = 0; probe < nslots_; ++probe) {
+    const std::uint64_t s = (mix(key) + probe) & mask;
+    const std::uint64_t existing = host_->load_u64(slot_at(s));
+    if (existing == key) {
+      return host_->store_u64(slot_at(s) + 8, value);
+    }
+    if (existing == 0) {
+      PAX_RETURN_IF_ERROR(host_->store_u64(slot_at(s), key));
+      PAX_RETURN_IF_ERROR(host_->store_u64(slot_at(s) + 8, value));
+      ++count_;
+      return Status::ok();
+    }
+  }
+  return out_of_space("table full");
+}
+
+std::optional<std::uint64_t> SimHashTable::get(std::uint64_t key) {
+  const std::uint64_t mask = nslots_ - 1;
+  for (std::uint64_t probe = 0; probe < nslots_; ++probe) {
+    const std::uint64_t s = (mix(key) + probe) & mask;
+    const std::uint64_t existing = host_->load_u64(slot_at(s));
+    if (existing == key) return host_->load_u64(slot_at(s) + 8);
+    if (existing == 0) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pax::model

@@ -1,0 +1,49 @@
+// A hash table whose every memory access goes through the HostCacheSim —
+// the measurement vehicle for Figure 2a.
+//
+// The paper measures L1/L2/LLC miss rates of "a standard hash table
+// benchmark … with small 8 B keys and values" and combines them with media
+// latencies. This table reproduces the access pattern: open addressing with
+// linear probing over 16-byte {key, value} slots, so a get() touches one
+// cache line in the common case and a short probe chain under load — the
+// same granular-access pattern that makes PM's direct access attractive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "pax/coherence/host_cache.hpp"
+
+namespace pax::model {
+
+class SimHashTable {
+ public:
+  /// Lays out `nslots` (power of two) 16 B slots starting at pool offset
+  /// `base` and drives all accesses through `host`.
+  SimHashTable(coherence::HostCacheSim* host, PoolOffset base,
+               std::uint64_t nslots);
+
+  /// Insert or update. Keys must be nonzero. Returns kOutOfSpace if full.
+  Status put(std::uint64_t key, std::uint64_t value);
+
+  std::optional<std::uint64_t> get(std::uint64_t key);
+
+  std::uint64_t size() const { return count_; }
+
+ private:
+  PoolOffset slot_at(std::uint64_t s) const { return base_ + s * 16; }
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  coherence::HostCacheSim* host_;
+  PoolOffset base_;
+  std::uint64_t nslots_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace pax::model

@@ -1,0 +1,268 @@
+#include "pax/model/throughput.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "pax/common/check.hpp"
+#include "pax/common/types.hpp"
+
+namespace pax::model {
+namespace {
+
+using simtime::BandwidthResource;
+using simtime::SimNanos;
+using simtime::to_nanos;
+
+struct Thread {
+  SimNanos clock = 0;
+  std::uint64_t ops_done = 0;
+  double miss_accum = 0;   // fractional LLC misses carried between ops
+  double touch_accum = 0;  // fractional page first-touches (page-WAL)
+};
+
+struct HeapEntry {
+  SimNanos clock;
+  unsigned idx;
+  bool operator>(const HeapEntry& o) const { return clock > o.clock; }
+};
+
+}  // namespace
+
+const char* system_name(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kDram:
+      return "DRAM";
+    case SystemKind::kPmDirect:
+      return "PM Direct";
+    case SystemKind::kPmdk:
+      return "PMDK";
+    case SystemKind::kPaxCxl:
+      return "PAX (CXL)";
+    case SystemKind::kPaxEnzian:
+      return "PAX (Enzian)";
+    case SystemKind::kPageWal:
+      return "Page-WAL";
+    case SystemKind::kHybrid:
+      return "Hybrid (§5.1)";
+  }
+  return "?";
+}
+
+double simulate_mops(SystemKind kind, unsigned threads,
+                     const ModelParams& p, LatencyProfile* profile) {
+  PAX_CHECK(threads >= 1);
+  std::vector<double> thread0_latencies;
+  if (profile != nullptr) thread0_latencies.reserve(p.ops_per_thread);
+
+  // Shared resources. Read bandwidth uses Optane's 256 B internal
+  // granularity for random reads on every PM-resident system.
+  const bool is_dram = kind == SystemKind::kDram;
+  BandwidthResource read_bw(is_dram ? p.bw.dram_bps : p.bw.pm_read_bps);
+  BandwidthResource write_bw(is_dram ? p.bw.dram_bps : p.bw.pm_write_bps);
+  BandwidthResource device_pipeline(
+      // Messages/second modelled as bytes/second with 1 B per message.
+      kind == SystemKind::kPaxEnzian ? p.bw.device_pipeline_hz : 100e18);
+
+  const bool is_pax =
+      kind == SystemKind::kPaxCxl || kind == SystemKind::kPaxEnzian;
+  double interposition_ns =
+      kind == SystemKind::kPaxCxl
+          ? simtime::InterconnectLatency::cxl().round_trip_ns
+          : (kind == SystemKind::kPaxEnzian
+                 ? simtime::InterconnectLatency::enzian().round_trip_ns
+                 : 0.0);
+  if (is_pax && p.pax_interposition_override_ns >= 0) {
+    interposition_ns = p.pax_interposition_override_ns;
+  }
+  const double media_ns = is_dram ? p.lat.dram_ns : p.lat.pm_read_ns;
+
+  std::vector<Thread> state(threads);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> pq;
+  for (unsigned i = 0; i < threads; ++i) pq.push({0, i});
+
+  SimNanos end_time = 0;
+
+  // Asynchronous writes (evictions, PAX device logging) don't stall the
+  // thread — until the write queue backs up. A bounded backlog window
+  // models the memory controller's write-pending-queue depth: once the
+  // resource is more than this far behind, producers stall (this is what
+  // bends every PM curve at its bandwidth ceiling).
+  constexpr SimNanos kWriteBacklogWindowNs = 3000;
+
+  while (!pq.empty()) {
+    auto [clock, idx] = pq.top();
+    pq.pop();
+    Thread& th = state[idx];
+    SimNanos t = th.clock;
+    // All resource requests are issued at the op's start time: the priority
+    // queue pops ops in nondecreasing clock order, so arrivals at each
+    // single-server BandwidthResource are time-ordered (required for its
+    // next-free bookkeeping to model a FIFO queue rather than inflating
+    // waits with out-of-order arrivals).
+    const SimNanos t0 = t;
+
+    // --- compute ---
+    t += to_nanos(p.cpu_ns_per_op);
+
+    // --- memory misses ---
+    th.miss_accum += p.misses_per_op;
+    while (th.miss_accum >= 1.0) {
+      th.miss_accum -= 1.0;
+      const double read_charge =
+          is_dram ? static_cast<double>(kCacheLineSize)
+                  : p.optane_internal_write_bytes;  // 256 B internal read too
+      const SimNanos bw_done =
+          read_bw.request(t0, static_cast<std::uint64_t>(read_charge));
+      double lat = media_ns + interposition_ns;
+      if (is_pax) {
+        // A fraction of misses hit the device HBM cache instead of PM.
+        // Expected-value blend keeps the model deterministic.
+        lat = p.pax_hbm_hit_fraction *
+                  (interposition_ns + p.pax_hbm_hit_ns) +
+              (1.0 - p.pax_hbm_hit_fraction) * lat;
+        const SimNanos pipe_done = device_pipeline.request(t0, 1);
+        t = std::max(t, pipe_done);
+      }
+      t = std::max(t + to_nanos(lat), bw_done);
+
+      // Eventual write-back of the dirtied line. PAX and the §5.1 hybrid
+      // route write-backs through the device, which coalesces them into
+      // Optane-friendly units; host-direct random evictions cannot.
+      const bool device_managed_wb =
+          is_pax || kind == SystemKind::kHybrid;
+      const double wb_charge =
+          is_dram ? static_cast<double>(kCacheLineSize)
+                  : (device_managed_wb
+                         ? static_cast<double>(kCacheLineSize)  // coalesced
+                         : p.optane_internal_write_bytes);      // random
+      const SimNanos wb_done = write_bw.request(
+          t0, static_cast<std::uint64_t>(wb_charge * p.dirty_lines_per_op /
+                                         std::max(p.misses_per_op, 1e-9)));
+      if (wb_done > t0 + kWriteBacklogWindowNs) {
+        t = std::max(t, wb_done - kWriteBacklogWindowNs);
+      }
+    }
+
+    // --- system-specific per-op work ---
+    switch (kind) {
+      case SystemKind::kDram:
+      case SystemKind::kPmDirect:
+        break;
+
+      case SystemKind::kPmdk: {
+        // Synchronous snapshots: log write + drain, serialized per snapshot.
+        for (unsigned s = 0; s < p.pmdk_snapshots_per_op; ++s) {
+          const SimNanos log_done = write_bw.request(
+              t0, static_cast<std::uint64_t>(p.pmdk_log_bytes_per_op /
+                                            p.pmdk_snapshots_per_op));
+          t = std::max(t + to_nanos(p.lat.pm_write_ns +
+                                    p.lat.sfence_drain_ns),
+                       log_done);
+        }
+        // Data-flush fence + commit-record fence.
+        t += to_nanos(p.pmdk_extra_fences *
+                      (p.lat.clwb_ns + p.lat.sfence_drain_ns));
+        break;
+      }
+
+      case SystemKind::kPaxCxl:
+      case SystemKind::kPaxEnzian: {
+        // Undo logging is asynchronous: consumes PM write bandwidth but the
+        // thread never waits for it (§3.2).
+        const SimNanos log_done = write_bw.request(
+            t0, static_cast<std::uint64_t>(p.pax_log_bytes_per_op));
+        if (log_done > t0 + kWriteBacklogWindowNs) {
+          t = std::max(t, log_done - kWriteBacklogWindowNs);
+        }
+        // Group commit (§3.2): the batch-boundary op pays the snapshot.
+        // Synchronous persist = the full commit; §6 async = just the seal
+        // (the commit's bandwidth is consumed off the critical path).
+        if ((th.ops_done + 1) % static_cast<std::uint64_t>(
+                                    p.pax_persist_interval_ops) ==
+            0) {
+          if (p.pax_async_persist) {
+            t += to_nanos(p.pax_seal_cost_ns);
+            write_bw.request(t0, static_cast<std::uint64_t>(
+                                     p.pax_persist_cost_ns / 10.0));
+          } else {
+            t += to_nanos(p.pax_persist_cost_ns);
+          }
+        }
+        break;
+      }
+
+      case SystemKind::kPageWal: {
+        // First store to each page per epoch pays a protection trap and a
+        // whole-page log write.
+        th.touch_accum += p.pagewal_page_touch_per_op;
+        while (th.touch_accum >= 1.0) {
+          th.touch_accum -= 1.0;
+          const SimNanos log_done = write_bw.request(
+              t0,
+              static_cast<std::uint64_t>(p.pagewal_log_bytes_per_page));
+          t = std::max(t + to_nanos(p.pagewal_trap_ns), log_done);
+        }
+        break;
+      }
+
+      case SystemKind::kHybrid: {
+        // §5.1 combination: the trap is paid per first page touch per
+        // epoch, but what follows is PAX — asynchronous line-granular
+        // logging (bandwidth only), no synchronous page image.
+        th.touch_accum += p.pagewal_page_touch_per_op;
+        while (th.touch_accum >= 1.0) {
+          th.touch_accum -= 1.0;
+          t += to_nanos(p.pagewal_trap_ns);
+        }
+        const SimNanos log_done = write_bw.request(
+            t0, static_cast<std::uint64_t>(p.pax_log_bytes_per_op));
+        if (log_done > t0 + kWriteBacklogWindowNs) {
+          t = std::max(t, log_done - kWriteBacklogWindowNs);
+        }
+        break;
+      }
+    }
+
+    th.clock = t;
+    ++th.ops_done;
+    if (profile != nullptr && idx == 0) {
+      thread0_latencies.push_back(static_cast<double>(t - t0));
+    }
+    end_time = std::max(end_time, t);
+    if (th.ops_done < p.ops_per_thread) pq.push({t, idx});
+  }
+
+  if (profile != nullptr && !thread0_latencies.empty()) {
+    std::sort(thread0_latencies.begin(), thread0_latencies.end());
+    auto pct = [&](double q) {
+      const std::size_t i = static_cast<std::size_t>(
+          q * static_cast<double>(thread0_latencies.size() - 1));
+      return thread0_latencies[i];
+    };
+    double sum = 0;
+    for (double v : thread0_latencies) sum += v;
+    profile->mean_ns = sum / static_cast<double>(thread0_latencies.size());
+    profile->p50_ns = pct(0.50);
+    profile->p90_ns = pct(0.90);
+    profile->p99_ns = pct(0.99);
+    profile->p999_ns = pct(0.999);
+    profile->max_ns = thread0_latencies.back();
+  }
+
+  const double total_ops =
+      static_cast<double>(p.ops_per_thread) * threads;
+  return total_ops * 1e3 / static_cast<double>(end_time);  // Mops
+}
+
+std::vector<ThroughputPoint> simulate_throughput(
+    SystemKind kind, const std::vector<unsigned>& thread_counts,
+    const ModelParams& params) {
+  std::vector<ThroughputPoint> out;
+  out.reserve(thread_counts.size());
+  for (unsigned n : thread_counts) {
+    out.push_back({n, simulate_mops(kind, n, params)});
+  }
+  return out;
+}
+
+}  // namespace pax::model

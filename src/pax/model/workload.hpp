@@ -1,0 +1,103 @@
+// Workload generation for the evaluation benches.
+//
+// The paper's Figure 2a workload is "a standard hash table benchmark that
+// performs get() operations on a single thread with small 8 B keys and
+// values and a uniform random key access distribution" (§5); Figure 2b uses
+// a write-only workload. Zipfian is provided for the locality ablations
+// (skew controls how much the CPU caches absorb, which is the knob the
+// paper's AMAT argument turns on).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pax/common/check.hpp"
+#include "pax/common/rng.hpp"
+
+namespace pax::model {
+
+enum class KeyDist { kUniform, kZipfian };
+
+/// Draws keys in [1, n_keys] (0 is reserved as the empty marker in the
+/// table layouts). Zipfian uses the standard YCSB/Gray generator.
+class KeyGenerator {
+ public:
+  KeyGenerator(KeyDist dist, std::uint64_t n_keys, double theta,
+               std::uint64_t seed)
+      : dist_(dist), n_keys_(n_keys), theta_(theta), rng_(seed) {
+    PAX_CHECK(n_keys >= 1);
+    if (dist == KeyDist::kZipfian) {
+      PAX_CHECK(theta > 0 && theta < 1);
+      zetan_ = zeta(n_keys, theta);
+      zeta2_ = zeta(2, theta);
+      alpha_ = 1.0 / (1.0 - theta);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_keys), 1.0 - theta)) /
+             (1.0 - zeta2_ / zetan_);
+    }
+  }
+
+  std::uint64_t next() {
+    if (dist_ == KeyDist::kUniform) return 1 + rng_.next_below(n_keys_);
+    // Gray et al. Zipfian.
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 1;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+    return 1 + static_cast<std::uint64_t>(
+                   static_cast<double>(n_keys_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  KeyDist dist_;
+  std::uint64_t n_keys_;
+  double theta_;
+  Xoshiro256 rng_;
+  double zetan_ = 0, zeta2_ = 0, alpha_ = 0, eta_ = 0;
+};
+
+struct Op {
+  enum class Type { kGet, kPut };
+  Type type;
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+/// Mixes gets and puts over a key generator.
+class WorkloadGen {
+ public:
+  WorkloadGen(KeyGenerator keys, double put_fraction, std::uint64_t seed)
+      : keys_(std::move(keys)), put_fraction_(put_fraction), rng_(seed) {}
+
+  Op next() {
+    const std::uint64_t key = keys_.next();
+    if (rng_.next_bool(put_fraction_)) {
+      return {Op::Type::kPut, key, rng_.next()};
+    }
+    return {Op::Type::kGet, key, 0};
+  }
+
+  std::vector<Op> batch(std::size_t n) {
+    std::vector<Op> ops;
+    ops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) ops.push_back(next());
+    return ops;
+  }
+
+ private:
+  KeyGenerator keys_;
+  double put_fraction_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace pax::model

@@ -1,0 +1,63 @@
+#include "pax/pmem/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pax::pmem {
+
+Result<std::unique_ptr<MmapFile>> MmapFile::open(const std::string& path,
+                                                 std::size_t size,
+                                                 bool create) {
+  int flags = O_RDWR | O_CLOEXEC;
+  if (create) flags |= O_CREAT;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status(StatusCode::kIoError,
+                  "open(" + path + "): " + std::strerror(errno));
+  }
+
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return io_error("fstat(" + path + "): " + std::strerror(errno));
+  }
+  if (static_cast<std::size_t>(st.st_size) < size) {
+    if (!create) {
+      ::close(fd);
+      return io_error("pool file " + path + " smaller than requested size");
+    }
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      ::close(fd);
+      return io_error("ftruncate(" + path + "): " + std::strerror(errno));
+    }
+  }
+
+  void* base =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    ::close(fd);
+    return io_error("mmap(" + path + "): " + std::strerror(errno));
+  }
+
+  return std::unique_ptr<MmapFile>(
+      new MmapFile(path, fd, static_cast<std::byte*>(base), size));
+}
+
+MmapFile::~MmapFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status MmapFile::sync() {
+  if (::msync(base_, size_, MS_SYNC) != 0) {
+    return io_error("msync(" + path_ + "): " + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+}  // namespace pax::pmem

@@ -1,0 +1,46 @@
+// RAII wrapper for a file-backed memory mapping, the stand-in for a
+// DAX-mapped PM pool file. The mapping survives process kill in the page
+// cache, which is what makes the fork-and-kill crash-recovery example real.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "pax/common/status.hpp"
+
+namespace pax::pmem {
+
+class MmapFile {
+ public:
+  /// Opens (and optionally creates/extends) `path` and maps `size` bytes
+  /// shared read/write.
+  static Result<std::unique_ptr<MmapFile>> open(const std::string& path,
+                                                std::size_t size, bool create);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  std::span<std::byte> data() { return {base_, size_}; }
+  std::span<const std::byte> data() const { return {base_, size_}; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// msync the full mapping (used sparingly; kill-based crash tests rely on
+  /// page-cache survival, power-loss durability would rely on this).
+  Status sync();
+
+ private:
+  MmapFile(std::string path, int fd, std::byte* base, std::size_t size)
+      : path_(std::move(path)), fd_(fd), base_(base), size_(size) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::byte* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pax::pmem

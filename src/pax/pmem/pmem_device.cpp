@@ -1,0 +1,221 @@
+#include "pax/pmem/pmem_device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "pax/common/check.hpp"
+#include "pax/common/rng.hpp"
+
+namespace pax::pmem {
+
+std::unique_ptr<PmemDevice> PmemDevice::create_in_memory(std::size_t bytes) {
+  PAX_CHECK_MSG(bytes % kCacheLineSize == 0,
+                "PM size must be line-aligned");
+  return std::unique_ptr<PmemDevice>(
+      new PmemDevice(std::vector<std::byte>(bytes), bytes));
+}
+
+Result<std::unique_ptr<PmemDevice>> PmemDevice::open_file(
+    const std::string& path, std::size_t bytes, bool create) {
+  if (bytes % kCacheLineSize != 0) {
+    return invalid_argument("PM size must be line-aligned");
+  }
+  auto file = MmapFile::open(path, bytes, create);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<PmemDevice>(
+      new PmemDevice(std::move(file).value(), bytes));
+}
+
+PmemDevice::PmemDevice(std::vector<std::byte> heap_media, std::size_t size)
+    : heap_media_(std::move(heap_media)), size_(size) {}
+
+PmemDevice::PmemDevice(std::unique_ptr<MmapFile> file, std::size_t size)
+    : file_(std::move(file)), size_(size) {}
+
+std::span<std::byte> PmemDevice::media() {
+  return file_ ? file_->data() : std::span<std::byte>(heap_media_);
+}
+
+std::span<const std::byte> PmemDevice::media() const {
+  return file_ ? file_->data() : std::span<const std::byte>(heap_media_);
+}
+
+void PmemDevice::store(PoolOffset off, std::span<const std::byte> data) {
+  PAX_CHECK(off + data.size() <= size_);
+  std::lock_guard lock(mu_);
+  ++stats_.stores;
+  stats_.bytes_stored += data.size();
+
+  // Split the store across the lines it touches; each touched line becomes
+  // (or stays) pending with its updated contents.
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const PoolOffset cur = off + done;
+    const LineIndex line = LineIndex::containing(cur);
+    const std::size_t in_line = cur % kCacheLineSize;
+    const std::size_t n =
+        std::min(kCacheLineSize - in_line, data.size() - done);
+
+    auto it = pending_.find(line);
+    if (it == pending_.end()) {
+      // First dirtying of this line: seed the pending copy from media.
+      LineData d;
+      std::memcpy(d.bytes.data(), media().data() + line.byte_offset(),
+                  kCacheLineSize);
+      it = pending_.emplace(line, d).first;
+    }
+    std::memcpy(it->second.bytes.data() + in_line, data.data() + done, n);
+    done += n;
+  }
+}
+
+void PmemDevice::load(PoolOffset off, std::span<std::byte> out) const {
+  PAX_CHECK(off + out.size() <= size_);
+  std::lock_guard lock(mu_);
+  ++stats_.loads;
+
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const PoolOffset cur = off + done;
+    const LineIndex line = LineIndex::containing(cur);
+    const std::size_t in_line = cur % kCacheLineSize;
+    const std::size_t n =
+        std::min(kCacheLineSize - in_line, out.size() - done);
+
+    auto it = pending_.find(line);
+    const std::byte* src =
+        it != pending_.end()
+            ? it->second.bytes.data() + in_line
+            : media().data() + line.byte_offset() + in_line;
+    std::memcpy(out.data() + done, src, n);
+    done += n;
+  }
+}
+
+void PmemDevice::store_line(LineIndex line, const LineData& data) {
+  PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
+  std::lock_guard lock(mu_);
+  ++stats_.stores;
+  stats_.bytes_stored += kCacheLineSize;
+  pending_[line] = data;
+}
+
+LineData PmemDevice::load_line(LineIndex line) const {
+  PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
+  std::lock_guard lock(mu_);
+  ++stats_.loads;
+  if (auto it = pending_.find(line); it != pending_.end()) return it->second;
+  LineData d;
+  std::memcpy(d.bytes.data(), media().data() + line.byte_offset(),
+              kCacheLineSize);
+  return d;
+}
+
+void PmemDevice::store_u64(PoolOffset off, std::uint64_t value) {
+  PAX_CHECK_MSG(off % 8 == 0, "u64 stores must be 8-byte aligned");
+  store(off, std::as_bytes(std::span(&value, 1)));
+}
+
+std::uint64_t PmemDevice::load_u64(PoolOffset off) const {
+  PAX_CHECK_MSG(off % 8 == 0, "u64 loads must be 8-byte aligned");
+  std::uint64_t value = 0;
+  load(off, std::as_writable_bytes(std::span(&value, 1)));
+  return value;
+}
+
+void PmemDevice::flush_line_locked(LineIndex line) {
+  auto it = pending_.find(line);
+  if (it == pending_.end()) {
+    ++stats_.empty_flushes;
+    return;
+  }
+  std::memcpy(media().data() + line.byte_offset(), it->second.bytes.data(),
+              kCacheLineSize);
+  pending_.erase(it);
+  ++stats_.line_flushes;
+  stats_.media_bytes_written += kCacheLineSize;
+  // XPLine accounting: a flush touches one 256 B internal block; flushes to
+  // the same block combine in the XPBuffer until the next drain.
+  if (xpline_window_.insert(line.byte_offset() / 256).second) {
+    ++stats_.xpline_blocks_written;
+  }
+}
+
+void PmemDevice::flush_line(LineIndex line) {
+  PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
+  std::lock_guard lock(mu_);
+  flush_line_locked(line);
+}
+
+void PmemDevice::flush_range(PoolOffset off, std::size_t len) {
+  PAX_CHECK(off + len <= size_);
+  if (len == 0) return;
+  std::lock_guard lock(mu_);
+  const LineIndex first = LineIndex::containing(off);
+  const LineIndex last = LineIndex::containing(off + len - 1);
+  for (std::uint64_t l = first.value; l <= last.value; ++l) {
+    flush_line_locked(LineIndex{l});
+  }
+}
+
+void PmemDevice::drain() {
+  std::lock_guard lock(mu_);
+  ++stats_.drains;
+  xpline_window_.clear();  // the XPBuffer write-combining window closes
+}
+
+void PmemDevice::atomic_durable_store_u64(PoolOffset off,
+                                          std::uint64_t value) {
+  store_u64(off, value);
+  flush_line(LineIndex::containing(off));
+  drain();
+}
+
+void PmemDevice::crash(const CrashConfig& config) {
+  std::lock_guard lock(mu_);
+  Xoshiro256 rng(config.seed);
+  for (const auto& [line, data] : pending_) {
+    if (!rng.next_bool(config.line_survival_probability)) continue;
+    std::byte* dst = media().data() + line.byte_offset();
+    if (!config.tear_within_lines) {
+      std::memcpy(dst, data.bytes.data(), kCacheLineSize);
+      stats_.media_bytes_written += kCacheLineSize;
+      continue;
+    }
+    // Torn line: each 8-byte word (the x86 power-fail atomicity unit)
+    // independently made it out or did not.
+    for (std::size_t w = 0; w < kCacheLineSize; w += 8) {
+      if (rng.next_bool(0.5)) {
+        std::memcpy(dst + w, data.bytes.data() + w, 8);
+        stats_.media_bytes_written += 8;
+      }
+    }
+  }
+  pending_.clear();
+}
+
+std::size_t PmemDevice::pending_line_count() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+LineData PmemDevice::durable_line(LineIndex line) const {
+  PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
+  std::lock_guard lock(mu_);
+  LineData d;
+  std::memcpy(d.bytes.data(), media().data() + line.byte_offset(),
+              kCacheLineSize);
+  return d;
+}
+
+PmemStats PmemDevice::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void PmemDevice::reset_stats() {
+  std::lock_guard lock(mu_);
+  stats_ = PmemStats{};
+}
+
+}  // namespace pax::pmem

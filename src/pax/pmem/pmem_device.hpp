@@ -1,0 +1,163 @@
+// Simulated persistent-memory DIMM with an explicit persistence domain.
+//
+// On real PM hardware (Optane with ADR), a store becomes durable only once
+// its cache line leaves the CPU caches and reaches the memory controller's
+// write-pending queue. Everything still sitting in CPU caches at power loss
+// is gone. PmemDevice models exactly that visibility split:
+//
+//   store()       — data enters the *pending* overlay (≈ CPU caches).
+//   load()        — sees pending ∪ media (a core observes its own stores).
+//   flush_line()  — CLWB: pending line → media (≈ ADR persistence domain).
+//   drain()       — SFENCE: ordering point; counted for cost models.
+//   crash()       — discards the pending overlay, optionally letting a random
+//                   subset of lines (or 8-byte words within lines: the x86
+//                   power-fail atomicity unit) reach media first, which is
+//                   how tests produce torn records for recovery to handle.
+//
+// The media can live in DRAM (unit tests) or in a file mapping (examples and
+// kill-based crash tests, where losing the in-DRAM pending overlay on process
+// death is a *real* crash of the simulated persistence domain).
+//
+// All mutating entry points are internally synchronized: application threads
+// and the PAX device thread may touch disjoint lines concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pax/common/status.hpp"
+#include "pax/common/types.hpp"
+#include "pax/pmem/mmap_file.hpp"
+
+namespace pax::pmem {
+
+/// Counters for persistence-cost accounting and write-amplification studies.
+struct PmemStats {
+  std::uint64_t stores = 0;            // store() calls
+  std::uint64_t bytes_stored = 0;      // logical bytes written by the app
+  std::uint64_t loads = 0;             // load() calls
+  std::uint64_t line_flushes = 0;      // flush_line() with pending data
+  std::uint64_t empty_flushes = 0;     // flush_line() finding nothing pending
+  std::uint64_t drains = 0;            // drain() calls (SFENCE count)
+  std::uint64_t media_bytes_written = 0;  // bytes that reached media
+  /// Optane's internal 256 B write granularity ("XPLine", Yang et al.
+  /// FAST'20 §4.1): distinct 256 B internal blocks written, where flushes
+  /// that land in the same block between two drains combine (the XPBuffer).
+  /// xpline_blocks_written × 256 / media_bytes_written is the device's
+  /// internal write amplification — 1× for sequential flush patterns, up
+  /// to 4× for random 64 B flushes.
+  std::uint64_t xpline_blocks_written = 0;
+};
+
+/// How a simulated crash treats the pending overlay.
+struct CrashConfig {
+  /// Probability that a whole pending line reached media before the crash.
+  double line_survival_probability = 0.0;
+  /// If true, a "surviving" line may itself be torn: each 8-byte word
+  /// independently reaches media with probability 0.5.
+  bool tear_within_lines = false;
+  /// Seed for the crash lottery; same seed → same torn state.
+  std::uint64_t seed = 1;
+
+  static CrashConfig drop_all() { return {}; }
+  static CrashConfig random(double p, std::uint64_t seed) {
+    return {p, false, seed};
+  }
+  static CrashConfig torn(double p, std::uint64_t seed) {
+    return {p, true, seed};
+  }
+};
+
+class PmemDevice {
+ public:
+  /// Media held in DRAM; contents vanish with the object. For unit tests.
+  static std::unique_ptr<PmemDevice> create_in_memory(std::size_t bytes);
+
+  /// Media backed by a file mapping (the DAX-pool stand-in).
+  static Result<std::unique_ptr<PmemDevice>> open_file(const std::string& path,
+                                                       std::size_t bytes,
+                                                       bool create);
+
+  std::size_t size() const { return size_; }
+  std::size_t num_lines() const { return size_ / kCacheLineSize; }
+
+  // --- CPU-visible data path -------------------------------------------
+
+  /// Writes `data` at byte offset `off` (may span lines) into the pending
+  /// overlay.
+  void store(PoolOffset off, std::span<const std::byte> data);
+
+  /// Reads the CPU-visible value (pending overlay over media).
+  void load(PoolOffset off, std::span<std::byte> out) const;
+
+  /// Whole-line variants used by the device model and the undo logger.
+  void store_line(LineIndex line, const LineData& data);
+  LineData load_line(LineIndex line) const;
+
+  /// Convenience 64-bit accessors (offset need not be line-aligned but must
+  /// be 8-byte aligned, the power-fail atomicity unit).
+  void store_u64(PoolOffset off, std::uint64_t value);
+  std::uint64_t load_u64(PoolOffset off) const;
+
+  // --- Persistence path -------------------------------------------------
+
+  /// CLWB: makes the pending contents of `line` durable.
+  void flush_line(LineIndex line);
+
+  /// Flushes every line overlapping [off, off+len).
+  void flush_range(PoolOffset off, std::size_t len);
+
+  /// SFENCE. In this synchronous model flush_line already reached media, so
+  /// drain is an accounting/ordering marker only — but callers must still
+  /// place it correctly: crash tests verify durability only via flush+drain
+  /// sequences.
+  void drain();
+
+  /// store_u64 + flush + drain: the 8-byte power-fail-atomic write used for
+  /// epoch-cell commits.
+  void atomic_durable_store_u64(PoolOffset off, std::uint64_t value);
+
+  // --- Crash machinery (tests and harnesses) ----------------------------
+
+  /// Simulates power loss: resolves the pending overlay per `config`, then
+  /// clears it. The device remains usable and now shows post-crash media.
+  void crash(const CrashConfig& config);
+
+  /// Number of lines with not-yet-durable data.
+  std::size_t pending_line_count() const;
+
+  /// Reads what media alone holds (ignoring the pending overlay) — what a
+  /// post-crash observer would see. For test assertions.
+  LineData durable_line(LineIndex line) const;
+
+  PmemStats stats() const;
+  void reset_stats();
+
+ private:
+  PmemDevice(std::vector<std::byte> heap_media, std::size_t size);
+  PmemDevice(std::unique_ptr<MmapFile> file, std::size_t size);
+
+  std::span<std::byte> media();
+  std::span<const std::byte> media() const;
+
+  void flush_line_locked(LineIndex line);
+
+  std::vector<std::byte> heap_media_;    // in-memory mode
+  std::unique_ptr<MmapFile> file_;       // file mode
+  std::size_t size_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<LineIndex, LineData> pending_;
+  // 256 B internal blocks written since the last drain (XPBuffer window).
+  std::unordered_set<std::uint64_t> xpline_window_;
+  mutable PmemStats stats_;  // loads are counted from const readers
+};
+
+}  // namespace pax::pmem

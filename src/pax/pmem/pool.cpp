@@ -1,0 +1,94 @@
+#include "pax/pmem/pool.hpp"
+
+#include <cstring>
+
+#include "pax/common/check.hpp"
+#include "pax/common/crc.hpp"
+
+namespace pax::pmem {
+namespace {
+
+// Fixed header fields, stored at offset 0. The epoch and root cells live in
+// their own cache lines (offsets 64 and 128) and are excluded from the CRC
+// because they change after formatting.
+struct PoolHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t crc;  // masked CRC32C over the fields below
+  std::uint64_t pool_size;
+  std::uint64_t log_offset;
+  std::uint64_t log_size;
+  std::uint64_t data_offset;
+  std::uint64_t data_size;
+};
+static_assert(sizeof(PoolHeader) == 56);
+static_assert(sizeof(PoolHeader) <= kCacheLineSize,
+              "header must fit one line so formatting is single-line atomic");
+
+std::uint32_t header_crc(const PoolHeader& h) {
+  // CRC covers everything after the crc field.
+  const auto* base = reinterpret_cast<const std::byte*>(&h);
+  const std::size_t skip = offsetof(PoolHeader, pool_size);
+  std::uint32_t crc = crc32c(base, offsetof(PoolHeader, crc));
+  crc = crc32c(base + skip, sizeof(PoolHeader) - skip, crc);
+  return mask_crc(crc);
+}
+
+}  // namespace
+
+Result<PmemPool> PmemPool::create(PmemDevice* device, std::size_t log_size) {
+  PAX_CHECK(device != nullptr);
+  if (log_size % kCacheLineSize != 0) {
+    return invalid_argument("log extent size must be line-aligned");
+  }
+  const std::size_t min_size = kPoolHeaderSize + log_size + kCacheLineSize;
+  if (device->size() < min_size) {
+    return invalid_argument("device too small for requested pool geometry");
+  }
+
+  PoolHeader h{};
+  h.magic = kPoolMagic;
+  h.version = kPoolVersion;
+  h.pool_size = device->size();
+  h.log_offset = kPoolHeaderSize;
+  h.log_size = log_size;
+  h.data_offset = kPoolHeaderSize + log_size;
+  h.data_size = device->size() - h.data_offset;
+  h.crc = header_crc(h);
+
+  device->store(0, std::as_bytes(std::span(&h, 1)));
+  device->store_u64(kEpochCellOffset, 0);
+  device->store_u64(kRootCellOffset, 0);
+  device->flush_range(0, kPoolHeaderSize);
+  device->drain();
+
+  return PmemPool(device, h.log_offset, h.log_size, h.data_offset,
+                  h.data_size);
+}
+
+Result<PmemPool> PmemPool::open(PmemDevice* device) {
+  PAX_CHECK(device != nullptr);
+  if (device->size() < kPoolHeaderSize) {
+    return corruption("device smaller than a pool header");
+  }
+
+  PoolHeader h{};
+  device->load(0, std::as_writable_bytes(std::span(&h, 1)));
+
+  if (h.magic != kPoolMagic) return corruption("bad pool magic");
+  if (h.version != kPoolVersion) return corruption("unsupported pool version");
+  if (h.crc != header_crc(h)) return corruption("pool header CRC mismatch");
+  if (h.pool_size != device->size()) {
+    return corruption("pool size does not match device size");
+  }
+  if (h.log_offset != kPoolHeaderSize ||
+      h.data_offset != h.log_offset + h.log_size ||
+      h.data_offset + h.data_size != h.pool_size) {
+    return corruption("pool extent geometry inconsistent");
+  }
+
+  return PmemPool(device, h.log_offset, h.log_size, h.data_offset,
+                  h.data_size);
+}
+
+}  // namespace pax::pmem

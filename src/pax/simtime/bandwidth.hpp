@@ -1,0 +1,61 @@
+// Bandwidth-limited shared resources for the discrete-event throughput model.
+//
+// A BandwidthResource approximates a shared channel (PM write bandwidth, the
+// CXL link, the device pipeline) as a single server whose service time per
+// request is bytes / bandwidth. Requests are serialized in arrival order:
+// request(now, bytes) returns the completion time and remembers when the
+// resource frees up, which is how contention between simulated threads
+// emerges (the knee in Figure 2b where PM write bandwidth saturates).
+#pragma once
+
+#include <cstdint>
+
+#include "pax/common/check.hpp"
+#include "pax/simtime/clock.hpp"
+
+namespace pax::simtime {
+
+class BandwidthResource {
+ public:
+  /// `bytes_per_second` — sustained bandwidth of the channel.
+  /// `channels` — number of independent lanes; a request occupies one lane,
+  /// approximated by dividing service time by the channel count.
+  explicit BandwidthResource(double bytes_per_second, unsigned channels = 1)
+      : bytes_per_second_(bytes_per_second), channels_(channels) {
+    PAX_CHECK(bytes_per_second > 0);
+    PAX_CHECK(channels >= 1);
+  }
+
+  /// Requests `bytes` of transfer starting no earlier than `now`.
+  /// Returns the simulated completion time.
+  SimNanos request(SimNanos now, std::uint64_t bytes) {
+    const double service_ns =
+        static_cast<double>(bytes) * 1e9 / (bytes_per_second_ * channels_);
+    const SimNanos start = now > next_free_ ? now : next_free_;
+    next_free_ = start + to_nanos(service_ns);
+    total_bytes_ += bytes;
+    ++total_requests_;
+    return next_free_;
+  }
+
+  /// Time at which the resource next becomes idle.
+  SimNanos next_free() const { return next_free_; }
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_requests() const { return total_requests_; }
+
+  void reset() {
+    next_free_ = 0;
+    total_bytes_ = 0;
+    total_requests_ = 0;
+  }
+
+ private:
+  double bytes_per_second_;
+  unsigned channels_;
+  SimNanos next_free_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_requests_ = 0;
+};
+
+}  // namespace pax::simtime

@@ -1,0 +1,42 @@
+// Virtual time. All performance evaluation in this repository runs in
+// simulated nanoseconds: benches never sleep and never depend on the host
+// machine (the paper's testbed had 32 cores; this container has one).
+#pragma once
+
+#include <cstdint>
+
+#include "pax/common/check.hpp"
+
+namespace pax::simtime {
+
+/// Simulated nanoseconds.
+using SimNanos = std::uint64_t;
+
+/// A monotonically advancing virtual clock. One clock per simulated actor
+/// (thread, device pipeline); actors synchronize through resources.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimNanos start) : now_(start) {}
+
+  SimNanos now() const { return now_; }
+
+  /// Advance by a duration.
+  void advance(SimNanos delta) { now_ += delta; }
+
+  /// Advance to an absolute time; no-op if already past it.
+  void advance_to(SimNanos t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimNanos now_ = 0;
+};
+
+/// Converts a double nanosecond quantity to SimNanos, rounding.
+inline SimNanos to_nanos(double ns) {
+  PAX_CHECK(ns >= 0);
+  return static_cast<SimNanos>(ns + 0.5);
+}
+
+}  // namespace pax::simtime

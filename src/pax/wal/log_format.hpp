@@ -1,0 +1,66 @@
+// On-media record framing for all write-ahead logs in the repository (the
+// PAX device undo log, the PMDK-baseline transaction log, the page-WAL
+// baseline log).
+//
+// Every record is framed with a masked CRC32C so recovery can tell a torn
+// (partially persisted) record from a complete one and stop scanning there.
+// Records carry the snapshot epoch that produced them; recovery applies only
+// records tagged with epochs newer than the pool's committed epoch cell,
+// which is what makes log-extent reuse across epochs safe (stale records
+// from older epochs fail the epoch test, not the CRC test).
+#pragma once
+
+#include <cstdint>
+
+#include "pax/common/types.hpp"
+
+namespace pax::wal {
+
+enum class RecordType : std::uint16_t {
+  kInvalid = 0,
+  kLineUndo = 1,   // payload: LineUndoPayload (old 64 B image of one line)
+  kPageUndo = 2,   // payload: u64 page index + 4096 B old page image
+  kTxBegin = 3,    // PMDK baseline: transaction open marker
+  kTxCommit = 4,   // PMDK baseline: transaction commit marker
+  kRangeUndo = 5,  // PMDK baseline: u64 offset + u32 len + old bytes
+  kAllocMeta = 6,  // allocator metadata change
+};
+
+/// Fixed header preceding every record payload.
+struct RecordHeader {
+  std::uint32_t masked_crc;   // masked CRC32C over [epoch..payload end)
+  std::uint32_t payload_size;
+  std::uint64_t epoch;
+  std::uint16_t type;         // RecordType
+  std::uint16_t reserved0 = 0;
+  std::uint32_t reserved1 = 0;
+};
+static_assert(sizeof(RecordHeader) == 24);
+
+/// Payload of a kLineUndo record: the pre-image of one cache line.
+struct LineUndoPayload {
+  std::uint64_t line_index;
+  LineData old_data;
+};
+static_assert(sizeof(LineUndoPayload) == 8 + kCacheLineSize);
+
+/// Payload header of a kRangeUndo record (old bytes follow).
+struct RangeUndoHeader {
+  std::uint64_t pool_offset;
+  std::uint32_t length;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(RangeUndoHeader) == 16);
+
+/// Payload header of a kPageUndo record (4096 B old image follows).
+struct PageUndoHeader {
+  std::uint64_t page_index;
+};
+
+/// Records are padded to 8-byte boundaries so headers stay aligned.
+constexpr std::size_t record_frame_size(std::size_t payload_size) {
+  const std::size_t raw = sizeof(RecordHeader) + payload_size;
+  return (raw + 7) & ~std::size_t{7};
+}
+
+}  // namespace pax::wal

@@ -1,0 +1,71 @@
+#include "pax/baselines/direct/direct_hashmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace pax::baselines::direct {
+namespace {
+
+using testing::TestPool;
+
+TEST(DirectHashMapTest, PutGetRoundTrip) {
+  TestPool tp = TestPool::create(4 << 20, 64 * 1024);
+  auto map = DirectHashMap::create(&tp.pool, 1024).value();
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_TRUE(map.put(k, k * 2).is_ok());
+  }
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    ASSERT_EQ(map.get(k), std::optional(k * 2));
+  }
+  EXPECT_FALSE(map.get(99999).has_value());
+  EXPECT_EQ(map.size(), 500u);
+}
+
+TEST(DirectHashMapTest, UpdateDoesNotGrow) {
+  TestPool tp = TestPool::create(4 << 20, 64 * 1024);
+  auto map = DirectHashMap::create(&tp.pool, 64).value();
+  ASSERT_TRUE(map.put(7, 1).is_ok());
+  ASSERT_TRUE(map.put(7, 2).is_ok());
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.get(7), std::optional<std::uint64_t>(2));
+}
+
+TEST(DirectHashMapTest, FullTableReportsOutOfSpace) {
+  TestPool tp = TestPool::create(4 << 20, 64 * 1024);
+  auto map = DirectHashMap::create(&tp.pool, 16).value();
+  Status last = Status::ok();
+  for (std::uint64_t k = 1; k <= 17; ++k) {
+    last = map.put(k, k);
+    if (!last.is_ok()) break;
+  }
+  EXPECT_EQ(last.code(), StatusCode::kOutOfSpace);
+}
+
+TEST(DirectHashMapTest, ZeroKeyRejected) {
+  TestPool tp = TestPool::create(4 << 20, 64 * 1024);
+  auto map = DirectHashMap::create(&tp.pool, 16).value();
+  EXPECT_EQ(map.put(0, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DirectHashMapTest, NotCrashConsistentByDesign) {
+  // The defining property of this baseline (paper Fig 2b "PM Direct"):
+  // a crash loses un-evicted stores, and nothing restores consistency.
+  TestPool tp = TestPool::create(4 << 20, 64 * 1024);
+  auto map = DirectHashMap::create(&tp.pool, 64).value();
+  ASSERT_TRUE(map.put(1, 111).is_ok());
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  EXPECT_FALSE(map.get(1).has_value());  // the insert simply evaporated
+}
+
+TEST(DirectHashMapTest, NoFencesIssued) {
+  TestPool tp = TestPool::create(4 << 20, 64 * 1024);
+  auto map = DirectHashMap::create(&tp.pool, 256).value();
+  tp.device->reset_stats();
+  for (std::uint64_t k = 1; k <= 100; ++k) ASSERT_TRUE(map.put(k, k).is_ok());
+  EXPECT_EQ(tp.device->stats().drains, 0u);
+  EXPECT_EQ(tp.device->stats().line_flushes, 0u);
+}
+
+}  // namespace
+}  // namespace pax::baselines::direct

@@ -1,0 +1,154 @@
+#include "pax/baselines/pmdk/phashmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "pax/common/rng.hpp"
+#include "test_util.hpp"
+
+namespace pax::baselines::pmdk {
+namespace {
+
+using testing::TestPool;
+
+struct PHashMapFixture : ::testing::Test {
+  TestPool tp = TestPool::create(4 << 20, 256 * 1024);
+};
+
+TEST_F(PHashMapFixture, PutGetRoundTrip) {
+  TxRuntime tx(&tp.pool);
+  auto map = PHashMap::create(&tx, 64).value();
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    ASSERT_TRUE(map.put(k, k * 7).is_ok());
+  }
+  EXPECT_EQ(map.size(), 100u);
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    ASSERT_EQ(map.get(k), std::optional(k * 7));
+  }
+  EXPECT_FALSE(map.get(9999).has_value());
+}
+
+TEST_F(PHashMapFixture, UpdateInPlace) {
+  TxRuntime tx(&tp.pool);
+  auto map = PHashMap::create(&tx, 16).value();
+  ASSERT_TRUE(map.put(5, 1).is_ok());
+  ASSERT_TRUE(map.put(5, 2).is_ok());
+  EXPECT_EQ(map.get(5), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST_F(PHashMapFixture, EraseUnlinksAndRecycles) {
+  TxRuntime tx(&tp.pool);
+  auto map = PHashMap::create(&tx, 8).value();  // few buckets: long chains
+  for (std::uint64_t k = 1; k <= 30; ++k) ASSERT_TRUE(map.put(k, k).is_ok());
+  for (std::uint64_t k = 1; k <= 30; k += 2) {
+    ASSERT_TRUE(map.erase(k).is_ok());
+  }
+  EXPECT_EQ(map.size(), 15u);
+  for (std::uint64_t k = 1; k <= 30; ++k) {
+    EXPECT_EQ(map.get(k).has_value(), k % 2 == 0) << k;
+  }
+  // New inserts reuse freed nodes.
+  ASSERT_TRUE(map.put(100, 100).is_ok());
+  EXPECT_GE(map.stats().node_recycles, 1u);
+  EXPECT_EQ(map.erase(12345).code(), StatusCode::kNotFound);
+}
+
+TEST_F(PHashMapFixture, DurableAcrossCrashAndReopen) {
+  {
+    TxRuntime tx(&tp.pool);
+    auto map = PHashMap::create(&tx, 64).value();
+    for (std::uint64_t k = 1; k <= 200; ++k) {
+      ASSERT_TRUE(map.put(k, k + 1000).is_ok());
+    }
+  }
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  {
+    TxRuntime tx(&tp.pool);
+    auto map = PHashMap::open(&tx).value();
+    EXPECT_EQ(map.size(), 200u);
+    for (std::uint64_t k = 1; k <= 200; ++k) {
+      ASSERT_EQ(map.get(k), std::optional(k + 1000));
+    }
+  }
+}
+
+TEST_F(PHashMapFixture, CrashMidPutLeavesMapConsistent) {
+  // Stage a put whose log records are durable but whose commit never lands,
+  // then crash: recovery must fully undo the half-applied insert.
+  {
+    TxRuntime tx(&tp.pool);
+    auto map = PHashMap::create(&tx, 16).value();
+    ASSERT_TRUE(map.put(1, 10).is_ok());
+    // Begin a transaction by hand that mimics put(2,20) but stops after
+    // mutating the bucket without committing.
+    ASSERT_TRUE(tx.tx_begin().is_ok());
+    ASSERT_TRUE(tx.tx_snapshot(tp.pool.data_offset() + 16, 8).is_ok());
+    const std::uint64_t junk = 0xdeadbeef;
+    ASSERT_TRUE(tx.tx_store(tp.pool.data_offset() + 16,
+                            std::as_bytes(std::span(&junk, 1)))
+                    .is_ok());
+    tp.device->flush_range(tp.pool.data_offset() + 16, 8);
+    tp.device->drain();
+  }
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  {
+    TxRuntime tx(&tp.pool);
+    EXPECT_EQ(tx.stats().recovered_txs, 1u);
+    auto map = PHashMap::open(&tx).value();
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.get(1), std::optional<std::uint64_t>(10));
+    // Map still fully functional.
+    ASSERT_TRUE(map.put(2, 20).is_ok());
+    EXPECT_EQ(map.get(2), std::optional<std::uint64_t>(20));
+  }
+}
+
+TEST_F(PHashMapFixture, RandomizedOracleComparison) {
+  TxRuntime tx(&tp.pool);
+  auto map = PHashMap::create(&tx, 128).value();
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(2024);
+
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t key = 1 + rng.next_below(400);
+    const double dice = rng.next_double();
+    if (dice < 0.55) {
+      const std::uint64_t value = rng.next();
+      ASSERT_TRUE(map.put(key, value).is_ok());
+      oracle[key] = value;
+    } else if (dice < 0.8) {
+      Status s = map.erase(key);
+      EXPECT_EQ(s.is_ok(), oracle.erase(key) > 0);
+    } else {
+      auto got = map.get(key);
+      auto it = oracle.find(key);
+      if (it == oracle.end()) {
+        EXPECT_FALSE(got.has_value()) << key;
+      } else {
+        EXPECT_EQ(got, std::optional(it->second)) << key;
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), oracle.size());
+}
+
+TEST_F(PHashMapFixture, OpenWithoutCreateFails) {
+  TxRuntime tx(&tp.pool);
+  EXPECT_FALSE(PHashMap::open(&tx).ok());
+}
+
+TEST_F(PHashMapFixture, SfenceCostScalesWithOperations) {
+  // The paper's claim in §2: multiple ordered stalls per logical put().
+  TxRuntime tx(&tp.pool);
+  auto map = PHashMap::create(&tx, 64).value();
+  const auto before = tx.stats().sfences;
+  for (std::uint64_t k = 1; k <= 10; ++k) ASSERT_TRUE(map.put(k, k).is_ok());
+  const auto per_put =
+      static_cast<double>(tx.stats().sfences - before) / 10.0;
+  EXPECT_GE(per_put, 4.0);  // ≥3 snapshots + data fence + commit fences
+}
+
+}  // namespace
+}  // namespace pax::baselines::pmdk

@@ -1,0 +1,118 @@
+#include "pax/baselines/pmdk/pvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace pax::baselines::pmdk {
+namespace {
+
+using testing::TestPool;
+
+struct PVectorFixture : ::testing::Test {
+  TestPool tp = TestPool::create(4 << 20, 256 * 1024);
+};
+
+TEST_F(PVectorFixture, PushBackAndGet) {
+  TxRuntime tx(&tp.pool);
+  auto vec = PVector::create(&tx).value();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(vec.push_back(i * 3).is_ok());
+  }
+  EXPECT_EQ(vec.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(vec.get(i), std::optional(i * 3));
+  }
+  EXPECT_FALSE(vec.get(100).has_value());
+}
+
+TEST_F(PVectorFixture, GrowthDoublesCapacityAndPreservesContents) {
+  TxRuntime tx(&tp.pool);
+  auto vec = PVector::create(&tx, /*initial_capacity=*/4).value();
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(vec.push_back(1000 + i).is_ok());
+  }
+  EXPECT_GE(vec.capacity(), 50u);
+  EXPECT_EQ(vec.capacity(), 64u);  // 4 → 8 → 16 → 32 → 64
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_EQ(vec.get(i), std::optional(1000 + i));
+  }
+}
+
+TEST_F(PVectorFixture, SetAndPopBack) {
+  TxRuntime tx(&tp.pool);
+  auto vec = PVector::create(&tx).value();
+  ASSERT_TRUE(vec.push_back(1).is_ok());
+  ASSERT_TRUE(vec.push_back(2).is_ok());
+  ASSERT_TRUE(vec.set(0, 99).is_ok());
+  EXPECT_EQ(vec.get(0), std::optional<std::uint64_t>(99));
+  ASSERT_TRUE(vec.pop_back().is_ok());
+  EXPECT_EQ(vec.size(), 1u);
+  EXPECT_FALSE(vec.get(1).has_value());
+  EXPECT_FALSE(vec.set(1, 5).is_ok());
+  ASSERT_TRUE(vec.pop_back().is_ok());
+  EXPECT_EQ(vec.pop_back().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PVectorFixture, DurableAcrossCrash) {
+  {
+    TxRuntime tx(&tp.pool);
+    auto vec = PVector::create(&tx, 4).value();
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(vec.push_back(i).is_ok());
+    }
+  }
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  {
+    TxRuntime tx(&tp.pool);
+    auto vec = PVector::open(&tx).value();
+    ASSERT_EQ(vec.size(), 200u);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      ASSERT_EQ(vec.get(i), std::optional(i));
+    }
+  }
+}
+
+TEST_F(PVectorFixture, CrashMidGrowthKeepsOldArray) {
+  // Stage a growth transaction whose header flips are durable in the log
+  // but whose commit never lands: recovery restores the old array view.
+  {
+    TxRuntime tx(&tp.pool);
+    auto vec = PVector::create(&tx, 4).value();
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(vec.push_back(10 + i).is_ok());
+    }
+    // The 5th push triggers growth; emulate a crash inside it by running
+    // the same steps by hand without committing.
+    ASSERT_TRUE(tx.tx_begin().is_ok());
+    // (snapshot + clobber the array offset like grow_in_tx would)
+    const PoolOffset base = tp.pool.data_offset();
+    ASSERT_TRUE(tx.tx_snapshot(base + 24, 8).is_ok());
+    const std::uint64_t bogus = base + 999 * 8;
+    ASSERT_TRUE(
+        tx.tx_store(base + 24, std::as_bytes(std::span(&bogus, 1))).is_ok());
+    tp.device->flush_range(base + 24, 8);
+    tp.device->drain();
+  }
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  {
+    TxRuntime tx(&tp.pool);
+    EXPECT_EQ(tx.stats().recovered_txs, 1u);
+    auto vec = PVector::open(&tx).value();
+    ASSERT_EQ(vec.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      ASSERT_EQ(vec.get(i), std::optional(10 + i));
+    }
+    // Still usable: growth completes cleanly now.
+    ASSERT_TRUE(vec.push_back(14).is_ok());
+    EXPECT_EQ(vec.capacity(), 8u);
+  }
+}
+
+TEST_F(PVectorFixture, OpenWithoutCreateFails) {
+  TxRuntime tx(&tp.pool);
+  EXPECT_FALSE(PVector::open(&tx).ok());
+}
+
+}  // namespace
+}  // namespace pax::baselines::pmdk

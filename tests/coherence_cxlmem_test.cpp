@@ -1,0 +1,138 @@
+// CXL.mem visibility mode (§6): the device sees only reads and write-backs.
+// Crash consistency must still hold — provided the host runs the CLWB sweep
+// before persist, since the device cannot pull.
+#include <gtest/gtest.h>
+
+#include "pax/coherence/host_cache.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/device/recovery.hpp"
+#include "test_util.hpp"
+
+namespace pax::coherence {
+namespace {
+
+using testing::TestPool;
+
+struct CxlMemFixture : ::testing::Test {
+  TestPool tp = TestPool::create(8 << 20, 1 << 20);
+  device::PaxDevice dev{&tp.pool, device::DeviceConfig::defaults()};
+
+  HostCacheConfig mem_config() {
+    HostCacheConfig c;
+    c.protocol = DeviceProtocol::kCxlMem;
+    c.record_trace = true;
+    return c;
+  }
+
+  PoolOffset addr(std::uint64_t i) const {
+    return tp.pool.data_offset() + i * kCacheLineSize;
+  }
+};
+
+TEST_F(CxlMemFixture, StoresAreSilentToTheDevice) {
+  HostCacheSim host(&dev, mem_config());
+  ASSERT_TRUE(host.store_u64(addr(0), 42).is_ok());
+  EXPECT_EQ(dev.stats().write_intents, 0u);     // no RdOwn in .mem
+  EXPECT_EQ(dev.stats().first_touch_logs, 0u);  // nothing logged yet
+  EXPECT_EQ(host.stats().rd_own, 0u);
+  EXPECT_EQ(host.line_state(LineIndex::containing(addr(0))),
+            MesiState::kModified);
+}
+
+TEST_F(CxlMemFixture, DirtyEvictionTriggersMemWrLogging) {
+  HostCacheConfig small = mem_config();
+  small.l1 = {1024, 2};
+  small.l2 = {2048, 2};
+  small.llc = {4 * 1024, 2};
+  HostCacheSim host(&dev, small);
+
+  ASSERT_TRUE(host.store_u64(addr(0), 7).is_ok());
+  // Blow the line out: the eviction is the device's first notification.
+  for (std::uint64_t i = 1; i < 256; ++i) host.load_u64(addr(i));
+  EXPECT_GT(dev.stats().mem_writes, 0u);
+  EXPECT_GT(dev.stats().first_touch_logs, 0u);
+  EXPECT_EQ(host.load_u64(addr(0)), 7u);  // served back from device
+}
+
+TEST_F(CxlMemFixture, ClwbSweepMakesPersistCorrect) {
+  HostCacheSim host(&dev, mem_config());
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(host.store_u64(addr(i), 100 + i).is_ok());
+  }
+  // .mem persist protocol: CLWB sweep, then persist with a no-op pull.
+  ASSERT_TRUE(host.clwb_all_dirty().is_ok());
+  EXPECT_EQ(host.stats().clwbs, 50u);
+  ASSERT_TRUE(dev.persist(host.pull_fn()).ok());
+
+  host.drop_all_without_writeback();
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(device::recover_pool(pool).ok());
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(tp.device->load_u64(addr(i)), 100 + i) << i;
+  }
+}
+
+TEST_F(CxlMemFixture, PersistWithoutClwbSweepLosesCachedData) {
+  // The failure mode §6 implies: without the sweep the device cannot see
+  // host-cached modifications, so they are simply not part of the snapshot
+  // (they roll forward only if later evicted — or vanish on crash).
+  HostCacheSim host(&dev, mem_config());
+  ASSERT_TRUE(host.store_u64(addr(0), 9).is_ok());
+  ASSERT_TRUE(dev.persist(host.pull_fn()).ok());  // no sweep: sees nothing
+
+  host.drop_all_without_writeback();
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(device::recover_pool(pool).ok());
+  EXPECT_EQ(tp.device->load_u64(addr(0)), 0u);  // the store never made it
+}
+
+TEST_F(CxlMemFixture, UnpersistedMemWritesRollBack) {
+  HostCacheSim host(&dev, mem_config());
+  // Epoch 1: value committed properly.
+  ASSERT_TRUE(host.store_u64(addr(0), 1).is_ok());
+  ASSERT_TRUE(host.clwb_all_dirty().is_ok());
+  ASSERT_TRUE(dev.persist(host.pull_fn()).ok());
+
+  // Epoch 2: modified, swept to the device (logged + possibly written
+  // back), never persisted.
+  ASSERT_TRUE(host.store_u64(addr(0), 2).is_ok());
+  ASSERT_TRUE(host.clwb_all_dirty().is_ok());
+  dev.tick(/*force_flush=*/true);  // proactive write-back to PM
+
+  host.drop_all_without_writeback();
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(device::recover_pool(pool).ok());
+  EXPECT_EQ(pool.committed_epoch(), 1u);
+  EXPECT_EQ(tp.device->load_u64(addr(0)), 1u);
+}
+
+TEST_F(CxlMemFixture, FirstTouchLoggingOncePerEpochAcrossRepeatedClwbs) {
+  HostCacheSim host(&dev, mem_config());
+  ASSERT_TRUE(host.store_u64(addr(0), 1).is_ok());
+  ASSERT_TRUE(host.clwb_all_dirty().is_ok());
+  ASSERT_TRUE(host.store_u64(addr(0), 2).is_ok());  // re-dirty (silent)
+  ASSERT_TRUE(host.clwb_all_dirty().is_ok());
+  EXPECT_EQ(dev.stats().first_touch_logs, 1u);  // one pre-image per epoch
+  EXPECT_EQ(dev.stats().mem_writes, 2u);
+
+  ASSERT_TRUE(dev.persist(host.pull_fn()).ok());
+  EXPECT_EQ(tp.device->load_u64(addr(0)), 2u);
+}
+
+TEST_F(CxlMemFixture, CacheModeStillUsesSnoops) {
+  // Contrast check: the same sequence in .cache mode needs no CLWBs.
+  HostCacheConfig cache_cfg;
+  cache_cfg.protocol = DeviceProtocol::kCxlCache;
+  HostCacheSim host(&dev, cache_cfg);
+  ASSERT_TRUE(host.store_u64(addr(5), 55).is_ok());
+  ASSERT_TRUE(dev.persist(host.pull_fn()).ok());
+  EXPECT_EQ(host.stats().clwbs, 0u);
+  EXPECT_EQ(host.stats().snoops_served, 1u);
+  EXPECT_EQ(tp.device->load_u64(addr(5)), 55u);
+}
+
+}  // namespace
+}  // namespace pax::coherence

@@ -1,0 +1,132 @@
+// Tests of the ECI→CXL adapter (§4): message translation, the 128 B → 64 B
+// block split, filtering, the no-data RC2D upgrade, and end-to-end crash
+// consistency when the device is driven entirely through ECI messages.
+#include "pax/coherence/eci_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pax/device/recovery.hpp"
+#include "test_util.hpp"
+
+namespace pax::coherence {
+namespace {
+
+using testing::TestPool;
+
+struct EciFixture : ::testing::Test {
+  TestPool tp = TestPool::create(4 << 20, 256 * 1024);
+  device::PaxDevice dev{&tp.pool, device::DeviceConfig::defaults()};
+  EciAdapter adapter{&dev};
+
+  EciBlockIndex block(std::uint64_t i) const {
+    // Block index within the pool; data extent start must be 128B-aligned.
+    return EciBlockIndex{tp.pool.data_offset() / kEciBlockSize + i};
+  }
+
+  EciBlockData pattern(std::uint64_t tag) const {
+    EciBlockData d;
+    for (std::size_t i = 0; i < kEciBlockSize; ++i) {
+      d.bytes[i] = static_cast<std::byte>((tag * 17 + i) & 0xff);
+    }
+    return d;
+  }
+};
+
+TEST_F(EciFixture, RlddReadsBothLinesOfTheBlock) {
+  // Seed PM with distinct line contents.
+  tp.device->store_line(block(0).first_line(), testing::patterned_line(1));
+  tp.device->store_line(LineIndex{block(0).first_line().value + 1},
+                        testing::patterned_line(2));
+
+  auto resp = adapter.handle({EciOp::kRldd, block(0), std::nullopt});
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp.value().data.has_value());
+  EXPECT_EQ(std::memcmp(resp.value().data->bytes.data(),
+                        testing::patterned_line(1).bytes.data(),
+                        kCacheLineSize),
+            0);
+  EXPECT_EQ(std::memcmp(resp.value().data->bytes.data() + kCacheLineSize,
+                        testing::patterned_line(2).bytes.data(),
+                        kCacheLineSize),
+            0);
+  EXPECT_EQ(adapter.stats().cxl_reads, 2u);  // the 128→64 split
+  EXPECT_EQ(dev.stats().first_touch_logs, 0u);  // loads log nothing
+}
+
+TEST_F(EciFixture, RldxLogsBothLines) {
+  auto resp = adapter.handle({EciOp::kRldx, block(3), std::nullopt});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp.value().data.has_value());
+  EXPECT_EQ(dev.stats().first_touch_logs, 2u);
+  EXPECT_EQ(adapter.stats().cxl_write_intents, 2u);
+}
+
+TEST_F(EciFixture, Rc2dLogsWithoutTouchingData) {
+  // Put a known value in the device path first (block read, remote holds
+  // it shared), then upgrade: the device view must be unchanged.
+  tp.device->store_line(block(1).first_line(), testing::patterned_line(7));
+  ASSERT_TRUE(adapter.handle({EciOp::kRldd, block(1), std::nullopt}).ok());
+
+  auto resp = adapter.handle({EciOp::kRc2d, block(1), std::nullopt});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp.value().data.has_value());  // no data travels
+  EXPECT_EQ(dev.stats().first_touch_logs, 2u);
+  EXPECT_EQ(dev.peek_line(block(1).first_line()), testing::patterned_line(7));
+}
+
+TEST_F(EciFixture, VicdSplitsWritebackAcrossLines) {
+  ASSERT_TRUE(adapter.handle({EciOp::kRldx, block(2), std::nullopt}).ok());
+  auto data = pattern(9);
+  ASSERT_TRUE(adapter.handle({EciOp::kVicd, block(2), data}).ok());
+  EXPECT_EQ(adapter.stats().cxl_writebacks, 2u);
+
+  // Device view reflects both halves.
+  const LineData first = dev.peek_line(block(2).first_line());
+  EXPECT_EQ(std::memcmp(first.bytes.data(), data.bytes.data(),
+                        kCacheLineSize),
+            0);
+}
+
+TEST_F(EciFixture, VicdWithoutDataRejected) {
+  auto resp = adapter.handle({EciOp::kVicd, block(0), std::nullopt});
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EciFixture, CleanVictimsAreFiltered) {
+  auto vicc = adapter.handle({EciOp::kVicc, block(0), std::nullopt});
+  auto vics = adapter.handle({EciOp::kVics, block(0), std::nullopt});
+  ASSERT_TRUE(vicc.ok());
+  ASSERT_TRUE(vics.ok());
+  EXPECT_TRUE(vicc.value().filtered);
+  EXPECT_TRUE(vics.value().filtered);
+  EXPECT_EQ(adapter.stats().filtered, 2u);
+  EXPECT_EQ(dev.stats().write_intents, 0u);  // nothing reached the device
+}
+
+TEST_F(EciFixture, EndToEndCrashConsistencyThroughEci) {
+  // Epoch 1 through ECI messages only.
+  ASSERT_TRUE(adapter.handle({EciOp::kRldx, block(0), std::nullopt}).ok());
+  ASSERT_TRUE(adapter.handle({EciOp::kVicd, block(0), pattern(1)}).ok());
+  ASSERT_TRUE(dev.persist(nullptr).ok());
+
+  // Epoch 2: upgrade and re-dirty, never persisted.
+  ASSERT_TRUE(adapter.handle({EciOp::kRc2d, block(0), std::nullopt}).ok());
+  ASSERT_TRUE(adapter.handle({EciOp::kVicd, block(0), pattern(2)}).ok());
+  dev.tick(/*force_flush=*/true);  // push epoch-2 data toward PM
+
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(device::recover_pool(pool).ok());
+  EXPECT_EQ(pool.committed_epoch(), 1u);
+
+  const LineData recovered = tp.device->durable_line(block(0).first_line());
+  EXPECT_EQ(std::memcmp(recovered.bytes.data(), pattern(1).bytes.data(),
+                        kCacheLineSize),
+            0);
+}
+
+}  // namespace
+}  // namespace pax::coherence

@@ -1,0 +1,192 @@
+// Protocol tests: the host cache simulator must emit exactly the CXL.cache
+// traffic PAX depends on, and the end-of-epoch SnpData downgrade must make
+// next-epoch stores visible again (the paper's §3.3 correctness linchpin).
+#include "pax/coherence/host_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pax/device/pax_device.hpp"
+#include "pax/device/recovery.hpp"
+#include "test_util.hpp"
+
+namespace pax::coherence {
+namespace {
+
+using testing::TestPool;
+
+struct CoherenceFixture : ::testing::Test {
+  TestPool tp = TestPool::create(8 << 20, 1 << 20);
+  device::DeviceConfig dev_config = device::DeviceConfig::defaults();
+  device::PaxDevice dev{&tp.pool, dev_config};
+
+  HostCacheConfig traced_config() {
+    HostCacheConfig c;
+    c.record_trace = true;
+    return c;
+  }
+
+  PoolOffset addr(std::uint64_t i) const {
+    return tp.pool.data_offset() + i * kCacheLineSize;
+  }
+};
+
+TEST_F(CoherenceFixture, LoadMissEmitsRdSharedThenCachesLine) {
+  HostCacheSim host(&dev, traced_config());
+  EXPECT_EQ(host.load_u64(addr(0)), 0u);
+  ASSERT_GE(host.trace().size(), 2u);
+  EXPECT_EQ(host.trace()[0].op, CxlOp::kRdShared);
+  EXPECT_EQ(host.trace()[1].op, CxlOp::kGo);
+  EXPECT_EQ(host.line_state(LineIndex::containing(addr(0))),
+            MesiState::kShared);
+
+  host.clear_trace();
+  EXPECT_EQ(host.load_u64(addr(0)), 0u);  // now a cache hit
+  EXPECT_TRUE(host.trace().empty());
+  EXPECT_EQ(host.stats().rd_shared, 1u);
+}
+
+TEST_F(CoherenceFixture, StoreMissEmitsRdOwnAndDeviceLogsPreImage) {
+  HostCacheSim host(&dev, traced_config());
+  ASSERT_TRUE(host.store_u64(addr(0), 42).is_ok());
+  EXPECT_EQ(host.trace()[0].op, CxlOp::kRdOwn);
+  EXPECT_EQ(host.line_state(LineIndex::containing(addr(0))),
+            MesiState::kModified);
+  EXPECT_EQ(dev.stats().first_touch_logs, 1u);
+  EXPECT_EQ(host.load_u64(addr(0)), 42u);
+}
+
+TEST_F(CoherenceFixture, StoreUpgradeFromSharedEmitsRdOwn) {
+  HostCacheSim host(&dev, traced_config());
+  host.load_u64(addr(0));  // S
+  host.clear_trace();
+  ASSERT_TRUE(host.store_u64(addr(0), 1).is_ok());
+  EXPECT_EQ(host.trace()[0].op, CxlOp::kRdOwn);
+  EXPECT_EQ(host.stats().upgrades, 1u);
+}
+
+TEST_F(CoherenceFixture, RepeatStoresToModifiedLineAreSilent) {
+  HostCacheSim host(&dev, traced_config());
+  ASSERT_TRUE(host.store_u64(addr(0), 1).is_ok());
+  host.clear_trace();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(host.store_u64(addr(0), i).is_ok());
+  }
+  EXPECT_TRUE(host.trace().empty());  // M-state hits: no device traffic
+  EXPECT_EQ(dev.stats().write_intents, 1u);
+}
+
+TEST_F(CoherenceFixture, SnoopDowngradesModifiedToSharedAndForwardsData) {
+  HostCacheSim host(&dev, traced_config());
+  ASSERT_TRUE(host.store_u64(addr(0), 77).is_ok());
+  auto data = host.snoop_data(LineIndex::containing(addr(0)));
+  ASSERT_TRUE(data.has_value());
+  std::uint64_t v;
+  std::memcpy(&v, data->bytes.data(), 8);
+  EXPECT_EQ(v, 77u);
+  EXPECT_EQ(host.line_state(LineIndex::containing(addr(0))),
+            MesiState::kShared);
+  EXPECT_FALSE(host.snoop_data(LineIndex{999999}).has_value());
+}
+
+TEST_F(CoherenceFixture, CrossEpochStoreIsReobservedAfterPersistDowngrade) {
+  // THE critical scenario (§3.3): a line modified in epoch 1 stays in host
+  // cache; persist() downgrades it via SnpData; epoch 2's store to the same
+  // line must emit a fresh RdOwn so the device logs epoch 2's pre-image.
+  HostCacheSim host(&dev, traced_config());
+  ASSERT_TRUE(host.store_u64(addr(0), 1).is_ok());
+  ASSERT_TRUE(dev.persist(host.pull_fn()).ok());
+  EXPECT_EQ(host.line_state(LineIndex::containing(addr(0))),
+            MesiState::kShared);
+
+  host.clear_trace();
+  ASSERT_TRUE(host.store_u64(addr(0), 2).is_ok());
+  EXPECT_EQ(host.trace()[0].op, CxlOp::kRdOwn);
+  EXPECT_EQ(dev.stats().first_touch_logs, 2u);  // once per epoch
+
+  // And crash-recovery after the unpersisted epoch-2 store lands on epoch 1.
+  host.drop_all_without_writeback();
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(device::recover_pool(pool).ok());
+  std::uint64_t v = tp.device->load_u64(addr(0));
+  EXPECT_EQ(v, 1u);
+}
+
+TEST_F(CoherenceFixture, LlcEvictionOfModifiedLineWritesBackToDevice) {
+  // Tiny LLC forces capacity evictions; dirty victims must reach the device.
+  HostCacheConfig small;
+  small.l1 = {2 * 1024, 2};
+  small.l2 = {4 * 1024, 2};
+  small.llc = {8 * 1024, 2};  // 128 lines
+  HostCacheSim host(&dev, small);
+
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    ASSERT_TRUE(host.store_u64(addr(i), i).is_ok());
+  }
+  EXPECT_GT(host.stats().dirty_evicts, 0u);
+  EXPECT_EQ(dev.stats().host_writebacks, host.stats().dirty_evicts);
+
+  // Persist and verify every value, including lines long evicted.
+  ASSERT_TRUE(dev.persist(host.pull_fn()).ok());
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    EXPECT_EQ(tp.device->load_u64(addr(i)), i) << "line " << i;
+  }
+}
+
+TEST_F(CoherenceFixture, EvictedThenReloadedLineSeesOwnStore) {
+  HostCacheConfig small;
+  small.l1 = {1024, 2};
+  small.l2 = {2048, 2};
+  small.llc = {4 * 1024, 2};
+  HostCacheSim host(&dev, small);
+
+  ASSERT_TRUE(host.store_u64(addr(0), 123).is_ok());
+  // Blow the line out of the hierarchy.
+  for (std::uint64_t i = 1; i < 512; ++i) host.load_u64(addr(i));
+  EXPECT_EQ(host.load_u64(addr(0)), 123u);  // served back from the device
+}
+
+TEST_F(CoherenceFixture, PartialLineStoreMergesWithMemoryContents) {
+  // Pre-populate PM with a pattern, then store one u64 in the middle of the
+  // line: the other 56 bytes must survive.
+  auto line = LineIndex::containing(addr(0));
+  tp.device->store_line(line, testing::patterned_line(9));
+  tp.device->flush_line(line);
+
+  HostCacheSim host(&dev, traced_config());
+  ASSERT_TRUE(host.store_u64(addr(0) + 16, 0xdeadbeef).is_ok());
+
+  LineData expect = testing::patterned_line(9);
+  std::uint64_t v = 0xdeadbeef;
+  std::memcpy(expect.bytes.data() + 16, &v, 8);
+  auto snooped = host.snoop_data(line);
+  ASSERT_TRUE(snooped.has_value());
+  EXPECT_EQ(*snooped, expect);
+}
+
+TEST_F(CoherenceFixture, StatsLevelsAreHierarchical) {
+  HostCacheSim host(&dev, HostCacheConfig{});
+  for (std::uint64_t i = 0; i < 1000; ++i) host.load_u64(addr(i % 100));
+  const auto& s = host.stats();
+  EXPECT_EQ(s.l1.accesses, 1000u);
+  EXPECT_LE(s.l2.accesses, s.l1.accesses);
+  EXPECT_LE(s.llc.accesses, s.l2.accesses);
+  EXPECT_EQ(s.l1.accesses, s.loads);
+  // 100 hot lines fit in L1: after the first pass, everything hits.
+  EXPECT_GE(s.l1.hits, 900u);
+}
+
+TEST_F(CoherenceFixture, FlushAndInvalidateWritesDirtyLinesBack) {
+  HostCacheSim host(&dev, HostCacheConfig{});
+  ASSERT_TRUE(host.store_u64(addr(0), 5).is_ok());
+  host.flush_and_invalidate_all();
+  EXPECT_EQ(host.line_state(LineIndex::containing(addr(0))),
+            MesiState::kInvalid);
+  EXPECT_GE(dev.stats().host_writebacks, 1u);
+  // The device now holds the value; a fresh host sees it.
+  HostCacheSim host2(&dev, HostCacheConfig{});
+  EXPECT_EQ(host2.load_u64(addr(0)), 5u);
+}
+
+}  // namespace
+}  // namespace pax::coherence

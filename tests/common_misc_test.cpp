@@ -1,0 +1,143 @@
+// Tests for Status/Result, the RNGs, and logging plumbing.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "pax/common/log.hpp"
+#include "pax/common/rng.hpp"
+#include "pax/common/status.hpp"
+
+namespace pax {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = corruption("bad crc");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.to_string(), "CORRUPTION: bad crc");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code : {StatusCode::kOk, StatusCode::kIoError,
+                    StatusCode::kCorruption, StatusCode::kInvalidArgument,
+                    StatusCode::kNotFound, StatusCode::kOutOfSpace,
+                    StatusCode::kFailedPrecondition}) {
+    EXPECT_NE(status_code_name(code), "UNKNOWN");
+    EXPECT_FALSE(status_code_name(code).empty());
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() -> Status { return not_found("x"); };
+  auto outer = [&]() -> Status {
+    PAX_RETURN_IF_ERROR(inner());
+    return Status::ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok_result(5);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 5);
+  EXPECT_TRUE(ok_result.status().is_ok());
+
+  Result<int> err_result(io_error("disk on fire"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(err_result.value_or(-1), -1);
+  EXPECT_EQ(ok_result.value_or(-1), 5);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(RngTest, SplitMix64KnownSequence) {
+  // Reference values for seed 0 (Vigna's splitmix64).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, XoshiroIsDeterministicPerSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_diff_seed = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    if (va != b.next()) all_equal = false;
+    if (va != c.next()) any_diff_seed = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowCoversRangeRoughlyUniformly) {
+  Xoshiro256 rng(8);
+  std::vector<int> buckets(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.next_below(10)];
+  for (int count : buckets) {
+    EXPECT_GT(count, kDraws / 10 * 0.9);
+    EXPECT_LT(count, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Xoshiro256 rng(10);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads / 100000.0, 0.25, 0.01);
+}
+
+TEST(LogTest, LevelGatingWorks) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_FALSE(internal::log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(internal::log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(internal::log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(internal::log_enabled(LogLevel::kDebug));
+  set_log_level(old);
+}
+
+TEST(LogTest, FormatProducesExpectedText) {
+  EXPECT_EQ(internal::format_log("x=%d s=%s", 5, "abc"), "x=5 s=abc");
+}
+
+}  // namespace
+}  // namespace pax

@@ -1,0 +1,190 @@
+// Tests of the §6 extension: non-blocking persist via epoch overlap
+// (seal_epoch / commit_sealed, banked undo logs, two-epoch recovery).
+#include <gtest/gtest.h>
+
+#include "pax/coherence/host_cache.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/device/recovery.hpp"
+#include "test_util.hpp"
+
+namespace pax::device {
+namespace {
+
+using testing::patterned_line;
+using testing::TestPool;
+
+struct OverlapFixture : ::testing::Test {
+  TestPool tp = TestPool::create(4 << 20, 256 * 1024);
+
+  DeviceConfig config() {
+    DeviceConfig c;
+    c.hbm.capacity_lines = 64;
+    c.hbm.ways = 4;
+    return c;
+  }
+};
+
+TEST_F(OverlapFixture, SealReturnsImmediatelyWithoutCommitting) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));
+
+  auto sealed = dev.seal_epoch(nullptr);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed.value(), 1u);
+  EXPECT_TRUE(dev.has_sealed_epoch());
+  EXPECT_EQ(tp.pool.committed_epoch(), 0u);  // nothing durable yet
+  EXPECT_EQ(dev.current_epoch(), 2u);        // new epoch already open
+}
+
+TEST_F(OverlapFixture, CommitSealedMakesEpochDurable) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));
+  ASSERT_TRUE(dev.seal_epoch(nullptr).ok());
+
+  auto committed = dev.commit_sealed();
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed.value(), 1u);
+  EXPECT_FALSE(dev.has_sealed_epoch());
+  EXPECT_EQ(tp.pool.committed_epoch(), 1u);
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(1));
+}
+
+TEST_F(OverlapFixture, CommitSealedWithNothingSealedIsANoop) {
+  PaxDevice dev(&tp.pool, config());
+  auto committed = dev.commit_sealed();
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed.value(), 0u);
+}
+
+TEST_F(OverlapFixture, DoubleSealRejected) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  ASSERT_TRUE(dev.seal_epoch(nullptr).ok());
+  auto second = dev.seal_epoch(nullptr);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(OverlapFixture, NewEpochAccumulatesWhileSealedPending) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));
+  ASSERT_TRUE(dev.seal_epoch(nullptr).ok());
+
+  // Epoch 2 modifies a different line and the same line again.
+  ASSERT_TRUE(dev.write_intent(tp.data_line(1)).is_ok());
+  dev.writeback_line(tp.data_line(1), patterned_line(2));
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(3));
+  EXPECT_EQ(dev.epoch_logged_lines(), 2u);
+
+  ASSERT_TRUE(dev.commit_sealed().ok());
+  EXPECT_EQ(tp.pool.committed_epoch(), 1u);
+
+  ASSERT_TRUE(dev.persist(nullptr).ok());
+  EXPECT_EQ(tp.pool.committed_epoch(), 2u);
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(3));
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(1)), patterned_line(2));
+}
+
+TEST_F(OverlapFixture, PersistCompletesPendingSealFirst) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));
+  ASSERT_TRUE(dev.seal_epoch(nullptr).ok());
+
+  ASSERT_TRUE(dev.write_intent(tp.data_line(1)).is_ok());
+  dev.writeback_line(tp.data_line(1), patterned_line(2));
+
+  auto committed = dev.persist(nullptr);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed.value(), 2u);  // both epochs durable, in order
+  EXPECT_EQ(tp.pool.committed_epoch(), 2u);
+}
+
+TEST_F(OverlapFixture, CrashWithTwoUncommittedEpochsRollsBackBoth) {
+  // Line 0: epoch-1 value v1 sealed (not committed), epoch-2 value v2
+  // active. Crash → recovery must land on epoch 0 (zeros), undoing v2 then
+  // v1 in that order.
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));
+  ASSERT_TRUE(dev.seal_epoch(nullptr).ok());
+
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(2));
+  dev.tick(/*force_flush=*/true);  // push v2 toward PM (undo gated: OK)
+
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  auto report = recover_pool(pool);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().recovered_epoch, 0u);
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), LineData{});
+}
+
+TEST_F(OverlapFixture, CrashAfterAsyncCommitKeepsSealedEpoch) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));
+  ASSERT_TRUE(dev.seal_epoch(nullptr).ok());
+
+  // Epoch 2 modifies the same line before the async commit completes.
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(2));
+
+  ASSERT_TRUE(dev.commit_sealed().ok());
+  tp.device->crash(pmem::CrashConfig::drop_all());
+
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(recover_pool(pool).ok());
+  EXPECT_EQ(pool.committed_epoch(), 1u);
+  // Epoch-2's value rolled back to the *sealed* epoch's value.
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(1));
+}
+
+TEST_F(OverlapFixture, CoherenceSealDowngradesAndRelogs) {
+  PaxDevice dev(&tp.pool, config());
+  coherence::HostCacheSim host(&dev, coherence::HostCacheConfig{});
+  const PoolOffset addr = tp.pool.data_offset();
+
+  ASSERT_TRUE(host.store_u64(addr, 1).is_ok());
+  ASSERT_TRUE(dev.seal_epoch(host.pull_fn()).ok());
+  EXPECT_EQ(host.line_state(LineIndex::containing(addr)),
+            coherence::MesiState::kShared);
+
+  ASSERT_TRUE(host.store_u64(addr, 2).is_ok());  // must RdOwn again
+  EXPECT_EQ(dev.stats().first_touch_logs, 2u);
+
+  ASSERT_TRUE(dev.commit_sealed().ok());
+  ASSERT_TRUE(dev.persist(host.pull_fn()).ok());
+  EXPECT_EQ(tp.device->load_u64(addr), 2u);
+
+  // Crash after everything committed: value persists.
+  host.drop_all_without_writeback();
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(recover_pool(pool).ok());
+  EXPECT_EQ(tp.device->load_u64(addr), 2u);
+}
+
+TEST_F(OverlapFixture, AlternatingSealCommitReusesBanks) {
+  PaxDevice dev(&tp.pool, config());
+  for (Epoch e = 0; e < 6; ++e) {
+    ASSERT_TRUE(dev.write_intent(tp.data_line(e)).is_ok());
+    dev.writeback_line(tp.data_line(e), patterned_line(100 + e));
+    auto sealed = dev.seal_epoch(nullptr);
+    ASSERT_TRUE(sealed.ok()) << "epoch " << e;
+    ASSERT_TRUE(dev.commit_sealed().ok());
+  }
+  EXPECT_EQ(tp.pool.committed_epoch(), 6u);
+  for (Epoch e = 0; e < 6; ++e) {
+    EXPECT_EQ(tp.device->durable_line(tp.data_line(e)),
+              patterned_line(100 + e));
+  }
+}
+
+}  // namespace
+}  // namespace pax::device

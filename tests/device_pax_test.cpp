@@ -1,0 +1,281 @@
+// Unit tests of the PaxDevice core: first-touch undo logging, asynchronous
+// write-back gating, the persist() epoch-commit protocol, and recovery.
+#include "pax/device/pax_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "pax/device/recovery.hpp"
+#include "test_util.hpp"
+
+namespace pax::device {
+namespace {
+
+using testing::patterned_line;
+using testing::TestPool;
+
+struct PaxDeviceFixture : ::testing::Test {
+  TestPool tp = TestPool::create();
+
+  DeviceConfig config() {
+    DeviceConfig c;
+    c.hbm.capacity_lines = 64;
+    c.hbm.ways = 4;
+    return c;
+  }
+};
+
+TEST_F(PaxDeviceFixture, ReadLineServesPmContents) {
+  tp.device->store_line(tp.data_line(0), patterned_line(7));
+  tp.device->flush_line(tp.data_line(0));
+
+  PaxDevice dev(&tp.pool, config());
+  EXPECT_EQ(dev.read_line(tp.data_line(0)), patterned_line(7));
+  EXPECT_EQ(dev.stats().read_pm, 1u);
+  // Second read hits the HBM cache.
+  EXPECT_EQ(dev.read_line(tp.data_line(0)), patterned_line(7));
+  EXPECT_EQ(dev.stats().read_hbm_hits, 1u);
+  EXPECT_EQ(dev.stats().read_pm, 1u);
+}
+
+TEST_F(PaxDeviceFixture, WriteIntentLogsPreImageOncePerEpoch) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(3)).is_ok());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(3)).is_ok());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(4)).is_ok());
+  EXPECT_EQ(dev.stats().write_intents, 3u);
+  EXPECT_EQ(dev.stats().first_touch_logs, 2u);
+  EXPECT_EQ(dev.epoch_logged_lines(), 2u);
+}
+
+TEST_F(PaxDeviceFixture, EpochStartsAtCommittedPlusOne) {
+  tp.pool.commit_epoch(41);
+  PaxDevice dev(&tp.pool, config());
+  EXPECT_EQ(dev.current_epoch(), 42u);
+}
+
+TEST_F(PaxDeviceFixture, HostWritebackWithoutWriteIntentAborts) {
+  PaxDevice dev(&tp.pool, config());
+  EXPECT_DEATH(dev.writeback_line(tp.data_line(0), patterned_line(1)),
+               "never took write ownership");
+}
+
+TEST_F(PaxDeviceFixture, PersistCommitsEpochAndAdvances) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));
+
+  auto committed = dev.persist(nullptr);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed.value(), 1u);
+  EXPECT_EQ(tp.pool.committed_epoch(), 1u);
+  EXPECT_EQ(dev.current_epoch(), 2u);
+  EXPECT_EQ(dev.epoch_logged_lines(), 0u);
+
+  // Data durable on media.
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(1));
+}
+
+TEST_F(PaxDeviceFixture, PersistPullsHostCopiesInPreferenceToBuffer) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));  // stale buffer
+
+  // Host modified the line again after the writeback; persist's pull must win.
+  auto pull = [&](LineIndex line) -> std::optional<LineData> {
+    EXPECT_EQ(line, tp.data_line(0));
+    return patterned_line(2);
+  };
+  ASSERT_TRUE(dev.persist(pull).ok());
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(2));
+  // And later reads must not resurrect the stale buffered copy.
+  EXPECT_EQ(dev.read_line(tp.data_line(0)), patterned_line(2));
+}
+
+TEST_F(PaxDeviceFixture, CrashBeforePersistRecoversOldSnapshot) {
+  // Establish epoch 1 with known content.
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));
+  ASSERT_TRUE(dev.persist(nullptr).ok());
+
+  // Epoch 2 modifies the line; the device proactively writes it to PM
+  // (tick with forced flush makes the undo record durable first).
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(99));
+  dev.tick(/*force_flush=*/true);
+  EXPECT_GT(dev.stats().proactive_writebacks, 0u);
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(99));
+
+  // Crash before persist: recovery must roll the line back to epoch 1.
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get());
+  ASSERT_TRUE(pool.ok());
+  auto report = recover_pool(pool.value());
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().recovered_epoch, 1u);
+  EXPECT_EQ(report.value().records_applied, 1u);
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(1));
+}
+
+TEST_F(PaxDeviceFixture, WritebackGatedOnUndoRecordDurability) {
+  // Force evictions with a tiny buffer and proactive write-back off: every
+  // eviction of a dirty line must first force the log flush (the stall path)
+  // — never write data before its undo record.
+  DeviceConfig c;
+  c.hbm.capacity_lines = 4;
+  c.hbm.ways = 4;
+  c.proactive_writeback = false;
+  PaxDevice dev(&tp.pool, c);
+
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(dev.write_intent(tp.data_line(i)).is_ok());
+    dev.writeback_line(tp.data_line(i), patterned_line(100 + i));
+  }
+  // The buffer (4 lines) forced ≥8 evictions; the invariant PAX_CHECK inside
+  // write_line_to_pm would have aborted on any ungated write-back.
+  EXPECT_GT(dev.stats().pm_writeback_lines, 0u);
+  EXPECT_GT(dev.stats().forced_log_flushes, 0u);
+}
+
+TEST_F(PaxDeviceFixture, WorkingSetLargerThanBufferPersistsCorrectly) {
+  // §3.3 / §1 "No Working Set Size Limits": per-epoch write set ≫ buffer.
+  DeviceConfig c;
+  c.hbm.capacity_lines = 8;
+  c.hbm.ways = 4;
+  PaxDevice dev(&tp.pool, c);
+
+  constexpr std::uint64_t kLines = 200;
+  for (std::uint64_t i = 0; i < kLines; ++i) {
+    ASSERT_TRUE(dev.write_intent(tp.data_line(i)).is_ok());
+    dev.writeback_line(tp.data_line(i), patterned_line(1000 + i));
+  }
+  ASSERT_TRUE(dev.persist(nullptr).ok());
+  for (std::uint64_t i = 0; i < kLines; ++i) {
+    EXPECT_EQ(tp.device->durable_line(tp.data_line(i)),
+              patterned_line(1000 + i))
+        << "line " << i;
+  }
+}
+
+TEST_F(PaxDeviceFixture, LogExtentExhaustionSurfacesOutOfSpace) {
+  auto small = TestPool::create(1 << 20, /*log_bytes=*/1024);
+  PaxDevice dev(&small.pool, config());
+  Status last = Status::ok();
+  std::uint64_t i = 0;
+  for (; i < 100; ++i) {
+    last = dev.write_intent(small.data_line(i));
+    if (!last.is_ok()) break;
+  }
+  EXPECT_FALSE(last.is_ok());
+  EXPECT_EQ(last.code(), StatusCode::kOutOfSpace);
+  // 1024-byte extent banked in half (§6 overlap) → 512 B per epoch bank,
+  // 96-byte frames → 5 records fit.
+  EXPECT_EQ(i, 5u);
+}
+
+TEST_F(PaxDeviceFixture, PersistResetsLogForReuse) {
+  auto small = TestPool::create(1 << 20, /*log_bytes=*/2048);
+  PaxDevice dev(&small.pool, config());
+  // Two epochs of 8 lines each both fit (8 × 96 B < the 1024 B bank)
+  // because persist() resets the active bank.
+  for (Epoch e = 0; e < 2; ++e) {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(dev.write_intent(small.data_line(i)).is_ok());
+      dev.writeback_line(small.data_line(i), patterned_line(e * 100 + i));
+    }
+    ASSERT_TRUE(dev.persist(nullptr).ok());
+  }
+  EXPECT_EQ(small.pool.committed_epoch(), 2u);
+}
+
+TEST_F(PaxDeviceFixture, RecoveryIsIdempotent) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(5));
+  dev.tick(/*force_flush=*/true);
+  tp.device->crash(pmem::CrashConfig::drop_all());
+
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(recover_pool(pool).ok());
+  const LineData after_first = tp.device->durable_line(tp.data_line(0));
+  // Crash during/after recovery: running it again must be harmless.
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  ASSERT_TRUE(recover_pool(pool).ok());
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), after_first);
+  EXPECT_EQ(after_first, LineData{});  // rolled back to the empty pool
+}
+
+TEST_F(PaxDeviceFixture, RecoveryOnCleanPoolAppliesNothing) {
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  dev.writeback_line(tp.data_line(0), patterned_line(1));
+  ASSERT_TRUE(dev.persist(nullptr).ok());
+  tp.device->crash(pmem::CrashConfig::drop_all());
+
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  auto report = recover_pool(pool);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().records_applied, 0u);
+  EXPECT_EQ(report.value().stale_records, 1u);  // epoch-1 record now stale
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(1));
+}
+
+TEST_F(PaxDeviceFixture, MemWriteLogsPreImageBeforeApplying) {
+  // CXL.mem path: the pre-image must be captured from the device view
+  // BEFORE the incoming MemWr data lands.
+  tp.device->store_line(tp.data_line(0), patterned_line(7));
+  tp.device->flush_line(tp.data_line(0));
+
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.mem_write(tp.data_line(0), patterned_line(8)).is_ok());
+  EXPECT_EQ(dev.stats().mem_writes, 1u);
+  EXPECT_EQ(dev.stats().first_touch_logs, 1u);
+  EXPECT_EQ(dev.peek_line(tp.data_line(0)), patterned_line(8));
+
+  // Crash without persist: the pre-image (7) must come back.
+  dev.tick(/*force_flush=*/true);
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(recover_pool(pool).ok());
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(7));
+}
+
+TEST_F(PaxDeviceFixture, MemWriteIsFirstTouchIdempotentPerEpoch) {
+  PaxDevice dev(&tp.pool, config());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(dev.mem_write(tp.data_line(0), patterned_line(i)).is_ok());
+  }
+  EXPECT_EQ(dev.stats().mem_writes, 5u);
+  EXPECT_EQ(dev.stats().first_touch_logs, 1u);
+  ASSERT_TRUE(dev.persist(nullptr).ok());
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(4));
+}
+
+TEST_F(PaxDeviceFixture, MemWriteAndWriteIntentInteroperate) {
+  // A line can be announced via RdOwn (write_intent) and then written back
+  // as a MemWr (or vice versa): one undo record either way.
+  PaxDevice dev(&tp.pool, config());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  ASSERT_TRUE(dev.mem_write(tp.data_line(0), patterned_line(3)).is_ok());
+  EXPECT_EQ(dev.stats().first_touch_logs, 1u);
+  ASSERT_TRUE(dev.persist(nullptr).ok());
+  EXPECT_EQ(tp.device->durable_line(tp.data_line(0)), patterned_line(3));
+}
+
+TEST_F(PaxDeviceFixture, TornUndoRecordDoesNotBlockRecovery) {
+  PaxDevice dev(&tp.pool, config());
+  // Log two records; flush only implicitly (none): crash tears the tail.
+  ASSERT_TRUE(dev.write_intent(tp.data_line(0)).is_ok());
+  ASSERT_TRUE(dev.write_intent(tp.data_line(1)).is_ok());
+  tp.device->crash(pmem::CrashConfig::random(0.4, /*seed=*/11));
+
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  auto report = recover_pool(pool);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().recovered_epoch, 0u);
+}
+
+}  // namespace
+}  // namespace pax::device

@@ -1,0 +1,317 @@
+// Integration & property tests of the crash-consistency contract
+// (DESIGN.md §3) across the whole stack.
+//
+//   * Exhaustive sweep: a deterministic device-level schedule is replayed
+//     from scratch and crashed after EVERY primitive step; recovery must
+//     always restore exactly the snapshot of the recovered epoch.
+//   * Randomized libpax property test (parameterized over seeds × crash
+//     modes): random operations on an unmodified std::unordered_map with
+//     persists at random intervals, crash at a random point, compare the
+//     recovered map against the oracle snapshot of the committed epoch.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "pax/coherence/host_cache.hpp"
+#include "pax/common/rng.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/device/recovery.hpp"
+#include "pax/libpax/persistent.hpp"
+#include "test_util.hpp"
+
+namespace pax {
+namespace {
+
+using testing::patterned_line;
+
+// ---------------------------------------------------------------------------
+// Exhaustive device-level crash-point sweep.
+// ---------------------------------------------------------------------------
+
+// The schedule: for op i in [0, kOps): write line (i % kLines) with value
+// tagged by i; tick every 3rd op; persist every kPersistEvery ops. Steps are
+// numbered so a crash can be injected after any of them.
+constexpr std::uint64_t kLines = 8;
+constexpr std::uint64_t kOps = 50;
+constexpr std::uint64_t kPersistEvery = 7;
+
+struct ScheduleResult {
+  // Snapshot of all line values at each committed epoch.
+  std::vector<std::array<std::uint64_t, kLines>> snapshots;
+  Epoch last_committed = 0;
+  std::uint64_t total_steps = 0;
+};
+
+// Runs the schedule on `tp`, stopping (simulating the crash point) after
+// `stop_after` steps (UINT64_MAX = run to completion). Returns the oracle.
+ScheduleResult run_schedule(testing::TestPool& tp,
+                            const device::DeviceConfig& cfg,
+                            std::uint64_t stop_after) {
+  device::PaxDevice dev(&tp.pool, cfg);
+
+  ScheduleResult result;
+  std::array<std::uint64_t, kLines> current{};
+  result.snapshots.push_back(current);  // epoch 0: all zeros
+
+  std::uint64_t steps = 0;
+  auto step = [&]() -> bool { return ++steps > stop_after; };
+
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const LineIndex line = tp.data_line(i % kLines);
+    if (!dev.write_intent(line).is_ok()) std::abort();
+    if (step()) return result;
+
+    LineData d = patterned_line(1000 + i);
+    dev.writeback_line(line, d);
+    current[i % kLines] = 1000 + i;
+    if (step()) return result;
+
+    if (i % 3 == 2) {
+      dev.tick();
+      if (step()) return result;
+    }
+    if ((i + 1) % kPersistEvery == 0) {
+      auto e = dev.persist(nullptr);
+      if (!e.ok()) std::abort();
+      result.snapshots.push_back(current);
+      result.last_committed = e.value();
+      if (step()) return result;
+    }
+  }
+  result.total_steps = steps;
+  return result;
+}
+
+// The sweep runs under several device shapes: tiny buffer under constant
+// eviction pressure, eager flushing, lazy flushing with a large buffer,
+// and pure-LRU eviction.
+struct SweepConfig {
+  const char* name;
+  std::size_t hbm_lines;
+  bool prefer_durable;
+  std::size_t flush_batch;
+  bool proactive;
+};
+
+class CrashSweepTest : public ::testing::TestWithParam<SweepConfig> {};
+
+TEST_P(CrashSweepTest, EveryCrashPointRecoversACommittedSnapshot) {
+  const SweepConfig sweep = GetParam();
+  device::DeviceConfig cfg;
+  cfg.hbm.capacity_lines = sweep.hbm_lines;
+  cfg.hbm.ways = 4;
+  cfg.hbm.prefer_durable_eviction = sweep.prefer_durable;
+  cfg.log_flush_batch_bytes = sweep.flush_batch;
+  cfg.proactive_writeback = sweep.proactive;
+
+  // Discover the step count with a full run.
+  const std::uint64_t total = [&] {
+    auto tp = testing::TestPool::create(1 << 20, 64 * 1024);
+    return run_schedule(tp, cfg, UINT64_MAX).total_steps;
+  }();
+  ASSERT_GT(total, 100u);
+
+  for (std::uint64_t crash_at = 0; crash_at <= total; ++crash_at) {
+    auto tp = testing::TestPool::create(1 << 20, 64 * 1024);
+    ScheduleResult oracle = run_schedule(tp, cfg, crash_at);
+
+    // Crash with a seed-varied lottery (some pending lines survive).
+    tp.device->crash(pmem::CrashConfig::random(0.5, crash_at * 31 + 7));
+
+    auto pool = pmem::PmemPool::open(tp.device.get());
+    ASSERT_TRUE(pool.ok()) << "crash_at=" << crash_at;
+    auto report = device::recover_pool(pool.value());
+    ASSERT_TRUE(report.ok()) << "crash_at=" << crash_at;
+
+    const Epoch recovered = report.value().recovered_epoch;
+    ASSERT_EQ(recovered, pool.value().committed_epoch());
+    ASSERT_LE(recovered, oracle.snapshots.size() - 1)
+        << "crash_at=" << crash_at;
+    // Must be the *latest* epoch whose commit step completed.
+    ASSERT_GE(recovered, oracle.last_committed) << "crash_at=" << crash_at;
+
+    const auto& snapshot = oracle.snapshots[recovered];
+    for (std::uint64_t l = 0; l < kLines; ++l) {
+      const LineData expect = snapshot[l] == 0
+                                  ? LineData{}
+                                  : patterned_line(snapshot[l]);
+      ASSERT_EQ(tp.device->durable_line(tp.data_line(l)), expect)
+          << "crash_at=" << crash_at << " line=" << l << " epoch="
+          << recovered;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeviceShapes, CrashSweepTest,
+    ::testing::Values(
+        SweepConfig{"tiny_buffer", 4, true, 128, true},
+        SweepConfig{"tiny_lru_lazy", 4, false, 1 << 20, true},
+        SweepConfig{"big_buffer_eager", 256, true, 0, true},
+        SweepConfig{"no_proactive", 8, true, 128, false}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+// ---------------------------------------------------------------------------
+// Randomized libpax property test: seeds × crash modes.
+// ---------------------------------------------------------------------------
+
+struct CrashParam {
+  std::uint64_t seed;
+  double survival;
+  bool torn;
+};
+
+class LibpaxCrashProperty : public ::testing::TestWithParam<CrashParam> {};
+
+using MapAlloc =
+    libpax::PaxStlAllocator<std::pair<const std::uint64_t, std::uint64_t>>;
+using PMap = std::unordered_map<std::uint64_t, std::uint64_t,
+                                std::hash<std::uint64_t>,
+                                std::equal_to<std::uint64_t>, MapAlloc>;
+
+TEST_P(LibpaxCrashProperty, RecoveredMapEqualsCommittedOracle) {
+  const CrashParam param = GetParam();
+  auto pm = pmem::PmemDevice::create_in_memory(32 << 20);
+
+  libpax::RuntimeOptions opts;
+  opts.log_size = 4 << 20;
+  opts.device.log_flush_batch_bytes = 256;  // eager flushing: real rollback
+
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  std::vector<std::map<std::uint64_t, std::uint64_t>> oracle_snapshots;
+  oracle_snapshots.push_back(oracle);  // epoch 0
+
+  Xoshiro256 rng(param.seed);
+  {
+    auto rt = libpax::PaxRuntime::attach(pm.get(), opts).value();
+    auto map = libpax::Persistent<PMap>::open(*rt).value();
+
+    const std::uint64_t total_ops = 500 + rng.next_below(1500);
+    const std::uint64_t crash_after = rng.next_below(total_ops);
+    for (std::uint64_t i = 0; i < crash_after; ++i) {
+      const std::uint64_t key = 1 + rng.next_below(200);
+      const double dice = rng.next_double();
+      if (dice < 0.6) {
+        const std::uint64_t value = rng.next();
+        (*map)[key] = value;
+        oracle[key] = value;
+      } else if (dice < 0.8) {
+        map->erase(key);
+        oracle.erase(key);
+      } else if (dice < 0.9) {
+        rt->sync_step();  // push uncommitted state toward PM
+      }
+      if (rng.next_double() < 0.03) {
+        ASSERT_TRUE(rt->persist().ok());
+        oracle_snapshots.push_back(oracle);
+      }
+    }
+  }  // destroyed mid-epoch
+
+  pm->crash(param.torn
+                ? pmem::CrashConfig::torn(param.survival, param.seed * 3 + 1)
+                : pmem::CrashConfig::random(param.survival,
+                                            param.seed * 3 + 1));
+
+  auto rt = libpax::PaxRuntime::attach(pm.get(), opts).value();
+  const Epoch committed = rt->committed_epoch();
+  ASSERT_LT(committed, oracle_snapshots.size());
+  const auto& expect = oracle_snapshots[committed];
+
+  auto map = libpax::Persistent<PMap>::open(*rt).value();
+  ASSERT_EQ(map->size(), expect.size()) << "epoch " << committed;
+  for (const auto& [k, v] : expect) {
+    auto it = map->find(k);
+    ASSERT_NE(it, map->end()) << "missing key " << k;
+    ASSERT_EQ(it->second, v) << "key " << k;
+  }
+
+  // The recovered pool must remain fully usable.
+  (*map)[999999] = 1;
+  ASSERT_TRUE(rt->persist().ok());
+}
+
+std::vector<CrashParam> crash_params() {
+  std::vector<CrashParam> params;
+  for (std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull, 66ull}) {
+    params.push_back({seed, 0.0, false});   // clean power cut
+    params.push_back({seed, 0.5, false});   // random line survival
+    params.push_back({seed, 0.7, true});    // torn 8-byte words
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndCrashModes, LibpaxCrashProperty,
+                         ::testing::ValuesIn(crash_params()),
+                         [](const auto& param_info) {
+                           const CrashParam& p = param_info.param;
+                           return "seed" + std::to_string(p.seed) +
+                                  (p.torn ? "_torn" : "_drop") +
+                                  std::to_string(int(p.survival * 100));
+                         });
+
+// ---------------------------------------------------------------------------
+// Coherence-path crash property: the protocol frontend gives the same
+// guarantee as the paging frontend.
+// ---------------------------------------------------------------------------
+
+class CoherenceCrashProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CoherenceCrashProperty, SimTableRecoversToCommittedEpoch) {
+  const std::uint64_t seed = GetParam();
+  auto tp = testing::TestPool::create(16 << 20, 2 << 20);
+
+  std::map<std::uint64_t, std::uint64_t> oracle;
+  std::vector<std::map<std::uint64_t, std::uint64_t>> snapshots{oracle};
+
+  Xoshiro256 rng(seed);
+  {
+    device::DeviceConfig cfg;
+    cfg.hbm.capacity_lines = 64;
+    cfg.hbm.ways = 8;
+    cfg.log_flush_batch_bytes = 512;
+    device::PaxDevice dev(&tp.pool, cfg);
+    coherence::HostCacheConfig small;
+    small.l1 = {4 * 1024, 4};
+    small.l2 = {16 * 1024, 4};
+    small.llc = {64 * 1024, 8};  // small: frequent evictions to the device
+    coherence::HostCacheSim host(&dev, small);
+
+    // Key-indexed u64 cells: cell k at data_offset + k*8.
+    const std::uint64_t ops = 300 + rng.next_below(700);
+    const std::uint64_t crash_after = rng.next_below(ops);
+    for (std::uint64_t i = 0; i < crash_after; ++i) {
+      const std::uint64_t key = rng.next_below(512);
+      const std::uint64_t value = rng.next() | 1;
+      ASSERT_TRUE(
+          host.store_u64(tp.pool.data_offset() + key * 8, value).is_ok());
+      oracle[key] = value;
+      if ((i & 0xf) == 0xf) dev.tick();
+      if (rng.next_double() < 0.05) {
+        ASSERT_TRUE(dev.persist(host.pull_fn()).ok());
+        snapshots.push_back(oracle);
+      }
+    }
+    // Host caches vanish with the crash (no write-back).
+    host.drop_all_without_writeback();
+  }
+  tp.device->crash(pmem::CrashConfig::random(0.5, seed + 99));
+
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(device::recover_pool(pool).ok());
+  const Epoch committed = pool.committed_epoch();
+  ASSERT_LT(committed, snapshots.size());
+
+  for (const auto& [key, value] : snapshots[committed]) {
+    ASSERT_EQ(tp.device->load_u64(tp.pool.data_offset() + key * 8), value)
+        << "key " << key << " epoch " << committed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceCrashProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace pax

@@ -1,0 +1,148 @@
+// Runtime-level tests of non-blocking persist (§6 extension): snapshot
+// semantics with sealed-but-uncommitted epochs, interaction with the
+// background flusher, and black-box containers across async commits.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_map>
+
+#include "pax/libpax/persistent.hpp"
+
+namespace pax::libpax {
+namespace {
+
+constexpr std::size_t kPool = 32 << 20;
+
+RuntimeOptions options() {
+  RuntimeOptions o;
+  o.log_size = 4 << 20;
+  o.device.log_flush_batch_bytes = 0;
+  return o;
+}
+
+using MapAlloc =
+    PaxStlAllocator<std::pair<const std::uint64_t, std::uint64_t>>;
+using PMap = std::unordered_map<std::uint64_t, std::uint64_t,
+                                std::hash<std::uint64_t>,
+                                std::equal_to<std::uint64_t>, MapAlloc>;
+
+TEST(AsyncPersistTest, SealedEpochNotDurableUntilCompleted) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPool);
+  {
+    auto rt = PaxRuntime::attach(pm.get(), options()).value();
+    rt->vpm_base()[8192] = std::byte{0x21};
+    auto sealed = rt->persist_async();
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_EQ(sealed.value(), 1u);
+    EXPECT_EQ(rt->committed_epoch(), 0u);  // not yet durable
+  }
+  pm->crash(pmem::CrashConfig::drop_all());
+  auto rt = PaxRuntime::attach(pm.get(), options()).value();
+  EXPECT_EQ(rt->committed_epoch(), 0u);
+  EXPECT_EQ(rt->vpm_base()[8192], std::byte{0});  // rolled back
+}
+
+TEST(AsyncPersistTest, CompletedAsyncPersistIsDurable) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPool);
+  {
+    auto rt = PaxRuntime::attach(pm.get(), options()).value();
+    rt->vpm_base()[8192] = std::byte{0x22};
+    ASSERT_TRUE(rt->persist_async().ok());
+    auto committed = rt->complete_persist();
+    ASSERT_TRUE(committed.ok());
+    EXPECT_EQ(committed.value(), 1u);
+    EXPECT_EQ(rt->committed_epoch(), 1u);
+  }
+  pm->crash(pmem::CrashConfig::drop_all());
+  auto rt = PaxRuntime::attach(pm.get(), options()).value();
+  EXPECT_EQ(rt->committed_epoch(), 1u);
+  EXPECT_EQ(rt->vpm_base()[8192], std::byte{0x22});
+}
+
+TEST(AsyncPersistTest, MutationsContinueWhileCommitPends) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPool);
+  {
+    auto rt = PaxRuntime::attach(pm.get(), options()).value();
+    rt->vpm_base()[8192] = std::byte{1};
+    ASSERT_TRUE(rt->persist_async().ok());
+
+    // Epoch 2 mutates the SAME byte and a new one while epoch 1 is pending.
+    rt->vpm_base()[8192] = std::byte{2};
+    rt->vpm_base()[12288] = std::byte{3};
+
+    ASSERT_TRUE(rt->complete_persist().ok());  // epoch 1 durable
+    // Crash now: epoch 2's mutations must vanish, epoch 1's stay.
+  }
+  pm->crash(pmem::CrashConfig::drop_all());
+  auto rt = PaxRuntime::attach(pm.get(), options()).value();
+  EXPECT_EQ(rt->committed_epoch(), 1u);
+  EXPECT_EQ(rt->vpm_base()[8192], std::byte{1});
+  EXPECT_EQ(rt->vpm_base()[12288], std::byte{0});
+}
+
+TEST(AsyncPersistTest, SyncStepCompletesPendingCommit) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPool);
+  auto rt = PaxRuntime::attach(pm.get(), options()).value();
+  rt->vpm_base()[8192] = std::byte{5};
+  ASSERT_TRUE(rt->persist_async().ok());
+  EXPECT_EQ(rt->committed_epoch(), 0u);
+  rt->sync_step();  // what the background flusher runs
+  EXPECT_EQ(rt->committed_epoch(), 1u);
+}
+
+TEST(AsyncPersistTest, BackToBackAsyncPersistsCommitInOrder) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPool);
+  auto rt = PaxRuntime::attach(pm.get(), options()).value();
+  for (int e = 1; e <= 5; ++e) {
+    rt->vpm_base()[8192 + e * 64] = static_cast<std::byte>(e);
+    auto sealed = rt->persist_async();  // auto-completes the previous one
+    ASSERT_TRUE(sealed.ok());
+    EXPECT_EQ(sealed.value(), static_cast<Epoch>(e));
+  }
+  ASSERT_TRUE(rt->complete_persist().ok());
+  EXPECT_EQ(rt->committed_epoch(), 5u);
+}
+
+TEST(AsyncPersistTest, UnorderedMapAcrossAsyncEpochsWithCrash) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPool);
+  {
+    auto rt = PaxRuntime::attach(pm.get(), options()).value();
+    auto map = Persistent<PMap>::open(*rt).value();
+    for (std::uint64_t k = 0; k < 200; ++k) (*map)[k] = k;
+    ASSERT_TRUE(rt->persist_async().ok());
+    // Keep mutating during the pending commit.
+    for (std::uint64_t k = 200; k < 400; ++k) (*map)[k] = k;
+    ASSERT_TRUE(rt->complete_persist().ok());  // epoch 1: keys 0..199
+    // Epoch 2 (keys 200..399) never commits.
+    rt->sync_step();
+    // sync_step committed nothing new (no seal pending), but pushed data.
+  }
+  pm->crash(pmem::CrashConfig::drop_all());
+  auto rt = PaxRuntime::attach(pm.get(), options()).value();
+  auto map = Persistent<PMap>::open(*rt).value();
+  ASSERT_EQ(rt->committed_epoch(), 1u);
+  ASSERT_EQ(map->size(), 200u);
+  for (std::uint64_t k = 0; k < 200; ++k) ASSERT_EQ(map->at(k), k);
+}
+
+TEST(AsyncPersistTest, MixedSyncAndAsyncPersists) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPool);
+  {
+    auto rt = PaxRuntime::attach(pm.get(), options()).value();
+    auto map = Persistent<PMap>::open(*rt).value();
+    (*map)[1] = 1;
+    ASSERT_TRUE(rt->persist().ok());        // epoch 1 (sync)
+    (*map)[2] = 2;
+    ASSERT_TRUE(rt->persist_async().ok());  // epoch 2 sealed
+    (*map)[3] = 3;
+    ASSERT_TRUE(rt->persist().ok());        // completes 2, commits 3
+    EXPECT_EQ(rt->committed_epoch(), 3u);
+  }
+  pm->crash(pmem::CrashConfig::drop_all());
+  auto rt = PaxRuntime::attach(pm.get(), options()).value();
+  auto map = Persistent<PMap>::open(*rt).value();
+  EXPECT_EQ(map->size(), 3u);
+}
+
+}  // namespace
+}  // namespace pax::libpax

@@ -1,0 +1,138 @@
+#include "pax/libpax/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pax/common/rng.hpp"
+
+namespace pax::libpax {
+namespace {
+
+constexpr std::size_t kPool = 32 << 20;
+
+RuntimeOptions options() {
+  RuntimeOptions o;
+  o.log_size = 4 << 20;
+  o.device.log_flush_batch_bytes = 0;
+  return o;
+}
+
+std::vector<std::byte> bytes_of(std::string_view s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+TEST(ObjectStoreTest, PutGetRemoveRoundTrip) {
+  auto rt = PaxRuntime::create_in_memory(kPool, options()).value();
+  auto store = ObjectStore::open(*rt).value();
+  EXPECT_FALSE(store.recovered());
+
+  auto payload = bytes_of("hello persistent world");
+  store.put("greeting", payload);
+  ASSERT_TRUE(store.contains("greeting"));
+  auto got = store.get("greeting");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), payload.size());
+  EXPECT_EQ(std::memcmp(got->data(), payload.data(), payload.size()), 0);
+
+  EXPECT_TRUE(store.remove("greeting"));
+  EXPECT_FALSE(store.remove("greeting"));
+  EXPECT_FALSE(store.get("greeting").has_value());
+}
+
+TEST(ObjectStoreTest, OverwriteReplacesBlob) {
+  auto rt = PaxRuntime::create_in_memory(kPool, options()).value();
+  auto store = ObjectStore::open(*rt).value();
+  store.put("k", bytes_of("short"));
+  store.put("k", bytes_of("a considerably longer replacement value"));
+  auto got = store.get("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 39u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ObjectStoreTest, ListWithPrefix) {
+  auto rt = PaxRuntime::create_in_memory(kPool, options()).value();
+  auto store = ObjectStore::open(*rt).value();
+  for (const char* name : {"logs/a", "logs/b", "data/x", "logs/c", "zzz"}) {
+    store.put(name, bytes_of("v"));
+  }
+  auto logs = store.list("logs/");
+  ASSERT_EQ(logs.size(), 3u);
+  EXPECT_EQ(logs[0], "logs/a");
+  EXPECT_EQ(logs[2], "logs/c");
+  EXPECT_EQ(store.list().size(), 5u);
+  EXPECT_TRUE(store.list("none/").empty());
+}
+
+TEST(ObjectStoreTest, CommittedObjectsSurviveCrashUncommittedVanish) {
+  auto pm = pmem::PmemDevice::create_in_memory(kPool);
+  {
+    auto rt = PaxRuntime::attach(pm.get(), options()).value();
+    auto store = ObjectStore::open(*rt).value();
+    store.put("stable", bytes_of("committed bytes"));
+    store.put("victim", bytes_of("to be removed"));
+    ASSERT_TRUE(store.commit().ok());
+    store.put("doomed", bytes_of("never committed"));
+    store.remove("victim");  // removal also uncommitted
+    rt->sync_step();
+  }
+  pm->crash(pmem::CrashConfig::drop_all());
+  {
+    auto rt = PaxRuntime::attach(pm.get(), options()).value();
+    auto store = ObjectStore::open(*rt).value();
+    EXPECT_TRUE(store.recovered());
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_TRUE(store.contains("stable"));
+    EXPECT_TRUE(store.contains("victim"));  // the remove rolled back
+    EXPECT_FALSE(store.contains("doomed"));
+    auto got = store.get("stable");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(std::memcmp(got->data(), "committed bytes", 15), 0);
+  }
+}
+
+TEST(ObjectStoreTest, LargeBlobsAndManyObjects) {
+  auto pm = pmem::PmemDevice::create_in_memory(64 << 20);
+  RuntimeOptions o = options();
+  o.log_size = 16 << 20;
+  Xoshiro256 rng(4);
+  {
+    auto rt = PaxRuntime::attach(pm.get(), o).value();
+    auto store = ObjectStore::open(*rt).value();
+    for (int i = 0; i < 200; ++i) {
+      std::vector<std::byte> blob(64 + rng.next_below(20000));
+      for (auto& b : blob) b = static_cast<std::byte>(i);
+      store.put("obj/" + std::to_string(i), blob);
+      if (i % 50 == 49) {
+        ASSERT_TRUE(store.commit().ok());
+      }
+    }
+    ASSERT_TRUE(store.commit().ok());
+  }
+  pm->crash(pmem::CrashConfig::drop_all());
+  {
+    auto rt = PaxRuntime::attach(pm.get(), o).value();
+    auto store = ObjectStore::open(*rt).value();
+    ASSERT_EQ(store.size(), 200u);
+    for (int i = 0; i < 200; i += 17) {
+      auto got = store.get("obj/" + std::to_string(i));
+      ASSERT_TRUE(got.has_value()) << i;
+      for (std::byte b : *got) ASSERT_EQ(b, static_cast<std::byte>(i));
+    }
+  }
+}
+
+TEST(ObjectStoreTest, EmptyBlobIsValid) {
+  auto rt = PaxRuntime::create_in_memory(kPool, options()).value();
+  auto store = ObjectStore::open(*rt).value();
+  store.put("empty", {});
+  auto got = store.get("empty");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+}  // namespace
+}  // namespace pax::libpax

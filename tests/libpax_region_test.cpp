@@ -1,0 +1,143 @@
+#include "pax/libpax/vpm_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace pax::libpax {
+namespace {
+
+constexpr std::size_t kRegionSize = 64 * kPageSize;
+
+TEST(VpmRegionTest, FreshRegionIsWritableAndClean) {
+  auto region = VpmRegion::create(kRegionSize);
+  ASSERT_TRUE(region.ok()) << region.status().to_string();
+  auto& r = *region.value();
+  std::memset(r.base(), 0x11, kPageSize);  // no protection yet: no fault
+  EXPECT_EQ(r.fault_count(), 0u);
+  EXPECT_TRUE(r.dirty_pages().empty());
+}
+
+TEST(VpmRegionTest, WriteAfterProtectFaultsOncePerPage) {
+  auto region = VpmRegion::create(kRegionSize);
+  ASSERT_TRUE(region.ok());
+  auto& r = *region.value();
+  ASSERT_TRUE(r.protect_all().is_ok());
+
+  r.base()[0] = std::byte{1};
+  r.base()[100] = std::byte{2};        // same page: no second fault
+  r.base()[kPageSize + 5] = std::byte{3};  // second page
+
+  EXPECT_EQ(r.fault_count(), 2u);
+  auto dirty = r.dirty_pages();
+  ASSERT_EQ(dirty.size(), 2u);
+  EXPECT_EQ(dirty[0], PageIndex{0});
+  EXPECT_EQ(dirty[1], PageIndex{1});
+}
+
+TEST(VpmRegionTest, ReadsNeverFault) {
+  auto region = VpmRegion::create(kRegionSize);
+  ASSERT_TRUE(region.ok());
+  auto& r = *region.value();
+  ASSERT_TRUE(r.protect_all().is_ok());
+
+  volatile std::byte sink{};
+  for (std::size_t i = 0; i < kRegionSize; i += kPageSize) sink = r.base()[i];
+  (void)sink;
+  EXPECT_EQ(r.fault_count(), 0u);
+  EXPECT_TRUE(r.dirty_pages().empty());
+}
+
+TEST(VpmRegionTest, ReprotectRearmsTracking) {
+  auto region = VpmRegion::create(kRegionSize);
+  ASSERT_TRUE(region.ok());
+  auto& r = *region.value();
+  ASSERT_TRUE(r.protect_all().is_ok());
+
+  r.base()[0] = std::byte{1};
+  std::vector<PageIndex> pages{PageIndex{0}};
+  ASSERT_TRUE(r.protect_pages(pages).is_ok());
+  EXPECT_FALSE(r.is_dirty(PageIndex{0}));
+
+  r.base()[1] = std::byte{2};
+  EXPECT_EQ(r.fault_count(), 2u);
+  EXPECT_TRUE(r.is_dirty(PageIndex{0}));
+}
+
+TEST(VpmRegionTest, PartialReprotectLeavesOtherPagesWritable) {
+  auto region = VpmRegion::create(kRegionSize);
+  ASSERT_TRUE(region.ok());
+  auto& r = *region.value();
+  ASSERT_TRUE(r.protect_all().is_ok());
+
+  r.base()[0] = std::byte{1};
+  r.base()[kPageSize] = std::byte{1};
+  std::vector<PageIndex> only_first{PageIndex{0}};
+  ASSERT_TRUE(r.protect_pages(only_first).is_ok());
+
+  r.base()[kPageSize + 1] = std::byte{2};  // page 1 still writable: no fault
+  EXPECT_EQ(r.fault_count(), 2u);
+  EXPECT_TRUE(r.is_dirty(PageIndex{1}));
+}
+
+TEST(VpmRegionTest, DirtyPagesSortedAndComplete) {
+  auto region = VpmRegion::create(kRegionSize);
+  ASSERT_TRUE(region.ok());
+  auto& r = *region.value();
+  ASSERT_TRUE(r.protect_all().is_ok());
+
+  for (std::size_t p : {7u, 3u, 11u, 0u}) {
+    r.base()[p * kPageSize] = std::byte{9};
+  }
+  auto dirty = r.dirty_pages();
+  ASSERT_EQ(dirty.size(), 4u);
+  EXPECT_EQ(dirty[0].value, 0u);
+  EXPECT_EQ(dirty[1].value, 3u);
+  EXPECT_EQ(dirty[2].value, 7u);
+  EXPECT_EQ(dirty[3].value, 11u);
+}
+
+TEST(VpmRegionTest, ConcurrentWritersAllTracked) {
+  auto region = VpmRegion::create(kRegionSize);
+  ASSERT_TRUE(region.ok());
+  auto& r = *region.value();
+  ASSERT_TRUE(r.protect_all().is_ok());
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r, t] {
+      for (std::size_t p = 0; p < 64; ++p) {
+        // All threads hammer all pages: races on the same page must be safe.
+        r.base()[p * kPageSize + t] = static_cast<std::byte>(t + 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(r.dirty_pages().size(), 64u);
+}
+
+TEST(VpmRegionTest, TwoRegionsCoexist) {
+  auto a = VpmRegion::create(kRegionSize);
+  auto b = VpmRegion::create(kRegionSize);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a.value()->protect_all().is_ok());
+  ASSERT_TRUE(b.value()->protect_all().is_ok());
+
+  a.value()->base()[0] = std::byte{1};
+  b.value()->base()[kPageSize] = std::byte{2};
+  EXPECT_EQ(a.value()->dirty_pages().size(), 1u);
+  EXPECT_EQ(b.value()->dirty_pages().size(), 1u);
+  EXPECT_EQ(b.value()->dirty_pages()[0], PageIndex{1});
+}
+
+TEST(VpmRegionTest, RejectsUnalignedSize) {
+  auto region = VpmRegion::create(kPageSize + 1);
+  EXPECT_FALSE(region.ok());
+}
+
+}  // namespace
+}  // namespace pax::libpax

@@ -1,0 +1,204 @@
+// Tests of the evaluation models: workload distributions, the SimHashTable
+// measurement vehicle, the AMAT formula, and the DES throughput model's
+// paper-shape properties.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pax/coherence/host_cache.hpp"
+#include "pax/device/pax_device.hpp"
+#include "pax/model/amat.hpp"
+#include "pax/model/sim_hash_table.hpp"
+#include "pax/model/throughput.hpp"
+#include "pax/model/workload.hpp"
+#include "pax/pmem/pool.hpp"
+
+namespace pax::model {
+namespace {
+
+TEST(WorkloadTest, UniformKeysCoverSpace) {
+  KeyGenerator gen(KeyDist::kUniform, 100, 0, 1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[gen.next()];
+  EXPECT_EQ(counts.size(), 100u);
+  EXPECT_EQ(counts.begin()->first, 1u);
+  EXPECT_EQ(counts.rbegin()->first, 100u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_GT(c, 700) << k;
+    EXPECT_LT(c, 1300) << k;
+  }
+}
+
+TEST(WorkloadTest, ZipfianIsSkewed) {
+  KeyGenerator gen(KeyDist::kZipfian, 10000, 0.99, 2);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[gen.next()];
+  // Head concentration: the single hottest key draws a few percent.
+  int hottest = 0;
+  for (const auto& [k, c] : counts) hottest = std::max(hottest, c);
+  EXPECT_GT(hottest, kDraws / 50);
+  // All keys in range.
+  EXPECT_GE(counts.begin()->first, 1u);
+  EXPECT_LE(counts.rbegin()->first, 10000u);
+}
+
+TEST(WorkloadTest, OpMixMatchesPutFraction) {
+  WorkloadGen gen(KeyGenerator(KeyDist::kUniform, 100, 0, 3), 0.3, 4);
+  int puts = 0;
+  auto ops = gen.batch(50000);
+  for (const auto& op : ops) puts += op.type == Op::Type::kPut ? 1 : 0;
+  EXPECT_NEAR(puts / 50000.0, 0.3, 0.02);
+}
+
+struct SimTableFixture : ::testing::Test {
+  std::unique_ptr<pmem::PmemDevice> pm =
+      pmem::PmemDevice::create_in_memory(32 << 20);
+  pmem::PmemPool pool = pmem::PmemPool::create(pm.get(), 2 << 20).value();
+  device::PaxDevice dev{&pool, device::DeviceConfig::defaults()};
+  coherence::HostCacheSim host{&dev, coherence::HostCacheConfig{}};
+  SimHashTable table{&host, pool.data_offset(), 1 << 14};
+};
+
+TEST_F(SimTableFixture, PutGetRoundTrip) {
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_TRUE(table.put(k, k * 11).is_ok());
+  }
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_EQ(table.get(k), std::optional(k * 11));
+  }
+  EXPECT_FALSE(table.get(5555).has_value());
+  EXPECT_EQ(table.size(), 1000u);
+}
+
+TEST_F(SimTableFixture, SurvivesDevicePersistCycle) {
+  ASSERT_TRUE(table.put(1, 10).is_ok());
+  ASSERT_TRUE(dev.persist(host.pull_fn()).ok());
+  ASSERT_TRUE(table.put(2, 20).is_ok());
+  EXPECT_EQ(table.get(1), std::optional<std::uint64_t>(10));
+  EXPECT_EQ(table.get(2), std::optional<std::uint64_t>(20));
+}
+
+TEST(AmatTest, FormulaMatchesHandComputation) {
+  coherence::HostCacheStats stats;
+  stats.l1 = {1000, 900};  // m1 = 0.1
+  stats.l2 = {100, 50};    // m2 = 0.5
+  stats.llc = {50, 40};    // m3 = 0.2
+  simtime::MemoryLatency lat;
+  lat.l1_ns = 1;
+  lat.l2_ns = 10;
+  lat.llc_ns = 30;
+  lat.dram_ns = 100;
+
+  const auto amat = compute_amat(stats, lat, Media::kDram,
+                                 simtime::InterconnectLatency::none());
+  // 1 + 0.1*(10 + 0.5*(30 + 0.2*100)) = 1 + 0.1*(10 + 25) = 4.5
+  EXPECT_NEAR(amat.amat_ns, 4.5, 1e-9);
+  EXPECT_NEAR(amat.misses_per_access, 0.01, 1e-9);
+}
+
+TEST(AmatTest, InterpositionOnlyAffectsMemoryTerm) {
+  coherence::HostCacheStats stats;
+  stats.l1 = {1000, 500};
+  stats.l2 = {500, 250};
+  stats.llc = {250, 125};
+  simtime::MemoryLatency lat;
+
+  const auto base = compute_amat(stats, lat, Media::kPm,
+                                 simtime::InterconnectLatency::none());
+  const auto cxl = compute_amat(stats, lat, Media::kPm,
+                                simtime::InterconnectLatency{80});
+  EXPECT_NEAR(cxl.amat_ns - base.amat_ns,
+              base.misses_per_access * 80, 1e-9);
+  EXPECT_EQ(cxl.l1_ns, base.l1_ns);
+  EXPECT_EQ(cxl.llc_ns, base.llc_ns);
+}
+
+TEST(AmatTest, Fig2aRowsAreOrderedLikeThePaper) {
+  coherence::HostCacheStats stats;
+  stats.l1 = {1000, 500};
+  stats.l2 = {500, 100};
+  stats.llc = {400, 300};
+  auto rows = fig2a_rows(stats, simtime::MemoryLatency::c6420());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_LT(rows[0].amat.amat_ns, rows[1].amat.amat_ns);  // DRAM < PM
+  EXPECT_LT(rows[1].amat.amat_ns, rows[2].amat.amat_ns);  // PM < CXL
+  EXPECT_LT(rows[2].amat.amat_ns, rows[3].amat.amat_ns);  // CXL < Enzian
+}
+
+// --- DES throughput model: paper-shape properties -------------------------
+
+struct ThroughputShape : ::testing::Test {
+  ModelParams params;  // defaults
+};
+
+TEST_F(ThroughputShape, SingleThreadOrdering) {
+  const double dram = simulate_mops(SystemKind::kDram, 1, params);
+  const double direct = simulate_mops(SystemKind::kPmDirect, 1, params);
+  const double pmdk = simulate_mops(SystemKind::kPmdk, 1, params);
+  EXPECT_GT(dram, direct);
+  EXPECT_GT(direct, pmdk);
+}
+
+TEST_F(ThroughputShape, PmdkGapAt32ThreadsIsRoughly2x) {
+  const double direct = simulate_mops(SystemKind::kPmDirect, 32, params);
+  const double pmdk = simulate_mops(SystemKind::kPmdk, 32, params);
+  EXPECT_GT(direct / pmdk, 1.6);
+  EXPECT_LT(direct / pmdk, 3.5);
+}
+
+TEST_F(ThroughputShape, PaxMatchesOrBeatsPmDirectAtScale) {
+  const double direct = simulate_mops(SystemKind::kPmDirect, 32, params);
+  const double pax = simulate_mops(SystemKind::kPaxCxl, 32, params);
+  EXPECT_GE(pax, direct * 0.95);  // "match or beat" (§5)
+}
+
+TEST_F(ThroughputShape, ThroughputMonotonicInThreadsUntilSaturation) {
+  double prev = 0;
+  for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double mops = simulate_mops(SystemKind::kPmDirect, n, params);
+    EXPECT_GE(mops, prev * 0.99) << n;
+    prev = mops;
+  }
+}
+
+TEST_F(ThroughputShape, PmDirectSaturatesAtWriteBandwidth) {
+  const double at32 = simulate_mops(SystemKind::kPmDirect, 32, params);
+  const double at64 = simulate_mops(SystemKind::kPmDirect, 64, params);
+  EXPECT_NEAR(at64 / at32, 1.0, 0.1);  // flat past the knee
+}
+
+TEST_F(ThroughputShape, HigherInterpositionLowersPaxThroughput) {
+  ModelParams low = params;
+  low.pax_interposition_override_ns = 50;
+  ModelParams high = params;
+  high.pax_interposition_override_ns = 800;
+  EXPECT_GT(simulate_mops(SystemKind::kPaxCxl, 8, low),
+            simulate_mops(SystemKind::kPaxCxl, 8, high));
+}
+
+TEST_F(ThroughputShape, GroupCommitIntervalMatters) {
+  ModelParams tight = params;
+  tight.pax_persist_interval_ops = 1;
+  ModelParams loose = params;
+  loose.pax_persist_interval_ops = 4096;
+  EXPECT_GT(simulate_mops(SystemKind::kPaxCxl, 8, loose),
+            simulate_mops(SystemKind::kPaxCxl, 8, tight) * 2);
+}
+
+TEST_F(ThroughputShape, PageWalTrapsHurtSparseWorkloads) {
+  ModelParams sparse = params;
+  sparse.pagewal_page_touch_per_op = 1.0;  // every op touches a new page
+  const double pagewal = simulate_mops(SystemKind::kPageWal, 8, sparse);
+  const double pax = simulate_mops(SystemKind::kPaxCxl, 8, sparse);
+  EXPECT_GT(pax / pagewal, 2.0);
+}
+
+TEST_F(ThroughputShape, DeterministicAcrossRuns) {
+  const double a = simulate_mops(SystemKind::kPmdk, 16, params);
+  const double b = simulate_mops(SystemKind::kPmdk, 16, params);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace pax::model

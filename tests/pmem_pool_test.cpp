@@ -1,0 +1,112 @@
+#include "pax/pmem/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pax/common/types.hpp"
+#include "test_util.hpp"
+
+namespace pax::pmem {
+namespace {
+
+TEST(PmemPoolTest, CreateThenOpenRoundTrips) {
+  auto dev = PmemDevice::create_in_memory(1 << 20);
+  auto created = PmemPool::create(dev.get(), 64 * 1024);
+  ASSERT_TRUE(created.ok()) << created.status().to_string();
+
+  auto opened = PmemPool::open(dev.get());
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  EXPECT_EQ(opened.value().log_offset(), kPoolHeaderSize);
+  EXPECT_EQ(opened.value().log_size(), 64u * 1024);
+  EXPECT_EQ(opened.value().data_offset(), kPoolHeaderSize + 64 * 1024);
+  EXPECT_EQ(opened.value().data_size(),
+            (1 << 20) - kPoolHeaderSize - 64 * 1024);
+  EXPECT_EQ(opened.value().committed_epoch(), 0u);
+}
+
+TEST(PmemPoolTest, HeaderIsDurableAtCreate) {
+  auto dev = PmemDevice::create_in_memory(1 << 20);
+  ASSERT_TRUE(PmemPool::create(dev.get(), 64 * 1024).ok());
+  dev->crash(CrashConfig::drop_all());
+  auto opened = PmemPool::open(dev.get());
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+}
+
+TEST(PmemPoolTest, OpenUnformattedDeviceFails) {
+  auto dev = PmemDevice::create_in_memory(1 << 20);
+  auto opened = PmemPool::open(dev.get());
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PmemPoolTest, CorruptedHeaderDetected) {
+  auto dev = PmemDevice::create_in_memory(1 << 20);
+  ASSERT_TRUE(PmemPool::create(dev.get(), 64 * 1024).ok());
+  // Flip a byte inside the geometry fields (durably).
+  std::uint64_t bad = dev->load_u64(24) ^ 1;
+  dev->atomic_durable_store_u64(24, bad);
+  auto opened = PmemPool::open(dev.get());
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PmemPoolTest, EpochCellCommitIsDurable) {
+  auto dev = PmemDevice::create_in_memory(1 << 20);
+  auto pool = PmemPool::create(dev.get(), 64 * 1024).value();
+  pool.commit_epoch(5);
+  dev->crash(CrashConfig::drop_all());
+  EXPECT_EQ(pool.committed_epoch(), 5u);
+}
+
+TEST(PmemPoolTest, RootCellIsDurable) {
+  auto dev = PmemDevice::create_in_memory(1 << 20);
+  auto pool = PmemPool::create(dev.get(), 64 * 1024).value();
+  pool.set_root(pool.data_offset() + 4096);
+  dev->crash(CrashConfig::drop_all());
+  EXPECT_EQ(pool.root(), pool.data_offset() + 4096);
+}
+
+TEST(PmemPoolTest, EpochAndRootLiveInSeparateLines) {
+  // Committing the epoch must never drag a half-written root along (and
+  // vice versa): the cells sit in distinct cache lines.
+  EXPECT_NE(LineIndex::containing(kEpochCellOffset),
+            LineIndex::containing(kRootCellOffset));
+  EXPECT_NE(LineIndex::containing(kEpochCellOffset), LineIndex{0});
+}
+
+TEST(PmemPoolTest, FutureVersionRejected) {
+  auto dev = PmemDevice::create_in_memory(1 << 20);
+  ASSERT_TRUE(PmemPool::create(dev.get(), 64 * 1024).ok());
+  // Bump the version field (offset 8, u32) — CRC does not cover it the same
+  // way... it does cover nothing before `pool_size`; version+crc live in
+  // word 1. Rewrite version while keeping the CRC: the open must fail on
+  // the version check (or CRC, either way: refuse).
+  std::uint64_t word = dev->load_u64(8);
+  dev->atomic_durable_store_u64(8, (word & ~0xffffffffULL) | 99);
+  auto opened = PmemPool::open(dev.get());
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PmemPoolTest, RejectsTooSmallDevice) {
+  auto dev = PmemDevice::create_in_memory(8192);
+  auto created = PmemPool::create(dev.get(), 64 * 1024);
+  EXPECT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PmemPoolTest, RejectsUnalignedLogSize) {
+  auto dev = PmemDevice::create_in_memory(1 << 20);
+  auto created = PmemPool::create(dev.get(), 1000);
+  EXPECT_FALSE(created.ok());
+}
+
+TEST(PmemPoolTest, ReformattingResetsEpoch) {
+  auto dev = PmemDevice::create_in_memory(1 << 20);
+  auto pool = PmemPool::create(dev.get(), 64 * 1024).value();
+  pool.commit_epoch(9);
+  auto pool2 = PmemPool::create(dev.get(), 64 * 1024).value();
+  EXPECT_EQ(pool2.committed_epoch(), 0u);
+}
+
+}  // namespace
+}  // namespace pax::pmem

@@ -1,0 +1,98 @@
+// Tests for the virtual-time substrate: clocks and bandwidth resources.
+#include <gtest/gtest.h>
+
+#include "pax/simtime/bandwidth.hpp"
+#include "pax/simtime/clock.hpp"
+#include "pax/simtime/latency.hpp"
+
+namespace pax::simtime {
+namespace {
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100u);
+  clock.advance_to(50);  // no-op: already past
+  EXPECT_EQ(clock.now(), 100u);
+  clock.advance_to(200);
+  EXPECT_EQ(clock.now(), 200u);
+}
+
+TEST(SimClockTest, ToNanosRounds) {
+  EXPECT_EQ(to_nanos(1.4), 1u);
+  EXPECT_EQ(to_nanos(1.6), 2u);
+  EXPECT_EQ(to_nanos(0.0), 0u);
+}
+
+TEST(BandwidthTest, ServiceTimeMatchesBandwidth) {
+  BandwidthResource bw(1e9);  // 1 GB/s = 1 B/ns
+  EXPECT_EQ(bw.request(0, 1000), 1000u);
+  EXPECT_EQ(bw.total_bytes(), 1000u);
+}
+
+TEST(BandwidthTest, BackToBackRequestsQueue) {
+  BandwidthResource bw(1e9);
+  EXPECT_EQ(bw.request(0, 1000), 1000u);
+  // Issued at t=500 but the channel is busy until 1000.
+  EXPECT_EQ(bw.request(500, 1000), 2000u);
+}
+
+TEST(BandwidthTest, IdleGapsAreNotCarried) {
+  BandwidthResource bw(1e9);
+  EXPECT_EQ(bw.request(0, 100), 100u);
+  // Long idle gap: next request starts at its own arrival time.
+  EXPECT_EQ(bw.request(10000, 100), 10100u);
+}
+
+TEST(BandwidthTest, ChannelsDivideServiceTime) {
+  BandwidthResource bw(1e9, /*channels=*/4);
+  EXPECT_EQ(bw.request(0, 1000), 250u);
+}
+
+TEST(BandwidthTest, SaturationThroughputMatchesRate) {
+  // Closed-loop hammering: completions must arrive at exactly the rate.
+  BandwidthResource bw(10e9);  // 10 B/ns
+  SimNanos t = 0;
+  constexpr std::uint64_t kRequests = 10000;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    t = bw.request(t, 640);
+  }
+  const double achieved_bps =
+      double(bw.total_bytes()) * 1e9 / double(t);
+  EXPECT_NEAR(achieved_bps, 10e9, 10e9 * 0.01);
+}
+
+TEST(BandwidthTest, ResetClearsState) {
+  BandwidthResource bw(1e9);
+  bw.request(0, 1000);
+  bw.reset();
+  EXPECT_EQ(bw.next_free(), 0u);
+  EXPECT_EQ(bw.total_bytes(), 0u);
+  EXPECT_EQ(bw.total_requests(), 0u);
+}
+
+TEST(LatencyPresetsTest, OrderingMatchesPhysics) {
+  const auto lat = MemoryLatency::c6420();
+  EXPECT_LT(lat.l1_ns, lat.l2_ns);
+  EXPECT_LT(lat.l2_ns, lat.llc_ns);
+  EXPECT_LT(lat.llc_ns, lat.dram_ns);
+  EXPECT_LT(lat.dram_ns, lat.pm_read_ns);
+
+  // Interposition costs in paper order: none < CXL < Enzian < trap.
+  EXPECT_EQ(InterconnectLatency::none().round_trip_ns, 0.0);
+  EXPECT_LT(InterconnectLatency::cxl().round_trip_ns,
+            InterconnectLatency::enzian().round_trip_ns);
+  EXPECT_LT(InterconnectLatency::enzian().round_trip_ns,
+            InterconnectLatency::page_fault_trap().round_trip_ns);
+}
+
+TEST(LatencyPresetsTest, BandwidthSpecMatchesSources) {
+  const auto bw = BandwidthSpec::paper();
+  // Optane per-socket asymmetry [33]: reads ~3x writes.
+  EXPECT_GT(bw.pm_read_bps / bw.pm_write_bps, 2.0);
+  EXPECT_GT(bw.dram_bps, bw.pm_read_bps);
+}
+
+}  // namespace
+}  // namespace pax::simtime

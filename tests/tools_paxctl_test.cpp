@@ -1,0 +1,126 @@
+// Integration test of the paxctl CLI: prepare pools/traces on disk, invoke
+// the real binary, check exit codes and key output lines.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "pax/coherence/trace.hpp"
+#include "pax/libpax/persistent.hpp"
+
+#ifndef PAXCTL_PATH
+#error "PAXCTL_PATH must be defined by the build"
+#endif
+
+namespace pax {
+namespace {
+
+struct CommandResult {
+  int exit_code;
+  std::string output;
+};
+
+CommandResult run(const std::string& args) {
+  const std::string cmd = std::string(PAXCTL_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 512> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    output += buf.data();
+  }
+  const int status = ::pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+const std::string kPool = "/tmp/paxctl_test.pool";
+
+void make_pool(bool persist_something) {
+  std::remove(kPool.c_str());
+  auto rt = libpax::PaxRuntime::map_pool(kPool, 16 << 20).value();
+  if (persist_something) {
+    rt->vpm_base()[8192] = std::byte{0x7a};
+    ASSERT_TRUE(rt->persist().ok());
+  }
+}
+
+TEST(PaxctlTest, InfoOnValidPool) {
+  make_pool(true);
+  auto r = run("info " + kPool);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("committed epoch: 1"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("libpax heap:     present"), std::string::npos);
+  std::remove(kPool.c_str());
+}
+
+TEST(PaxctlTest, VerifyCleanPool) {
+  make_pool(true);
+  auto r = run("verify " + kPool);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("OK   header"), std::string::npos);
+  EXPECT_NE(r.output.find("pool is clean"), std::string::npos);
+  std::remove(kPool.c_str());
+}
+
+TEST(PaxctlTest, LogDecodesRecords) {
+  make_pool(true);
+  auto r = run("log " + kPool);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("LINE_UNDO"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("stale"), std::string::npos);
+  std::remove(kPool.c_str());
+}
+
+TEST(PaxctlTest, RecoverRunsOnPool) {
+  make_pool(true);
+  auto r = run("recover " + kPool);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("recovered to epoch 1"), std::string::npos)
+      << r.output;
+  std::remove(kPool.c_str());
+}
+
+TEST(PaxctlTest, HexdumpShowsBytes) {
+  make_pool(true);
+  auto r = run("hexdump " + kPool + " 0 32");
+  EXPECT_EQ(r.exit_code, 0);
+  // Pool magic "PAXPOOL1" appears in the ASCII column of the first line.
+  EXPECT_NE(r.output.find("PAXPOOL1"), std::string::npos) << r.output;
+  std::remove(kPool.c_str());
+}
+
+TEST(PaxctlTest, RejectsGarbageFile) {
+  const std::string junk = "/tmp/paxctl_junk.bin";
+  std::FILE* f = std::fopen(junk.c_str(), "wb");
+  std::fputs("this is not a pool", f);
+  std::fclose(f);
+  auto r = run("info " + junk);
+  EXPECT_NE(r.exit_code, 0);
+  std::remove(junk.c_str());
+}
+
+TEST(PaxctlTest, TraceSummary) {
+  const std::string trace_path = "/tmp/paxctl_test.trace";
+  std::vector<coherence::CxlEvent> events = {
+      {coherence::CxlOp::kRdShared, LineIndex{1}, false},
+      {coherence::CxlOp::kRdOwn, LineIndex{2}, false},
+      {coherence::CxlOp::kDirtyEvict, LineIndex{2}, true},
+  };
+  ASSERT_TRUE(coherence::save_trace(trace_path, events).is_ok());
+  auto r = run("trace " + trace_path);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("3 messages"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("distinct lines touched: 2"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(PaxctlTest, UsageOnBadInvocation) {
+  auto r = run("frobnicate /tmp/x");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pax

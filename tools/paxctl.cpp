@@ -1,0 +1,287 @@
+// paxctl — inspect and repair PAX pool files.
+//
+//   paxctl info <pool>        pool geometry, committed epoch, root, heap
+//   paxctl log <pool>         decode the undo-log banks (epoch tags, lines)
+//   paxctl verify <pool>      validate header + every log record; dry-run
+//                             recovery and report what it would roll back
+//   paxctl recover <pool>     run recovery in place (what map_pool does)
+//   paxctl hexdump <pool> <offset> [len]   dump pool bytes
+//   paxctl trace <trace-file> summarize a recorded coherence trace
+//
+// Works on any pool produced by libpax, the pagewal baseline, or the
+// device-level API (they share the pool format).
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+
+#include "pax/coherence/trace.hpp"
+#include "pax/device/recovery.hpp"
+#include "pax/libpax/heap.hpp"
+#include "pax/pmem/pool.hpp"
+#include "pax/wal/wal.hpp"
+
+namespace {
+
+using namespace pax;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: paxctl <info|log|verify|recover> <pool-file>\n"
+               "       paxctl hexdump <pool-file> <offset> [len]\n"
+               "       paxctl trace <trace-file>\n");
+  return 2;
+}
+
+Result<std::unique_ptr<pmem::PmemDevice>> open_device(
+    const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    return io_error("cannot stat " + path);
+  }
+  return pmem::PmemDevice::open_file(path, static_cast<std::size_t>(st.st_size),
+                                     /*create=*/false);
+}
+
+void print_record(std::uint64_t bank, std::uint64_t index,
+                  const wal::LogRecord& rec, Epoch committed) {
+  const char* type = "?";
+  std::string detail;
+  switch (rec.type) {
+    case wal::RecordType::kLineUndo: {
+      type = "LINE_UNDO";
+      if (rec.payload.size() == sizeof(wal::LineUndoPayload)) {
+        wal::LineUndoPayload p;
+        std::memcpy(&p, rec.payload.data(), sizeof(p));
+        detail = "line " + std::to_string(p.line_index) + " (offset 0x" +
+                 [](std::uint64_t v) {
+                   char buf[32];
+                   std::snprintf(buf, sizeof(buf), "%" PRIx64, v * 64);
+                   return std::string(buf);
+                 }(p.line_index) +
+                 ")";
+      }
+      break;
+    }
+    case wal::RecordType::kPageUndo:
+      type = "PAGE_UNDO";
+      if (rec.payload.size() >= sizeof(wal::PageUndoHeader)) {
+        wal::PageUndoHeader p;
+        std::memcpy(&p, rec.payload.data(), sizeof(p));
+        detail = "page " + std::to_string(p.page_index);
+      }
+      break;
+    case wal::RecordType::kRangeUndo:
+      type = "RANGE_UNDO";
+      if (rec.payload.size() >= sizeof(wal::RangeUndoHeader)) {
+        wal::RangeUndoHeader p;
+        std::memcpy(&p, rec.payload.data(), sizeof(p));
+        detail = "offset " + std::to_string(p.pool_offset) + " len " +
+                 std::to_string(p.length);
+      }
+      break;
+    case wal::RecordType::kTxBegin:
+      type = "TX_BEGIN";
+      break;
+    case wal::RecordType::kTxCommit:
+      type = "TX_COMMIT";
+      break;
+    case wal::RecordType::kAllocMeta:
+      type = "ALLOC_META";
+      break;
+    case wal::RecordType::kInvalid:
+      type = "INVALID";
+      break;
+  }
+  std::printf("  bank%" PRIu64 "[%4" PRIu64 "] epoch %-6" PRIu64
+              " %-10s %-40s %s\n",
+              bank, index, rec.epoch, type, detail.c_str(),
+              rec.epoch > committed ? "<- UNCOMMITTED (rollback target)"
+                                    : "stale");
+}
+
+int cmd_info(pmem::PmemDevice* dev) {
+  auto pool = pmem::PmemPool::open(dev);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "not a PAX pool: %s\n",
+                 pool.status().to_string().c_str());
+    return 1;
+  }
+  auto& p = pool.value();
+  std::printf("pool size:       %zu bytes\n", dev->size());
+  std::printf("log extent:      offset %" PRIu64 ", %zu bytes (2 banks of "
+              "%zu)\n",
+              p.log_offset(), p.log_size(), p.log_size() / 2);
+  std::printf("data extent:     offset %" PRIu64 ", %zu bytes (%zu lines, "
+              "%zu pages)\n",
+              p.data_offset(), p.data_size(), p.data_size() / kCacheLineSize,
+              p.data_size() / kPageSize);
+  std::printf("committed epoch: %" PRIu64 "\n", p.committed_epoch());
+  std::printf("root cell:       %" PRIu64 "\n", p.root());
+
+  // Peek at the libpax heap header if present.
+  std::uint64_t magic = dev->load_u64(p.data_offset());
+  if (magic == libpax::kHeapMagic) {
+    const std::uint64_t bump = dev->load_u64(p.data_offset() + 8);
+    const std::uint64_t root = dev->load_u64(p.data_offset() + 16);
+    std::printf("libpax heap:     present — %" PRIu64
+                " bytes used, root offset %" PRIu64 "\n",
+                bump, root);
+  } else {
+    std::printf("libpax heap:     not present (raw / baseline pool)\n");
+  }
+  return 0;
+}
+
+int cmd_log(pmem::PmemDevice* dev) {
+  auto pool = pmem::PmemPool::open(dev);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "not a PAX pool: %s\n",
+                 pool.status().to_string().c_str());
+    return 1;
+  }
+  auto& p = pool.value();
+  const Epoch committed = p.committed_epoch();
+  const std::size_t half = (p.log_size() / 2) & ~(kCacheLineSize - 1);
+  const std::pair<PoolOffset, std::size_t> banks[2] = {
+      {p.log_offset(), half}, {p.log_offset() + half, p.log_size() - half}};
+
+  std::printf("committed epoch %" PRIu64 "\n", committed);
+  for (std::uint64_t b = 0; b < 2; ++b) {
+    auto records =
+        wal::LogReader::read_all(dev, banks[b].first, banks[b].second);
+    std::printf("bank %" PRIu64 ": %zu well-formed records\n", b,
+                records.size());
+    for (std::uint64_t i = 0; i < records.size(); ++i) {
+      print_record(b, i, records[i], committed);
+    }
+  }
+  return 0;
+}
+
+int cmd_verify(pmem::PmemDevice* dev) {
+  auto pool = pmem::PmemPool::open(dev);
+  if (!pool.ok()) {
+    std::printf("FAIL header: %s\n", pool.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("OK   header (magic, version, CRC, geometry)\n");
+  auto& p = pool.value();
+
+  const std::size_t half = (p.log_size() / 2) & ~(kCacheLineSize - 1);
+  std::uint64_t uncommitted = 0, stale = 0;
+  for (auto [off, size] : {std::pair<PoolOffset, std::size_t>{p.log_offset(),
+                                                              half},
+                           {p.log_offset() + half, p.log_size() - half}}) {
+    for (const auto& rec : wal::LogReader::read_all(dev, off, size)) {
+      (rec.epoch > p.committed_epoch() ? uncommitted : stale) += 1;
+    }
+  }
+  std::printf("OK   log scan: %" PRIu64 " uncommitted record(s), %" PRIu64
+              " stale\n",
+              uncommitted, stale);
+  if (uncommitted > 0) {
+    std::printf("NOTE recovery would roll back %" PRIu64
+                " line(s) to epoch %" PRIu64 "\n",
+                uncommitted, p.committed_epoch());
+  } else {
+    std::printf("OK   pool is clean (no rollback needed)\n");
+  }
+  return 0;
+}
+
+int cmd_recover(pmem::PmemDevice* dev) {
+  auto pool = pmem::PmemPool::open(dev);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "not a PAX pool: %s\n",
+                 pool.status().to_string().c_str());
+    return 1;
+  }
+  auto report = device::recover_pool(pool.value());
+  if (!report.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("recovered to epoch %" PRIu64 ": %" PRIu64
+              " records scanned, %" PRIu64 " applied, %" PRIu64 " stale\n",
+              report.value().recovered_epoch, report.value().records_scanned,
+              report.value().records_applied, report.value().stale_records);
+  return 0;
+}
+
+int cmd_hexdump(pmem::PmemDevice* dev, PoolOffset offset, std::size_t len) {
+  if (offset >= dev->size()) {
+    std::fprintf(stderr, "offset beyond pool end (%zu)\n", dev->size());
+    return 1;
+  }
+  len = std::min(len, dev->size() - offset);
+  std::vector<std::byte> buf(len);
+  dev->load(offset, buf);
+  for (std::size_t row = 0; row < len; row += 16) {
+    std::printf("%#10" PRIx64 "  ", offset + row);
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < len) {
+        std::printf("%02x ", static_cast<unsigned>(buf[row + i]));
+      } else {
+        std::printf("   ");
+      }
+      if (i == 7) std::printf(" ");
+    }
+    std::printf(" |");
+    for (std::size_t i = 0; i < 16 && row + i < len; ++i) {
+      const char c = static_cast<char>(buf[row + i]);
+      std::printf("%c", c >= 0x20 && c < 0x7f ? c : '.');
+    }
+    std::printf("|\n");
+  }
+  return 0;
+}
+
+int cmd_trace(const std::string& path) {
+  auto events = coherence::load_trace(path);
+  if (!events.ok()) {
+    std::fprintf(stderr, "%s\n", events.status().to_string().c_str());
+    return 1;
+  }
+  const auto s = coherence::summarize_trace(events.value());
+  std::printf("trace %s: %" PRIu64 " messages\n", path.c_str(), s.total);
+  std::printf("  RdShared   %" PRIu64 "\n", s.rd_shared);
+  std::printf("  RdOwn      %" PRIu64 "\n", s.rd_own);
+  std::printf("  DirtyEvict %" PRIu64 "\n", s.dirty_evicts);
+  std::printf("  CleanEvict %" PRIu64 "\n", s.clean_evicts);
+  std::printf("  Snoops     %" PRIu64 "\n", s.snoops);
+  std::printf("  distinct lines touched: %" PRIu64 "\n", s.distinct_lines);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "trace") return cmd_trace(argv[2]);
+  if (cmd != "info" && cmd != "log" && cmd != "verify" && cmd != "recover" &&
+      cmd != "hexdump") {
+    return usage();
+  }
+
+  auto dev = open_device(argv[2]);
+  if (!dev.ok()) {
+    std::fprintf(stderr, "%s\n", dev.status().to_string().c_str());
+    return 1;
+  }
+  if (cmd == "info") return cmd_info(dev.value().get());
+  if (cmd == "log") return cmd_log(dev.value().get());
+  if (cmd == "verify") return cmd_verify(dev.value().get());
+  if (cmd == "recover") return cmd_recover(dev.value().get());
+  if (cmd == "hexdump" && argc >= 4) {
+    const PoolOffset offset = std::strtoull(argv[3], nullptr, 0);
+    const std::size_t len =
+        argc >= 5 ? std::strtoull(argv[4], nullptr, 0) : 256;
+    return cmd_hexdump(dev.value().get(), offset, len);
+  }
+  return usage();
+}
