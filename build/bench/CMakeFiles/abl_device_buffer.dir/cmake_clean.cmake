@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_device_buffer.dir/abl_device_buffer.cpp.o"
+  "CMakeFiles/abl_device_buffer.dir/abl_device_buffer.cpp.o.d"
+  "abl_device_buffer"
+  "abl_device_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_device_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_device_latency.dir/abl_device_latency.cpp.o"
+  "CMakeFiles/abl_device_latency.dir/abl_device_latency.cpp.o.d"
+  "abl_device_latency"
+  "abl_device_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_device_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

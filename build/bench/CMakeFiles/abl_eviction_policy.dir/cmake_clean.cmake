@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eviction_policy.dir/abl_eviction_policy.cpp.o"
+  "CMakeFiles/abl_eviction_policy.dir/abl_eviction_policy.cpp.o.d"
+  "abl_eviction_policy"
+  "abl_eviction_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eviction_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

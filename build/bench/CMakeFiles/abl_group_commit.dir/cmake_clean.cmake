@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_group_commit.dir/abl_group_commit.cpp.o"
+  "CMakeFiles/abl_group_commit.dir/abl_group_commit.cpp.o.d"
+  "abl_group_commit"
+  "abl_group_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_group_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multicore_sharing.dir/abl_multicore_sharing.cpp.o"
+  "CMakeFiles/abl_multicore_sharing.dir/abl_multicore_sharing.cpp.o.d"
+  "abl_multicore_sharing"
+  "abl_multicore_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multicore_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

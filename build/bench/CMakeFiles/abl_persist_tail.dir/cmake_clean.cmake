@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_persist_tail.dir/abl_persist_tail.cpp.o"
+  "CMakeFiles/abl_persist_tail.dir/abl_persist_tail.cpp.o.d"
+  "abl_persist_tail"
+  "abl_persist_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_persist_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

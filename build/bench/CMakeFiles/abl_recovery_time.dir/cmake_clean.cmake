@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_recovery_time.dir/abl_recovery_time.cpp.o"
+  "CMakeFiles/abl_recovery_time.dir/abl_recovery_time.cpp.o.d"
+  "abl_recovery_time"
+  "abl_recovery_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_recovery_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_trace_replay.dir/abl_trace_replay.cpp.o"
+  "CMakeFiles/abl_trace_replay.dir/abl_trace_replay.cpp.o.d"
+  "abl_trace_replay"
+  "abl_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

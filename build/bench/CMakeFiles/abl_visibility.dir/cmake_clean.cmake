@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_visibility.dir/abl_visibility.cpp.o"
+  "CMakeFiles/abl_visibility.dir/abl_visibility.cpp.o.d"
+  "abl_visibility"
+  "abl_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_write_amplification.dir/abl_write_amplification.cpp.o"
+  "CMakeFiles/abl_write_amplification.dir/abl_write_amplification.cpp.o.d"
+  "abl_write_amplification"
+  "abl_write_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_write_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_amat.dir/fig2a_amat.cpp.o"
+  "CMakeFiles/fig2a_amat.dir/fig2a_amat.cpp.o.d"
+  "fig2a_amat"
+  "fig2a_amat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_amat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

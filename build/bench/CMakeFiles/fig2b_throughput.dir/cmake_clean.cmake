@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_throughput.dir/fig2b_throughput.cpp.o"
+  "CMakeFiles/fig2b_throughput.dir/fig2b_throughput.cpp.o.d"
+  "fig2b_throughput"
+  "fig2b_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bank_ledger.dir/bank_ledger.cpp.o"
+  "CMakeFiles/example_bank_ledger.dir/bank_ledger.cpp.o.d"
+  "example_bank_ledger"
+  "example_bank_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bank_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_consistent_analytics.dir/consistent_analytics.cpp.o"
+  "CMakeFiles/example_consistent_analytics.dir/consistent_analytics.cpp.o.d"
+  "example_consistent_analytics"
+  "example_consistent_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_consistent_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

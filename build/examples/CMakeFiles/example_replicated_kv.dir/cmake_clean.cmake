@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_replicated_kv.dir/replicated_kv.cpp.o"
+  "CMakeFiles/example_replicated_kv.dir/replicated_kv.cpp.o.d"
+  "example_replicated_kv"
+  "example_replicated_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_replicated_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stream_ingest.dir/stream_ingest.cpp.o"
+  "CMakeFiles/example_stream_ingest.dir/stream_ingest.cpp.o.d"
+  "example_stream_ingest"
+  "example_stream_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stream_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pax/baselines/direct/direct_hashmap.cpp" "src/CMakeFiles/pax.dir/pax/baselines/direct/direct_hashmap.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/baselines/direct/direct_hashmap.cpp.o.d"
+  "/root/repo/src/pax/baselines/pagewal/pagewal.cpp" "src/CMakeFiles/pax.dir/pax/baselines/pagewal/pagewal.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/baselines/pagewal/pagewal.cpp.o.d"
+  "/root/repo/src/pax/baselines/pmdk/phashmap.cpp" "src/CMakeFiles/pax.dir/pax/baselines/pmdk/phashmap.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/baselines/pmdk/phashmap.cpp.o.d"
+  "/root/repo/src/pax/baselines/pmdk/pvector.cpp" "src/CMakeFiles/pax.dir/pax/baselines/pmdk/pvector.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/baselines/pmdk/pvector.cpp.o.d"
+  "/root/repo/src/pax/baselines/pmdk/tx.cpp" "src/CMakeFiles/pax.dir/pax/baselines/pmdk/tx.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/baselines/pmdk/tx.cpp.o.d"
+  "/root/repo/src/pax/coherence/cxl.cpp" "src/CMakeFiles/pax.dir/pax/coherence/cxl.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/coherence/cxl.cpp.o.d"
+  "/root/repo/src/pax/coherence/domain.cpp" "src/CMakeFiles/pax.dir/pax/coherence/domain.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/coherence/domain.cpp.o.d"
+  "/root/repo/src/pax/coherence/eci_adapter.cpp" "src/CMakeFiles/pax.dir/pax/coherence/eci_adapter.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/coherence/eci_adapter.cpp.o.d"
+  "/root/repo/src/pax/coherence/host_cache.cpp" "src/CMakeFiles/pax.dir/pax/coherence/host_cache.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/coherence/host_cache.cpp.o.d"
+  "/root/repo/src/pax/coherence/trace.cpp" "src/CMakeFiles/pax.dir/pax/coherence/trace.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/coherence/trace.cpp.o.d"
+  "/root/repo/src/pax/common/crc.cpp" "src/CMakeFiles/pax.dir/pax/common/crc.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/common/crc.cpp.o.d"
+  "/root/repo/src/pax/common/log.cpp" "src/CMakeFiles/pax.dir/pax/common/log.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/common/log.cpp.o.d"
+  "/root/repo/src/pax/common/status.cpp" "src/CMakeFiles/pax.dir/pax/common/status.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/common/status.cpp.o.d"
+  "/root/repo/src/pax/device/hbm_cache.cpp" "src/CMakeFiles/pax.dir/pax/device/hbm_cache.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/device/hbm_cache.cpp.o.d"
+  "/root/repo/src/pax/device/pax_device.cpp" "src/CMakeFiles/pax.dir/pax/device/pax_device.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/device/pax_device.cpp.o.d"
+  "/root/repo/src/pax/device/recovery.cpp" "src/CMakeFiles/pax.dir/pax/device/recovery.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/device/recovery.cpp.o.d"
+  "/root/repo/src/pax/device/replication.cpp" "src/CMakeFiles/pax.dir/pax/device/replication.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/device/replication.cpp.o.d"
+  "/root/repo/src/pax/device/undo_logger.cpp" "src/CMakeFiles/pax.dir/pax/device/undo_logger.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/device/undo_logger.cpp.o.d"
+  "/root/repo/src/pax/libpax/heap.cpp" "src/CMakeFiles/pax.dir/pax/libpax/heap.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/libpax/heap.cpp.o.d"
+  "/root/repo/src/pax/libpax/runtime.cpp" "src/CMakeFiles/pax.dir/pax/libpax/runtime.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/libpax/runtime.cpp.o.d"
+  "/root/repo/src/pax/libpax/vpm_region.cpp" "src/CMakeFiles/pax.dir/pax/libpax/vpm_region.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/libpax/vpm_region.cpp.o.d"
+  "/root/repo/src/pax/model/amat.cpp" "src/CMakeFiles/pax.dir/pax/model/amat.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/model/amat.cpp.o.d"
+  "/root/repo/src/pax/model/sim_hash_table.cpp" "src/CMakeFiles/pax.dir/pax/model/sim_hash_table.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/model/sim_hash_table.cpp.o.d"
+  "/root/repo/src/pax/model/throughput.cpp" "src/CMakeFiles/pax.dir/pax/model/throughput.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/model/throughput.cpp.o.d"
+  "/root/repo/src/pax/pmem/mmap_file.cpp" "src/CMakeFiles/pax.dir/pax/pmem/mmap_file.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/pmem/mmap_file.cpp.o.d"
+  "/root/repo/src/pax/pmem/pmem_device.cpp" "src/CMakeFiles/pax.dir/pax/pmem/pmem_device.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/pmem/pmem_device.cpp.o.d"
+  "/root/repo/src/pax/pmem/pool.cpp" "src/CMakeFiles/pax.dir/pax/pmem/pool.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/pmem/pool.cpp.o.d"
+  "/root/repo/src/pax/wal/wal.cpp" "src/CMakeFiles/pax.dir/pax/wal/wal.cpp.o" "gcc" "src/CMakeFiles/pax.dir/pax/wal/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

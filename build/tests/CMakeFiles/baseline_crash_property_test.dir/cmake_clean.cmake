@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_crash_property_test.dir/baseline_crash_property_test.cpp.o"
+  "CMakeFiles/baseline_crash_property_test.dir/baseline_crash_property_test.cpp.o.d"
+  "baseline_crash_property_test"
+  "baseline_crash_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_crash_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_direct_test.dir/baseline_direct_test.cpp.o"
+  "CMakeFiles/baseline_direct_test.dir/baseline_direct_test.cpp.o.d"
+  "baseline_direct_test"
+  "baseline_direct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_direct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_pagewal_test.dir/baseline_pagewal_test.cpp.o"
+  "CMakeFiles/baseline_pagewal_test.dir/baseline_pagewal_test.cpp.o.d"
+  "baseline_pagewal_test"
+  "baseline_pagewal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_pagewal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_phashmap_test.dir/baseline_phashmap_test.cpp.o"
+  "CMakeFiles/baseline_phashmap_test.dir/baseline_phashmap_test.cpp.o.d"
+  "baseline_phashmap_test"
+  "baseline_phashmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_phashmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_pmdk_tx_test.dir/baseline_pmdk_tx_test.cpp.o"
+  "CMakeFiles/baseline_pmdk_tx_test.dir/baseline_pmdk_tx_test.cpp.o.d"
+  "baseline_pmdk_tx_test"
+  "baseline_pmdk_tx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_pmdk_tx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

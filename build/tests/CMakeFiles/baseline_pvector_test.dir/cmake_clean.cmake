@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_pvector_test.dir/baseline_pvector_test.cpp.o"
+  "CMakeFiles/baseline_pvector_test.dir/baseline_pvector_test.cpp.o.d"
+  "baseline_pvector_test"
+  "baseline_pvector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_pvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

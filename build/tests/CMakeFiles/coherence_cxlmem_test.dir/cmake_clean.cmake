@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_cxlmem_test.dir/coherence_cxlmem_test.cpp.o"
+  "CMakeFiles/coherence_cxlmem_test.dir/coherence_cxlmem_test.cpp.o.d"
+  "coherence_cxlmem_test"
+  "coherence_cxlmem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_cxlmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

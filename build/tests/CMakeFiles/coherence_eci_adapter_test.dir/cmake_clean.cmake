@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_eci_adapter_test.dir/coherence_eci_adapter_test.cpp.o"
+  "CMakeFiles/coherence_eci_adapter_test.dir/coherence_eci_adapter_test.cpp.o.d"
+  "coherence_eci_adapter_test"
+  "coherence_eci_adapter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_eci_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_host_cache_test.dir/coherence_host_cache_test.cpp.o"
+  "CMakeFiles/coherence_host_cache_test.dir/coherence_host_cache_test.cpp.o.d"
+  "coherence_host_cache_test"
+  "coherence_host_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_host_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

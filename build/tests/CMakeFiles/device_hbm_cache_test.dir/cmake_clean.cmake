@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_hbm_cache_test.dir/device_hbm_cache_test.cpp.o"
+  "CMakeFiles/device_hbm_cache_test.dir/device_hbm_cache_test.cpp.o.d"
+  "device_hbm_cache_test"
+  "device_hbm_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_hbm_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_overlap_sweep_test.dir/device_overlap_sweep_test.cpp.o"
+  "CMakeFiles/device_overlap_sweep_test.dir/device_overlap_sweep_test.cpp.o.d"
+  "device_overlap_sweep_test"
+  "device_overlap_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_overlap_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

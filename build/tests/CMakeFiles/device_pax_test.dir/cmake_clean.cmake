@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_pax_test.dir/device_pax_test.cpp.o"
+  "CMakeFiles/device_pax_test.dir/device_pax_test.cpp.o.d"
+  "device_pax_test"
+  "device_pax_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_pax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_replication_test.dir/device_replication_test.cpp.o"
+  "CMakeFiles/device_replication_test.dir/device_replication_test.cpp.o.d"
+  "device_replication_test"
+  "device_replication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

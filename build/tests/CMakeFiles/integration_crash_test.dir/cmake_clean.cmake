@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_crash_test.dir/integration_crash_test.cpp.o"
+  "CMakeFiles/integration_crash_test.dir/integration_crash_test.cpp.o.d"
+  "integration_crash_test"
+  "integration_crash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_async_persist_test.dir/libpax_async_persist_test.cpp.o"
+  "CMakeFiles/libpax_async_persist_test.dir/libpax_async_persist_test.cpp.o.d"
+  "libpax_async_persist_test"
+  "libpax_async_persist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_async_persist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_heap_property_test.dir/libpax_heap_property_test.cpp.o"
+  "CMakeFiles/libpax_heap_property_test.dir/libpax_heap_property_test.cpp.o.d"
+  "libpax_heap_property_test"
+  "libpax_heap_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_heap_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

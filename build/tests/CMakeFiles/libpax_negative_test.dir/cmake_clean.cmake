@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_negative_test.dir/libpax_negative_test.cpp.o"
+  "CMakeFiles/libpax_negative_test.dir/libpax_negative_test.cpp.o.d"
+  "libpax_negative_test"
+  "libpax_negative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_object_store_test.dir/libpax_object_store_test.cpp.o"
+  "CMakeFiles/libpax_object_store_test.dir/libpax_object_store_test.cpp.o.d"
+  "libpax_object_store_test"
+  "libpax_object_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_object_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

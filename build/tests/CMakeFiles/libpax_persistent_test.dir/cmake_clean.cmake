@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_persistent_test.dir/libpax_persistent_test.cpp.o"
+  "CMakeFiles/libpax_persistent_test.dir/libpax_persistent_test.cpp.o.d"
+  "libpax_persistent_test"
+  "libpax_persistent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_persistent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

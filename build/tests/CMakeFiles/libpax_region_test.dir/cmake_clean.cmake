@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_region_test.dir/libpax_region_test.cpp.o"
+  "CMakeFiles/libpax_region_test.dir/libpax_region_test.cpp.o.d"
+  "libpax_region_test"
+  "libpax_region_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_runtime_test.dir/libpax_runtime_test.cpp.o"
+  "CMakeFiles/libpax_runtime_test.dir/libpax_runtime_test.cpp.o.d"
+  "libpax_runtime_test"
+  "libpax_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_sharded_map_test.dir/libpax_sharded_map_test.cpp.o"
+  "CMakeFiles/libpax_sharded_map_test.dir/libpax_sharded_map_test.cpp.o.d"
+  "libpax_sharded_map_test"
+  "libpax_sharded_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_sharded_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

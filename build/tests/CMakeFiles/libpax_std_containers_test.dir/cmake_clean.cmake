@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_std_containers_test.dir/libpax_std_containers_test.cpp.o"
+  "CMakeFiles/libpax_std_containers_test.dir/libpax_std_containers_test.cpp.o.d"
+  "libpax_std_containers_test"
+  "libpax_std_containers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_std_containers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

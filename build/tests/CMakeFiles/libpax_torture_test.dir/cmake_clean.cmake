@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libpax_torture_test.dir/libpax_torture_test.cpp.o"
+  "CMakeFiles/libpax_torture_test.dir/libpax_torture_test.cpp.o.d"
+  "libpax_torture_test"
+  "libpax_torture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libpax_torture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

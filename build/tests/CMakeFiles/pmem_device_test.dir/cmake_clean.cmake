@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmem_device_test.dir/pmem_device_test.cpp.o"
+  "CMakeFiles/pmem_device_test.dir/pmem_device_test.cpp.o.d"
+  "pmem_device_test"
+  "pmem_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmem_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

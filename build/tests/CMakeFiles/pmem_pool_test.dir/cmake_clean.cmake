@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmem_pool_test.dir/pmem_pool_test.cpp.o"
+  "CMakeFiles/pmem_pool_test.dir/pmem_pool_test.cpp.o.d"
+  "pmem_pool_test"
+  "pmem_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmem_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_read_test.dir/snapshot_read_test.cpp.o"
+  "CMakeFiles/snapshot_read_test.dir/snapshot_read_test.cpp.o.d"
+  "snapshot_read_test"
+  "snapshot_read_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

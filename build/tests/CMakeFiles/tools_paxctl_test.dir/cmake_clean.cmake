@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_paxctl_test.dir/tools_paxctl_test.cpp.o"
+  "CMakeFiles/tools_paxctl_test.dir/tools_paxctl_test.cpp.o.d"
+  "tools_paxctl_test"
+  "tools_paxctl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_paxctl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

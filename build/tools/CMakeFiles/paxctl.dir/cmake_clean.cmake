@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxctl.dir/paxctl.cpp.o"
+  "CMakeFiles/paxctl.dir/paxctl.cpp.o.d"
+  "paxctl"
+  "paxctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
