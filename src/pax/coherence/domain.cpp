@@ -1,8 +1,23 @@
 #include "pax/coherence/domain.hpp"
 
+#include <algorithm>
+
 #include "pax/common/check.hpp"
 
 namespace pax::coherence {
+namespace {
+
+// Set while the dispatching thread already pre-snooped the peers; the wired
+// in-op snooper must then stay quiet (re-snooping would lock a peer's mutex
+// while this core's is held — the AB-BA the pre-snoop exists to avoid).
+thread_local bool t_presnooped = false;
+
+struct PresnoopScope {
+  PresnoopScope() { t_presnooped = true; }
+  ~PresnoopScope() { t_presnooped = false; }
+};
+
+}  // namespace
 
 CoherenceDomain::CoherenceDomain(device::PaxDevice* device,
                                  const HostCacheConfig& core_config,
@@ -10,13 +25,17 @@ CoherenceDomain::CoherenceDomain(device::PaxDevice* device,
   PAX_CHECK(device != nullptr);
   PAX_CHECK(core_count >= 1);
   cores_.reserve(core_count);
+  core_mu_.reserve(core_count);
   for (unsigned i = 0; i < core_count; ++i) {
     cores_.push_back(std::make_unique<HostCacheSim>(device, core_config));
+    core_mu_.push_back(std::make_unique<std::mutex>());
   }
   // Wire peer snooping: core i consults every other core before acquiring
-  // a line.
+  // a line. This path serves direct single-threaded core() use; the
+  // dispatch entry points pre-snoop instead and suppress it.
   for (unsigned i = 0; i < core_count; ++i) {
     cores_[i]->set_peer_snooper([this, i](LineIndex line, bool exclusive) {
+      if (t_presnooped) return;
       for (unsigned j = 0; j < cores_.size(); ++j) {
         if (j == i) continue;
         if (exclusive) {
@@ -39,16 +58,90 @@ CoherenceDomain::CoherenceDomain(device::PaxDevice* device,
   }
 }
 
+void CoherenceDomain::presnoop_peers(unsigned core_id, LineIndex line,
+                                     bool exclusive) {
+  for (unsigned j = 0; j < cores_.size(); ++j) {
+    if (j == core_id) continue;
+    std::lock_guard peer_lock(*core_mu_[j]);
+    if (exclusive) {
+      cores_[j]->snoop_invalidate(line);
+    } else if (cores_[j]->line_state(line) == MesiState::kModified) {
+      auto data = cores_[j]->snoop_data(line);
+      PAX_CHECK(data.has_value());
+      cores_[j]->device_writeback_for_snoop(line, *data);
+    }
+  }
+}
+
+void CoherenceDomain::load_one_line(unsigned core_id, PoolOffset offset,
+                                    std::span<std::byte> out) {
+  const LineIndex line = LineIndex::containing(offset);
+  std::lock_guard line_lock(line_mutex(line));
+  presnoop_peers(core_id, line, /*exclusive=*/false);
+  std::lock_guard core_lock(*core_mu_[core_id]);
+  PresnoopScope suppress;
+  cores_[core_id]->load(offset, out);
+}
+
+Status CoherenceDomain::store_one_line(unsigned core_id, PoolOffset offset,
+                                       std::span<const std::byte> data) {
+  const LineIndex line = LineIndex::containing(offset);
+  std::lock_guard line_lock(line_mutex(line));
+  presnoop_peers(core_id, line, /*exclusive=*/true);
+  std::lock_guard core_lock(*core_mu_[core_id]);
+  PresnoopScope suppress;
+  return cores_[core_id]->store(offset, data);
+}
+
+void CoherenceDomain::load(unsigned core_id, PoolOffset offset,
+                           std::span<std::byte> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const PoolOffset cur = offset + done;
+    const std::size_t in_line = cur % kCacheLineSize;
+    const std::size_t n =
+        std::min(kCacheLineSize - in_line, out.size() - done);
+    load_one_line(core_id, cur, out.subspan(done, n));
+    done += n;
+  }
+}
+
+Status CoherenceDomain::store(unsigned core_id, PoolOffset offset,
+                              std::span<const std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const PoolOffset cur = offset + done;
+    const std::size_t in_line = cur % kCacheLineSize;
+    const std::size_t n =
+        std::min(kCacheLineSize - in_line, data.size() - done);
+    PAX_RETURN_IF_ERROR(store_one_line(core_id, cur, data.subspan(done, n)));
+    done += n;
+  }
+  return Status::ok();
+}
+
+std::uint64_t CoherenceDomain::load_u64(unsigned core_id, PoolOffset offset) {
+  std::uint64_t v = 0;
+  load(core_id, offset, std::as_writable_bytes(std::span(&v, 1)));
+  return v;
+}
+
+Status CoherenceDomain::store_u64(unsigned core_id, PoolOffset offset,
+                                  std::uint64_t value) {
+  return store(core_id, offset, std::as_bytes(std::span(&value, 1)));
+}
+
 device::PaxDevice::PullFn CoherenceDomain::pull_fn() {
   return [this](LineIndex line) -> std::optional<LineData> {
     std::optional<LineData> newest;
-    for (auto& core : cores_) {
+    for (unsigned i = 0; i < cores_.size(); ++i) {
       // Downgrade every holder; the Modified one (at most one exists under
       // MESI) supplies the value.
-      if (core->line_state(line) == MesiState::kModified) {
-        newest = core->snoop_data(line);
+      std::lock_guard core_lock(*core_mu_[i]);
+      if (cores_[i]->line_state(line) == MesiState::kModified) {
+        newest = cores_[i]->snoop_data(line);
       } else {
-        (void)core->snoop_data(line);  // S/E → S downgrade
+        (void)cores_[i]->snoop_data(line);  // S/E → S downgrade
       }
     }
     return newest;
@@ -56,7 +149,10 @@ device::PaxDevice::PullFn CoherenceDomain::pull_fn() {
 }
 
 void CoherenceDomain::drop_all_without_writeback() {
-  for (auto& core : cores_) core->drop_all_without_writeback();
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    std::lock_guard core_lock(*core_mu_[i]);
+    cores_[i]->drop_all_without_writeback();
+  }
 }
 
 }  // namespace pax::coherence

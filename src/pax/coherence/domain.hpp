@@ -20,9 +20,41 @@
 // RdOwn of the epoch logged the epoch-boundary value, and every subsequent
 // transfer routes current data through the device, never touching the log
 // (write_intent is per-epoch idempotent).
+//
+// ── Concurrent dispatch ────────────────────────────────────────────────────
+//
+// The per-core load()/store() entry points below are thread-safe: one
+// application thread per core may drive its core concurrently (the striped
+// device then runs their misses in parallel). Internals:
+//
+//   * a small array of *line-stripe* mutexes serializes conflicting traffic
+//     on the same line across cores (the fabric's per-address ordering
+//     point);
+//   * one mutex per core guards that core's simulator (HostCacheSim itself
+//     is single-threaded by design);
+//   * the domain *pre-snoops* the peers — under their own locks, one at a
+//     time — before invoking the core op with a thread-local flag set that
+//     suppresses the in-op peer snooper. Pre-snooping unconditionally is
+//     MESI-equivalent to the lazy in-op snoop: whenever the in-op snoop
+//     would have been skipped (core already owns the line M/E, or the load
+//     hits), the peers can hold nothing that the snoop would touch, so the
+//     pre-snoop is a no-op. The suppression is what keeps two cores from
+//     locking each other's mutexes in opposite orders (at most one core
+//     lock is ever held per thread).
+//
+// LOCK ORDER: line-stripe mutex → (one) core mutex → device locks.
+//
+// persist()/seal_epoch() with this domain's pull_fn() require QUIESCED
+// dispatch: the pull callback takes core mutexes, and a dispatch thread
+// blocked on the device's epoch gate while holding its core mutex would
+// deadlock the commit. Join or barrier the worker threads first — the same
+// stop-the-world epoch boundary the paper's runtime imposes (§3.5).
 #pragma once
 
+#include <array>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "pax/coherence/host_cache.hpp"
@@ -35,18 +67,58 @@ class CoherenceDomain {
                   unsigned core_count);
 
   unsigned core_count() const { return static_cast<unsigned>(cores_.size()); }
+
+  /// Direct core access — single-threaded use only (tests, measurement
+  /// loops owning the whole domain). For multi-threaded traffic use the
+  /// dispatch entry points below.
   HostCacheSim& core(unsigned i) { return *cores_.at(i); }
+
+  // --- Thread-safe dispatch (one thread per core) -------------------------
+
+  /// load()/store() through core `core_id`'s hierarchy. Safe to call
+  /// concurrently from different threads (also for the same core). Accesses
+  /// spanning several lines are line-atomic, not op-atomic — exactly the
+  /// hardware guarantee.
+  void load(unsigned core_id, PoolOffset offset, std::span<std::byte> out);
+  Status store(unsigned core_id, PoolOffset offset,
+               std::span<const std::byte> data);
+
+  std::uint64_t load_u64(unsigned core_id, PoolOffset offset);
+  Status store_u64(unsigned core_id, PoolOffset offset, std::uint64_t value);
+
+  // --- Epoch plumbing -----------------------------------------------------
 
   /// persist() pull covering every core: returns the Modified copy if any
   /// core holds one (downgrading it), else downgrades any Shared holders
-  /// and reports nothing (the device's own copy is current).
+  /// and reports nothing (the device's own copy is current). Takes the core
+  /// mutexes — dispatch must be quiesced (see the header comment).
   device::PaxDevice::PullFn pull_fn();
 
   /// Crash: every core's volatile state vanishes.
   void drop_all_without_writeback();
 
  private:
+  // Serializes same-line traffic across cores. Sized like a snoop filter
+  // bank count — contention here means *actual* same-line contention.
+  static constexpr std::size_t kLineLockStripes = 64;
+
+  std::mutex& line_mutex(LineIndex line) {
+    return line_mu_[line.value % kLineLockStripes];
+  }
+
+  // Snoops every peer of `core_id` for `line` under the peers' own locks
+  // (one at a time). `exclusive` selects SnpInv vs SnpData semantics,
+  // mirroring the wired in-op snooper exactly.
+  void presnoop_peers(unsigned core_id, LineIndex line, bool exclusive);
+
+  void load_one_line(unsigned core_id, PoolOffset offset,
+                     std::span<std::byte> out);
+  Status store_one_line(unsigned core_id, PoolOffset offset,
+                        std::span<const std::byte> data);
+
   std::vector<std::unique_ptr<HostCacheSim>> cores_;
+  std::vector<std::unique_ptr<std::mutex>> core_mu_;
+  std::array<std::mutex, kLineLockStripes> line_mu_;
 };
 
 }  // namespace pax::coherence

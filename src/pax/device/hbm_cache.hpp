@@ -45,6 +45,18 @@ struct HbmStats {
   std::uint64_t stall_evictions = 0;          // record needed a forced flush
 };
 
+/// Aggregation across the striped device's per-stripe caches.
+inline HbmStats& operator+=(HbmStats& a, const HbmStats& b) {
+  a.hits += b.hits;
+  a.misses += b.misses;
+  a.insertions += b.insertions;
+  a.evictions += b.evictions;
+  a.clean_evictions += b.clean_evictions;
+  a.durable_dirty_evictions += b.durable_dirty_evictions;
+  a.stall_evictions += b.stall_evictions;
+  return a;
+}
+
 /// A line leaving the buffer; the device decides what to do with it.
 struct EvictedLine {
   LineIndex line;

@@ -1,17 +1,46 @@
 #include "pax/device/pax_device.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "pax/common/check.hpp"
 #include "pax/common/log.hpp"
 
 namespace pax::device {
+namespace {
+
+unsigned floor_pow2(unsigned v) {
+  unsigned p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+}  // namespace
 
 PaxDevice::PaxDevice(pmem::PmemPool* pool, const DeviceConfig& config)
     : pool_(pool),
       pm_(pool->device()),
       config_(config),
-      hbm_(config.hbm),
       epoch_(pool->committed_epoch() + 1) {
   PAX_CHECK(pool != nullptr);
+
+  // Effective stripe count: a power of two, capped so every stripe keeps at
+  // least one full HBM set (otherwise small-buffer configs would silently
+  // grow their aggregate capacity).
+  PAX_CHECK_MSG(config.stripes >= 1, "stripes must be >= 1");
+  const unsigned hbm_sets = static_cast<unsigned>(std::max<std::size_t>(
+      1, config.hbm.capacity_lines / config.hbm.ways));
+  const unsigned n = floor_pow2(std::min(config.stripes, hbm_sets));
+  stripe_mask_ = n - 1;
+
+  HbmConfig per_stripe = config.hbm;
+  per_stripe.capacity_lines =
+      std::max<std::size_t>(config.hbm.ways, config.hbm.capacity_lines / n);
+  stripes_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>(per_stripe));
+  }
+
   // Split the log extent into two banks (§6 epoch overlap). Synchronous-only
   // workloads never leave bank 0.
   const std::size_t half =
@@ -31,65 +60,82 @@ void PaxDevice::check_line_in_data_extent(LineIndex line) const {
                 "line outside the pool data extent");
 }
 
-LineData PaxDevice::device_view(LineIndex line) {
-  if (auto cached = hbm_.lookup(line)) return *cached;
+LineData PaxDevice::device_view(Stripe& s, LineIndex line) {
+  if (auto cached = s.hbm.lookup(line)) return *cached;
   return pm_->load_line(line);
+}
+
+void PaxDevice::evict_victim(Stripe& s,
+                             const std::optional<EvictedLine>& victim) {
+  if (!victim || !victim->dirty) return;
+  if (!record_is_durable(victim->log_record_end)) {
+    ++s.stats.forced_log_flushes;
+    flush_all_logs();
+  }
+  write_line_to_pm(s, victim->line, victim->data, victim->log_record_end);
 }
 
 LineData PaxDevice::read_line(LineIndex line) {
   check_line_in_data_extent(line);
-  std::lock_guard lock(mu_);
-  ++stats_.read_reqs;
+  std::shared_lock epoch_lock(epoch_mu_);
+  Stripe& s = stripe_for(line);
+  std::lock_guard lock(s.mu);
+  ++s.stats.read_reqs;
 
-  if (auto cached = hbm_.lookup(line)) {
-    ++stats_.read_hbm_hits;
+  if (auto cached = s.hbm.lookup(line)) {
+    ++s.stats.read_hbm_hits;
     return *cached;
   }
-  ++stats_.read_pm;
+  ++s.stats.read_pm;
   LineData data = pm_->load_line(line);
 
   // Fill the HBM cache with the clean copy; handle any dirty victim.
-  auto victim = hbm_.insert(line, data, /*dirty=*/false, 0,
-                            loggers_[active_bank_]->durable());
-  if (victim && victim->dirty) {
-    if (!record_is_durable(victim->log_record_end)) {
-      ++stats_.forced_log_flushes;
-      flush_all_logs();
-    }
-    write_line_to_pm(victim->line, victim->data, victim->log_record_end);
-  }
+  auto victim = s.hbm.insert(line, data, /*dirty=*/false, 0,
+                             loggers_[active_bank_]->durable());
+  evict_victim(s, victim);
   return data;
 }
 
 LineData PaxDevice::peek_line(LineIndex line) {
   check_line_in_data_extent(line);
-  std::lock_guard lock(mu_);
-  return device_view(line);
+  std::shared_lock epoch_lock(epoch_mu_);
+  Stripe& s = stripe_for(line);
+  std::lock_guard lock(s.mu);
+  return device_view(s, line);
 }
 
 Status PaxDevice::write_intent(LineIndex line) {
   check_line_in_data_extent(line);
-  std::lock_guard lock(mu_);
-  ++stats_.write_intents;
+  std::shared_lock epoch_lock(epoch_mu_);
+  Stripe& s = stripe_for(line);
+  std::lock_guard lock(s.mu);
+  ++s.stats.write_intents;
 
-  if (epoch_logged_.contains(line)) return Status::ok();  // already captured
+  if (s.epoch_logged.contains(line)) return Status::ok();  // already captured
 
   // First touch this epoch: the device's current view of the line *is* the
   // epoch-boundary value — everything from prior epochs was either written
   // back and committed, or (with an epoch sealed for async commit) captured
   // into the device at seal time.
-  const LineData old_data = device_view(line);
-  auto end = loggers_[active_bank_]->log_line(epoch_, line, old_data);
-  if (!end.ok()) return end.status();
+  const LineData old_data = device_view(s, line);
+  std::uint64_t end;
+  {
+    std::lock_guard log_lock(log_mu_);
+    auto appended = loggers_[active_bank_]->log_line(epoch_, line, old_data);
+    if (!appended.ok()) return appended.status();
+    end = appended.value();
+  }
 
-  ++stats_.first_touch_logs;
-  epoch_logged_.emplace(line, pack_record(active_bank_, end.value()));
+  ++s.stats.first_touch_logs;
+  s.epoch_logged.emplace(line, pack_record(active_bank_, end));
   return Status::ok();
 }
 
 LineData PaxDevice::read_committed_line(LineIndex line) {
   check_line_in_data_extent(line);
-  std::lock_guard lock(mu_);
+  std::shared_lock epoch_lock(epoch_mu_);
+  Stripe& s = stripe_for(line);
+  std::lock_guard lock(s.mu);
 
   // The pre-image lives in the log at [end - frame, end); frames for line
   // undo records have a fixed size.
@@ -112,78 +158,75 @@ LineData PaxDevice::read_committed_line(LineIndex line) {
   };
 
   if (has_sealed_) {
-    if (auto it = sealed_logged_.find(line); it != sealed_logged_.end()) {
+    if (auto it = s.sealed_logged.find(line); it != s.sealed_logged.end()) {
       return preimage_from(it->second);
     }
   }
-  if (auto it = epoch_logged_.find(line); it != epoch_logged_.end()) {
+  if (auto it = s.epoch_logged.find(line); it != s.epoch_logged.end()) {
     return preimage_from(it->second);
   }
-  return device_view(line);  // unmodified since the last commit
+  return device_view(s, line);  // unmodified since the last commit
 }
 
 Status PaxDevice::mem_write(LineIndex line, const LineData& data) {
   check_line_in_data_extent(line);
-  std::lock_guard lock(mu_);
-  ++stats_.mem_writes;
+  std::shared_lock epoch_lock(epoch_mu_);
+  Stripe& s = stripe_for(line);
+  std::lock_guard lock(s.mu);
+  ++s.stats.mem_writes;
 
-  auto it = epoch_logged_.find(line);
-  if (it == epoch_logged_.end()) {
+  auto it = s.epoch_logged.find(line);
+  if (it == s.epoch_logged.end()) {
     // First MemWr for this line this epoch: the device view still holds the
     // epoch-boundary value (the incoming data is not yet applied).
-    const LineData old_data = device_view(line);
-    auto end = loggers_[active_bank_]->log_line(epoch_, line, old_data);
-    if (!end.ok()) return end.status();
-    ++stats_.first_touch_logs;
-    it = epoch_logged_
-             .emplace(line, pack_record(active_bank_, end.value()))
-             .first;
+    const LineData old_data = device_view(s, line);
+    std::uint64_t end;
+    {
+      std::lock_guard log_lock(log_mu_);
+      auto appended =
+          loggers_[active_bank_]->log_line(epoch_, line, old_data);
+      if (!appended.ok()) return appended.status();
+      end = appended.value();
+    }
+    ++s.stats.first_touch_logs;
+    it = s.epoch_logged.emplace(line, pack_record(active_bank_, end)).first;
   }
 
-  auto victim = hbm_.insert(line, data, /*dirty=*/true, it->second,
-                            loggers_[active_bank_]->durable());
-  if (victim && victim->dirty) {
-    if (!record_is_durable(victim->log_record_end)) {
-      ++stats_.forced_log_flushes;
-      flush_all_logs();
-    }
-    write_line_to_pm(victim->line, victim->data, victim->log_record_end);
-  }
+  auto victim = s.hbm.insert(line, data, /*dirty=*/true, it->second,
+                             loggers_[active_bank_]->durable());
+  evict_victim(s, victim);
   return Status::ok();
 }
 
 void PaxDevice::writeback_line(LineIndex line, const LineData& data) {
   check_line_in_data_extent(line);
-  std::lock_guard lock(mu_);
-  ++stats_.host_writebacks;
+  std::shared_lock epoch_lock(epoch_mu_);
+  Stripe& s = stripe_for(line);
+  std::lock_guard lock(s.mu);
+  ++s.stats.host_writebacks;
 
-  auto it = epoch_logged_.find(line);
+  auto it = s.epoch_logged.find(line);
   // Under epoch overlap the host may also evict a line it modified only in
   // the sealed epoch (seal downgraded it to shared; a shared eviction
   // carries no data, but a dirty eviction can still race the seal). Accept
   // a sealed-epoch record as ownership proof too.
   std::uint64_t packed;
-  if (it != epoch_logged_.end()) {
+  if (it != s.epoch_logged.end()) {
     packed = it->second;
   } else {
-    auto sealed_it = sealed_logged_.find(line);
-    PAX_CHECK_MSG(sealed_it != sealed_logged_.end(),
+    auto sealed_it = s.sealed_logged.find(line);
+    PAX_CHECK_MSG(sealed_it != s.sealed_logged.end(),
                   "host wrote back a line it never took write ownership of");
     packed = sealed_it->second;
   }
 
-  auto victim = hbm_.insert(line, data, /*dirty=*/true, packed,
-                            loggers_[active_bank_]->durable());
-  if (victim && victim->dirty) {
-    if (!record_is_durable(victim->log_record_end)) {
-      ++stats_.forced_log_flushes;
-      flush_all_logs();
-    }
-    write_line_to_pm(victim->line, victim->data, victim->log_record_end);
-  }
+  auto victim = s.hbm.insert(line, data, /*dirty=*/true, packed,
+                             loggers_[active_bank_]->durable());
+  evict_victim(s, victim);
 }
 
-void PaxDevice::write_line_to_pm(LineIndex line, const LineData& data,
+void PaxDevice::write_line_to_pm(Stripe& s, LineIndex line,
+                                 const LineData& data,
                                  std::uint64_t packed_record) {
   // Core crash-consistency invariant: no new data reaches PM media before
   // the undo record that can roll it back is durable.
@@ -191,11 +234,12 @@ void PaxDevice::write_line_to_pm(LineIndex line, const LineData& data,
                 "write-back attempted before undo record was durable");
   pm_->store_line(line, data);
   pm_->flush_line(line);
-  ++stats_.pm_writeback_lines;
-  hbm_.mark_clean(line);
+  ++s.stats.pm_writeback_lines;
+  s.hbm.mark_clean(line);
 }
 
 void PaxDevice::flush_all_logs() {
+  std::lock_guard log_lock(log_mu_);
   for (auto& logger : loggers_) {
     if (logger->staged() > logger->durable()) logger->flush();
   }
@@ -203,7 +247,7 @@ void PaxDevice::flush_all_logs() {
 }
 
 void PaxDevice::tick(bool force_flush) {
-  std::lock_guard lock(mu_);
+  std::shared_lock epoch_lock(epoch_mu_);
 
   std::uint64_t staged_volatile = 0;
   for (const auto& logger : loggers_) {
@@ -218,20 +262,63 @@ void PaxDevice::tick(bool force_flush) {
 
   // Proactively write back buffered dirty lines whose records are durable
   // (§3.3: frees buffer space and shrinks the work left for persist()).
+  // Stripes are visited round-robin from a rotating start so concurrent
+  // tick()s fan across the device instead of convoying on stripe 0.
+  const std::size_t n = stripes_.size();
+  const std::size_t start =
+      static_cast<std::size_t>(tick_cursor_.fetch_add(1)) % n;
   std::vector<std::tuple<LineIndex, LineData, std::uint64_t>> ready;
-  hbm_.for_each_dirty(
-      [&](LineIndex line, const LineData& data, std::uint64_t packed) {
-        if (record_is_durable(packed)) ready.emplace_back(line, data, packed);
-      });
-  for (const auto& [line, data, packed] : ready) {
-    write_line_to_pm(line, data, packed);
-    ++stats_.proactive_writebacks;
+  for (std::size_t i = 0; i < n; ++i) {
+    Stripe& s = *stripes_[(start + i) % n];
+    std::lock_guard lock(s.mu);
+    ready.clear();
+    s.hbm.for_each_dirty(
+        [&](LineIndex line, const LineData& data, std::uint64_t packed) {
+          if (record_is_durable(packed)) {
+            ready.emplace_back(line, data, packed);
+          }
+        });
+    for (const auto& [line, data, packed] : ready) {
+      write_line_to_pm(s, line, data, packed);
+      ++s.stats.proactive_writebacks;
+    }
   }
 }
 
+void PaxDevice::fan_out(std::size_t total_lines,
+                        const std::function<void(Stripe&)>& fn) {
+  const std::size_t n = stripes_.size();
+  const unsigned workers = std::min<unsigned>(
+      std::max(1u, config_.persist_workers), static_cast<unsigned>(n));
+  if (workers <= 1 || total_lines < config_.persist_fanout_min_lines) {
+    for (auto& s : stripes_) fn(*s);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  auto work = [&] {
+    for (std::size_t i = cursor.fetch_add(1); i < n; i = cursor.fetch_add(1)) {
+      fn(*stripes_[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 0; w + 1 < workers; ++w) pool.emplace_back(work);
+  work();
+  for (auto& t : pool) t.join();
+}
+
+std::optional<LineData> PaxDevice::pull_one(const PullFn& pull,
+                                            LineIndex line) {
+  persist_pulls_.fetch_add(1, std::memory_order_relaxed);
+  if (!pull) return std::nullopt;
+  std::lock_guard lock(pull_mu_);
+  return pull(line);
+}
+
 Result<Epoch> PaxDevice::persist(const PullFn& pull) {
-  std::lock_guard lock(mu_);
-  ++stats_.persists;
+  std::unique_lock epoch_lock(epoch_mu_);
+  persists_.fetch_add(1, std::memory_order_relaxed);
 
   // Complete any outstanding async epoch first: epochs commit in order.
   if (has_sealed_) {
@@ -239,50 +326,73 @@ Result<Epoch> PaxDevice::persist(const PullFn& pull) {
     if (!committed.ok()) return committed;
   }
 
-  // 1. Every undo record of this epoch becomes durable.
+  // Phase 1a. Every undo record of this epoch becomes durable.
   flush_all_logs();
 
-  // 2. For every line modified this epoch, obtain its authoritative current
-  //    value — from the host if it still caches it (RdShared: also revokes
-  //    exclusivity so next-epoch stores re-announce themselves), else from
-  //    the device buffer, else PM already has it — and write it to PM.
+  // Phase 1b (fan-out). For every line modified this epoch, obtain its
+  // authoritative current value — from the host if it still caches it
+  // (RdShared: also revokes exclusivity so next-epoch stores re-announce
+  // themselves), else from the device buffer, else PM already has it — and
+  // write it to PM. Each stripe's slice is independent; workers own one
+  // stripe at a time (the exclusive epoch lock quiesces the data path, so
+  // no stripe mutex is needed).
+  std::size_t total_lines = 0;
+  for (const auto& s : stripes_) total_lines += s->epoch_logged.size();
+
+  const bool want_hook = static_cast<bool>(commit_hook_);
+  std::mutex hook_mu;
   std::vector<std::pair<LineIndex, LineData>> committed_lines;
-  if (commit_hook_) committed_lines.reserve(epoch_logged_.size());
-  for (const auto& [line, packed] : epoch_logged_) {
-    ++stats_.persist_pulls;
-    std::optional<LineData> host_copy = pull ? pull(line) : std::nullopt;
-    LineData value;
-    if (host_copy) {
-      value = *host_copy;
-      // The pulled copy supersedes any (possibly stale) buffered copy.
-      hbm_.update_if_present(line, value);
-    } else if (auto buffered = hbm_.lookup(line)) {
-      value = *buffered;
-    } else {
-      // Neither host nor buffer holds it: the proactive path already wrote
-      // it back; re-reading PM keeps the store below idempotent.
-      value = pm_->load_line(line);
+  if (want_hook) committed_lines.reserve(total_lines);
+
+  fan_out(total_lines, [&](Stripe& s) {
+    std::vector<std::pair<LineIndex, LineData>> local;
+    if (want_hook) local.reserve(s.epoch_logged.size());
+    for (const auto& [line, packed] : s.epoch_logged) {
+      (void)packed;
+      std::optional<LineData> host_copy = pull_one(pull, line);
+      LineData value;
+      if (host_copy) {
+        value = *host_copy;
+        // The pulled copy supersedes any (possibly stale) buffered copy.
+        s.hbm.update_if_present(line, value);
+      } else if (auto buffered = s.hbm.lookup(line)) {
+        value = *buffered;
+      } else {
+        // Neither host nor buffer holds it: the proactive path already
+        // wrote it back; re-reading PM keeps the store below idempotent.
+        value = pm_->load_line(line);
+      }
+      pm_->store_line(line, value);
+      pm_->flush_line(line);
+      ++s.stats.pm_writeback_lines;
+      s.hbm.mark_clean(line);
+      if (want_hook) local.emplace_back(line, value);
     }
-    pm_->store_line(line, value);
-    pm_->flush_line(line);
-    ++stats_.pm_writeback_lines;
-    hbm_.mark_clean(line);
-    if (commit_hook_) committed_lines.emplace_back(line, value);
-  }
+    if (want_hook && !local.empty()) {
+      std::lock_guard hl(hook_mu);
+      committed_lines.insert(committed_lines.end(), local.begin(),
+                             local.end());
+    }
+  });
 
-  // 3. Fence: all data write-back durable before the commit record.
+  // Phase 2 (serialized tail). Fence: all data write-back durable before
+  // the commit record; then atomically transition the pool to the new
+  // snapshot (§3.3).
   pm_->drain();
-
-  // 4. Atomically transition the pool to the new snapshot (§3.3).
   const Epoch committed = epoch_;
   pool_->commit_epoch(committed);
   if (commit_hook_) commit_hook_(committed, committed_lines);
 
-  // 5. New epoch: the active log bank is reusable (every record inside is
-  //    now stale under the committed epoch cell).
-  loggers_[active_bank_]->reset_after_commit();
-  epoch_logged_.clear();
-  hbm_.mark_all_clean();
+  // New epoch: the active log bank is reusable (every record inside is now
+  // stale under the committed epoch cell).
+  {
+    std::lock_guard log_lock(log_mu_);
+    loggers_[active_bank_]->reset_after_commit();
+  }
+  for (auto& s : stripes_) {
+    s->epoch_logged.clear();
+    s->hbm.mark_all_clean();
+  }
   epoch_ = committed + 1;
 
   PAX_LOG_DEBUG("persist: committed epoch %llu",
@@ -291,34 +401,36 @@ Result<Epoch> PaxDevice::persist(const PullFn& pull) {
 }
 
 Result<Epoch> PaxDevice::seal_epoch(const PullFn& pull) {
-  std::lock_guard lock(mu_);
+  std::unique_lock epoch_lock(epoch_mu_);
   if (has_sealed_) {
     return failed_precondition(
         "an epoch is already sealed; commit it before sealing another");
   }
-  ++stats_.epoch_seals;
+  epoch_seals_.fetch_add(1, std::memory_order_relaxed);
 
-  // Capture the host's current values for every modified line, revoking
-  // exclusivity (next-epoch stores must re-announce). The values land in
-  // the HBM buffer as dirty lines gated on their (sealed-bank) records.
-  for (const auto& [line, packed] : epoch_logged_) {
-    ++stats_.persist_pulls;
-    if (std::optional<LineData> host_copy = pull ? pull(line) : std::nullopt) {
-      auto victim = hbm_.insert(line, *host_copy, /*dirty=*/true, packed,
-                                loggers_[active_bank_]->durable());
-      if (victim && victim->dirty) {
-        if (!record_is_durable(victim->log_record_end)) {
-          ++stats_.forced_log_flushes;
-          flush_all_logs();
-        }
-        write_line_to_pm(victim->line, victim->data, victim->log_record_end);
+  // Phase 1 (fan-out). Capture the host's current values for every modified
+  // line, revoking exclusivity (next-epoch stores must re-announce). The
+  // values land in each stripe's HBM buffer as dirty lines gated on their
+  // (sealed-bank) records.
+  std::size_t total_lines = 0;
+  for (const auto& s : stripes_) total_lines += s->epoch_logged.size();
+
+  fan_out(total_lines, [&](Stripe& s) {
+    for (const auto& [line, packed] : s.epoch_logged) {
+      if (std::optional<LineData> host_copy = pull_one(pull, line)) {
+        auto victim = s.hbm.insert(line, *host_copy, /*dirty=*/true, packed,
+                                   loggers_[active_bank_]->durable());
+        evict_victim(s, victim);
       }
     }
-  }
+  });
 
-  // Freeze the epoch and switch new work to the other bank.
-  sealed_logged_ = std::move(epoch_logged_);
-  epoch_logged_.clear();
+  // Phase 2 (serialized tail). Freeze the epoch and switch new work to the
+  // other bank.
+  for (auto& s : stripes_) {
+    s->sealed_logged = std::move(s->epoch_logged);
+    s->epoch_logged.clear();
+  }
   sealed_epoch_ = epoch_;
   has_sealed_ = true;
   active_bank_ ^= 1;
@@ -329,44 +441,64 @@ Result<Epoch> PaxDevice::seal_epoch(const PullFn& pull) {
 }
 
 Result<Epoch> PaxDevice::commit_sealed() {
-  std::lock_guard lock(mu_);
+  std::unique_lock epoch_lock(epoch_mu_);
   return commit_sealed_locked();
 }
 
 Result<Epoch> PaxDevice::commit_sealed_locked() {
   if (!has_sealed_) return pool_->committed_epoch();
-  ++stats_.async_commits;
+  async_commits_.fetch_add(1, std::memory_order_relaxed);
 
-  // 1. All records durable — both banks: a sealed line may have been
-  //    re-modified in the active epoch, and the value written below could
-  //    be that newer one; its active-bank undo record must be durable
-  //    before the value reaches PM (the gating invariant under overlap).
+  // Phase 1a. All records durable — both banks: a sealed line may have been
+  // re-modified in the active epoch, and the value written below could be
+  // that newer one; its active-bank undo record must be durable before the
+  // value reaches PM (the gating invariant under overlap).
   flush_all_logs();
 
-  // 2. Write back every sealed line from the device's view (the seal pulled
-  //    the host copies; any concurrent newer value is safe per the flushed
-  //    active-bank record — recovery rolls it back to this epoch's value).
-  std::vector<std::pair<LineIndex, LineData>> committed_lines;
-  if (commit_hook_) committed_lines.reserve(sealed_logged_.size());
-  for (const auto& [line, packed] : sealed_logged_) {
-    const LineData value = device_view(line);
-    pm_->store_line(line, value);
-    pm_->flush_line(line);
-    ++stats_.pm_writeback_lines;
-    // Only mark clean if the active epoch hasn't re-dirtied it.
-    if (!epoch_logged_.contains(line)) hbm_.mark_clean(line);
-    if (commit_hook_) committed_lines.emplace_back(line, value);
-  }
+  // Phase 1b (fan-out). Write back every sealed line from the device's view
+  // (the seal pulled the host copies; any concurrent newer value is safe
+  // per the flushed active-bank record — recovery rolls it back to this
+  // epoch's value).
+  std::size_t total_lines = 0;
+  for (const auto& s : stripes_) total_lines += s->sealed_logged.size();
 
-  // 3. Fence, then the atomic epoch-cell commit.
+  const bool want_hook = static_cast<bool>(commit_hook_);
+  std::mutex hook_mu;
+  std::vector<std::pair<LineIndex, LineData>> committed_lines;
+  if (want_hook) committed_lines.reserve(total_lines);
+
+  fan_out(total_lines, [&](Stripe& s) {
+    std::vector<std::pair<LineIndex, LineData>> local;
+    if (want_hook) local.reserve(s.sealed_logged.size());
+    for (const auto& [line, packed] : s.sealed_logged) {
+      (void)packed;
+      const LineData value = device_view(s, line);
+      pm_->store_line(line, value);
+      pm_->flush_line(line);
+      ++s.stats.pm_writeback_lines;
+      // Only mark clean if the active epoch hasn't re-dirtied it.
+      if (!s.epoch_logged.contains(line)) s.hbm.mark_clean(line);
+      if (want_hook) local.emplace_back(line, value);
+    }
+    if (want_hook && !local.empty()) {
+      std::lock_guard hl(hook_mu);
+      committed_lines.insert(committed_lines.end(), local.begin(),
+                             local.end());
+    }
+  });
+
+  // Phase 2 (serialized tail). Fence, then the atomic epoch-cell commit.
   pm_->drain();
   pool_->commit_epoch(sealed_epoch_);
   if (commit_hook_) commit_hook_(sealed_epoch_, committed_lines);
 
-  // 4. The sealed bank's records are stale now; reclaim it.
+  // The sealed bank's records are stale now; reclaim it.
   const unsigned sealed_bank = active_bank_ ^ 1;
-  loggers_[sealed_bank]->reset_after_commit();
-  sealed_logged_.clear();
+  {
+    std::lock_guard log_lock(log_mu_);
+    loggers_[sealed_bank]->reset_after_commit();
+  }
+  for (auto& s : stripes_) s->sealed_logged.clear();
   const Epoch committed = sealed_epoch_;
   has_sealed_ = false;
 
@@ -376,32 +508,36 @@ Result<Epoch> PaxDevice::commit_sealed_locked() {
 }
 
 bool PaxDevice::has_sealed_epoch() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock epoch_lock(epoch_mu_);
   return has_sealed_;
 }
 
 void PaxDevice::set_commit_hook(CommitHook hook) {
-  std::lock_guard lock(mu_);
+  std::unique_lock epoch_lock(epoch_mu_);
   commit_hook_ = std::move(hook);
 }
 
 Epoch PaxDevice::current_epoch() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock epoch_lock(epoch_mu_);
   return epoch_;
 }
 
 std::size_t PaxDevice::epoch_logged_lines() const {
-  std::lock_guard lock(mu_);
-  return epoch_logged_.size();
+  std::shared_lock epoch_lock(epoch_mu_);
+  std::size_t total = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard lock(s->mu);
+    total += s->epoch_logged.size();
+  }
+  return total;
 }
 
 std::uint64_t PaxDevice::log_bytes_in_use() const {
-  std::lock_guard lock(mu_);
   return loggers_[0]->staged() + loggers_[1]->staged();
 }
 
 UndoLoggerStats PaxDevice::log_stats() const {
-  std::lock_guard lock(mu_);
+  std::lock_guard log_lock(log_mu_);
   UndoLoggerStats total = loggers_[0]->stats();
   const UndoLoggerStats& other = loggers_[1]->stats();
   total.records += other.records;
@@ -411,8 +547,37 @@ UndoLoggerStats PaxDevice::log_stats() const {
 }
 
 DeviceStats PaxDevice::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  std::shared_lock epoch_lock(epoch_mu_);
+  DeviceStats total;
+  for (const auto& s : stripes_) {
+    std::lock_guard lock(s->mu);
+    const DeviceStats& st = s->stats;
+    total.read_reqs += st.read_reqs;
+    total.read_hbm_hits += st.read_hbm_hits;
+    total.read_pm += st.read_pm;
+    total.write_intents += st.write_intents;
+    total.first_touch_logs += st.first_touch_logs;
+    total.host_writebacks += st.host_writebacks;
+    total.mem_writes += st.mem_writes;
+    total.pm_writeback_lines += st.pm_writeback_lines;
+    total.proactive_writebacks += st.proactive_writebacks;
+    total.forced_log_flushes += st.forced_log_flushes;
+  }
+  total.persists = persists_.load(std::memory_order_relaxed);
+  total.persist_pulls = persist_pulls_.load(std::memory_order_relaxed);
+  total.epoch_seals = epoch_seals_.load(std::memory_order_relaxed);
+  total.async_commits = async_commits_.load(std::memory_order_relaxed);
+  return total;
+}
+
+HbmStats PaxDevice::hbm_stats() const {
+  std::shared_lock epoch_lock(epoch_mu_);
+  HbmStats total;
+  for (const auto& s : stripes_) {
+    std::lock_guard lock(s->mu);
+    total += s->hbm.stats();
+  }
+  return total;
 }
 
 }  // namespace pax::device

@@ -36,13 +36,48 @@
 // after the active epoch's undo record for it is durable, so recovery always
 // lands exactly on a committed snapshot. Recovery scans both banks and
 // applies uncommitted records newest-epoch-first.
+//
+// ── Threading model (the striped data path) ────────────────────────────────
+//
+// Device state is partitioned into `DeviceConfig::stripes` stripes by
+// LineIndex (stripe = line & (stripes - 1)). Each stripe owns its slice of
+// the HBM buffer, its epoch-modified and sealed-modified sets, and its
+// data-path statistics, all behind its own mutex — read_line / write_intent /
+// writeback_line / mem_write on lines of different stripes proceed fully in
+// parallel. Three device-wide pieces remain shared:
+//
+//   * epoch_mu_ (a shared_mutex): the data path holds it shared; persist /
+//     seal_epoch / commit_sealed hold it exclusive. Epoch number, active log
+//     bank, and the sealed flag only change under the exclusive side, so the
+//     data path reads them without further synchronization.
+//   * log_mu_: the two undo-log banks are inherently ordered append-only
+//     structures; records from all stripes are appended under this short
+//     log-only mutex. Durability gating never takes it — the loggers publish
+//     their staged/durable watermarks through atomics.
+//   * the PM device itself, which is internally line-sharded.
+//
+// LOCK ORDER (never acquire in the reverse direction):
+//   epoch_mu_ (shared or exclusive)  →  stripe mutex  →  log_mu_
+// At most one stripe mutex is held at a time.
+//
+// persist()/seal_epoch()/commit_sealed() run a two-phase protocol: phase one
+// fans the per-stripe work (host pulls, PM write-back of the stripe's logged
+// lines) across a pool of `persist_workers` threads, one stripe per worker
+// at a time; phase two — log flush, fence, epoch-cell commit — is a single
+// serialized tail. The pull callback is invoked under an internal mutex
+// (pull_mu_), one call at a time, so frontends need not be thread-safe to be
+// pulled from the fan-out.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "pax/common/status.hpp"
 #include "pax/common/types.hpp"
@@ -60,6 +95,17 @@ struct DeviceConfig {
   /// tick() flushes the log when this many staged-but-volatile bytes
   /// accumulate (group flushing keeps "async" cheap).
   std::size_t log_flush_batch_bytes = 4096;
+  /// Number of data-path stripes (power of two; rounded down otherwise).
+  /// The effective count is additionally capped so every stripe keeps at
+  /// least one full HBM set (capacity_lines / ways); stripes = 1 reproduces
+  /// the old single-lock device.
+  unsigned stripes = 16;
+  /// Worker threads for the fan-out phase of persist()/seal_epoch()/
+  /// commit_sealed(). 1 = run the fan-out inline (no extra threads).
+  unsigned persist_workers = 4;
+  /// Fan out only when the epoch modified at least this many lines; tiny
+  /// epochs aren't worth the thread hand-off.
+  std::size_t persist_fanout_min_lines = 64;
 
   static DeviceConfig defaults() { return DeviceConfig{}; }
 };
@@ -88,7 +134,7 @@ class PaxDevice {
   /// recovery first; see device/recovery.hpp).
   PaxDevice(pmem::PmemPool* pool, const DeviceConfig& config);
 
-  // --- Data path (called by frontends) ----------------------------------
+  // --- Data path (called by frontends; thread-safe) ----------------------
 
   /// Serves a host load miss. `line` is an absolute pool line index inside
   /// the data extent.
@@ -136,14 +182,19 @@ class PaxDevice {
 
   /// One unit of background work: flush the log if the staged batch is big
   /// enough (or `force_flush`), then proactively write back durable-logged
-  /// dirty lines.
+  /// dirty lines, visiting the stripes round-robin (concurrent tick()s
+  /// start at different stripes and interleave with the data path
+  /// stripe-by-stripe).
   void tick(bool force_flush = false);
 
   // --- Epoch commit ------------------------------------------------------
 
   /// Fetches the host's current copy of a line and revokes host exclusive
   /// ownership (CXL RdShared). Returns nullopt if the host no longer caches
-  /// the line.
+  /// the line. Invoked one call at a time (under the device's pull mutex)
+  /// even when the commit fan-out runs on several workers, so it need not
+  /// be thread-safe — but it must NOT block on locks held by threads that
+  /// are executing device data-path calls, or persist deadlocks.
   using PullFn = std::function<std::optional<LineData>(LineIndex)>;
 
   /// Commits the current epoch as a crash-consistent snapshot and starts
@@ -173,8 +224,8 @@ class PaxDevice {
   /// Called after every epoch commit (sync or sealed) with the committed
   /// epoch number and the final values of every line that epoch modified.
   /// Used by the replication extension (device/replication.hpp) to ship
-  /// epochs to a backup. Invoked with the device lock held: keep it short
-  /// or enqueue.
+  /// epochs to a backup. Invoked with the epoch lock held exclusively (the
+  /// whole data path is quiesced): keep it short or enqueue.
   using CommitHook = std::function<void(
       Epoch, const std::vector<std::pair<LineIndex, LineData>>&)>;
   void set_commit_hook(CommitHook hook);
@@ -189,11 +240,30 @@ class PaxDevice {
   /// commit) — the live footprint a crash would have to roll back.
   std::uint64_t log_bytes_in_use() const;
 
+  /// Effective stripe count (after power-of-two rounding and the HBM
+  /// geometry cap).
+  unsigned stripe_count() const {
+    return static_cast<unsigned>(stripes_.size());
+  }
+
   DeviceStats stats() const;
-  const HbmStats& hbm_stats() const { return hbm_.stats(); }
+  HbmStats hbm_stats() const;
   UndoLoggerStats log_stats() const;
 
  private:
+  // One data-path partition. Padded to its own cache lines so stripe
+  // mutexes don't false-share.
+  struct alignas(64) Stripe {
+    explicit Stripe(const HbmConfig& hbm_config) : hbm(hbm_config) {}
+    mutable std::mutex mu;
+    HbmCache hbm;
+    // line -> packed undo-record token, for every line logged this epoch.
+    std::unordered_map<LineIndex, std::uint64_t> epoch_logged;
+    // Sealed-but-uncommitted epoch (§6): this stripe's slice of its set.
+    std::unordered_map<LineIndex, std::uint64_t> sealed_logged;
+    DeviceStats stats;  // data-path counters only; aggregated by stats()
+  };
+
   // Undo records are addressed as (bank, end-offset) packed into one u64:
   // the bank index occupies the top bit. HbmCache carries these packed
   // tokens opaquely.
@@ -206,19 +276,42 @@ class PaxDevice {
     return (packed & ~kBankBit) <= loggers_[bank]->durable();
   }
 
-  // Writes a data line to PM media. The caller must have ensured the line's
-  // undo record (if any this epoch) is durable; checked here.
-  void write_line_to_pm(LineIndex line, const LineData& data,
+  Stripe& stripe_for(LineIndex line) {
+    return *stripes_[line.value & stripe_mask_];
+  }
+  const Stripe& stripe_for(LineIndex line) const {
+    return *stripes_[line.value & stripe_mask_];
+  }
+
+  // Writes a data line to PM media and marks it clean in `s`'s buffer. The
+  // caller holds s.mu and must have ensured the line's undo record (if any
+  // this epoch) is durable; checked here.
+  void write_line_to_pm(Stripe& s, LineIndex line, const LineData& data,
                         std::uint64_t packed_record);
 
-  // Flushes both log banks (all staged records become durable).
+  // Handles the victim of an HbmCache::insert under s.mu: forces a log
+  // flush if the victim's record isn't durable yet, then writes it back.
+  void evict_victim(Stripe& s, const std::optional<EvictedLine>& victim);
+
+  // Flushes both log banks (all staged records become durable). Takes
+  // log_mu_; safe under any single stripe mutex.
   void flush_all_logs();
 
-  // Commits the sealed epoch. Caller holds mu_.
+  // Runs `fn(stripe)` for every stripe that `busy(stripe)` selects, on up
+  // to persist_workers threads (inline when the work is small). Caller
+  // holds epoch_mu_ exclusively; fn must not touch epoch_mu_.
+  void fan_out(std::size_t total_lines,
+               const std::function<void(Stripe&)>& fn);
+
+  // Invokes the pull callback under pull_mu_ (fan-out workers race here).
+  std::optional<LineData> pull_one(const PullFn& pull, LineIndex line);
+
+  // Commits the sealed epoch. Caller holds epoch_mu_ exclusively.
   Result<Epoch> commit_sealed_locked();
 
-  // Current device-side view of a line (buffer over PM), no stats.
-  LineData device_view(LineIndex line);
+  // Current device-side view of a line (buffer over PM), no stats. Caller
+  // holds s.mu (or owns the stripe via the exclusive epoch lock).
+  LineData device_view(Stripe& s, LineIndex line);
 
   void check_line_in_data_extent(LineIndex line) const;
 
@@ -226,21 +319,36 @@ class PaxDevice {
   pmem::PmemDevice* pm_;
   DeviceConfig config_;
 
-  mutable std::mutex mu_;
-  // Two log banks over the two halves of the pool's log extent (§6
-  // overlap); synchronous-only use stays on bank 0.
-  std::unique_ptr<UndoLogger> loggers_[2];
+  // Striped data-path state. The vector is immutable after construction.
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::uint64_t stripe_mask_ = 0;
+
+  // Epoch gate: data path shared, epoch transitions exclusive. The fields
+  // below it only change under the exclusive side.
+  mutable std::shared_mutex epoch_mu_;
+  Epoch epoch_;            // epoch being accumulated (not yet committed)
   unsigned active_bank_ = 0;
-  HbmCache hbm_;
-  Epoch epoch_;  // epoch being accumulated (not yet committed)
-  // line -> packed undo-record token, for every line logged this epoch.
-  std::unordered_map<LineIndex, std::uint64_t> epoch_logged_;
-  // Sealed-but-uncommitted epoch (§6): its logged set and number.
-  std::unordered_map<LineIndex, std::uint64_t> sealed_logged_;
   Epoch sealed_epoch_ = 0;
   bool has_sealed_ = false;
   CommitHook commit_hook_;
-  DeviceStats stats_;
+
+  // Two log banks over the two halves of the pool's log extent (§6
+  // overlap); synchronous-only use stays on bank 0. Appends/flushes/resets
+  // are serialized by log_mu_; watermark reads are lock-free.
+  mutable std::mutex log_mu_;
+  std::unique_ptr<UndoLogger> loggers_[2];
+
+  // Serializes PullFn invocations from the commit fan-out.
+  std::mutex pull_mu_;
+
+  // Round-robin start cursor for tick()'s proactive write-back.
+  std::atomic<std::uint64_t> tick_cursor_{0};
+
+  // Device-wide counters that live outside any stripe.
+  std::atomic<std::uint64_t> persists_{0};
+  std::atomic<std::uint64_t> persist_pulls_{0};
+  std::atomic<std::uint64_t> epoch_seals_{0};
+  std::atomic<std::uint64_t> async_commits_{0};
 };
 
 }  // namespace pax::device

@@ -15,6 +15,7 @@ Result<std::uint64_t> UndoLogger::log_line(Epoch epoch, LineIndex line,
   if (end.ok()) {
     ++stats_.records;
     stats_.bytes_staged += wal::record_frame_size(sizeof(payload));
+    staged_.store(writer_.appended(), std::memory_order_release);
   }
   return end;
 }

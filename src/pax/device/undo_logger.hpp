@@ -6,10 +6,16 @@
 // durable lazily: the write-back coordinator flushes the log in batches off
 // the application's critical path (§3.2), and data-line write-back is gated
 // on each record's end offset falling below the durable watermark (§3.3).
+//
+// Threading (striped device): all mutating entry points (log_line, flush,
+// reset_after_commit) must be serialized by the caller — the PaxDevice holds
+// its log mutex around them. The watermarks (staged(), durable(),
+// is_durable()) are published through atomics so the striped data path can
+// gate write-backs without touching the log mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
 
 #include "pax/common/status.hpp"
 #include "pax/common/types.hpp"
@@ -31,32 +37,47 @@ class UndoLogger {
 
   /// Stages an undo record holding `old_data`, the pre-image of `line` at
   /// the current epoch boundary. Returns the record end offset (the
-  /// watermark write-back of the new data must wait for).
+  /// watermark write-back of the new data must wait for). Caller must hold
+  /// the device's log mutex.
   Result<std::uint64_t> log_line(Epoch epoch, LineIndex line,
                                  const LineData& old_data);
 
-  /// Makes all staged records durable.
+  /// Makes all staged records durable. Caller must hold the log mutex.
   void flush() {
     ++stats_.flushes;
     writer_.flush();
+    durable_.store(writer_.durable(), std::memory_order_release);
   }
 
-  std::uint64_t staged() const { return writer_.appended(); }
-  std::uint64_t durable() const { return writer_.durable(); }
+  /// Lock-free watermark reads (safe concurrently with log_line/flush).
+  std::uint64_t staged() const {
+    return staged_.load(std::memory_order_acquire);
+  }
+  std::uint64_t durable() const {
+    return durable_.load(std::memory_order_acquire);
+  }
 
   /// True if `record_end` (a value returned by log_line) is durable.
   bool is_durable(std::uint64_t record_end) const {
-    return record_end <= writer_.durable();
+    return record_end <= durable();
   }
 
-  /// Restarts the log after an epoch commit made all records stale.
-  void reset_after_commit() { writer_.reset(); }
+  /// Restarts the log after an epoch commit made all records stale. Caller
+  /// must hold the log mutex AND have quiesced the data path (no write-back
+  /// may be gating on a record of this bank).
+  void reset_after_commit() {
+    writer_.reset();
+    staged_.store(0, std::memory_order_release);
+    durable_.store(0, std::memory_order_release);
+  }
 
   const UndoLoggerStats& stats() const { return stats_; }
   std::size_t extent_size() const { return writer_.extent_size(); }
 
  private:
   wal::LogWriter writer_;
+  std::atomic<std::uint64_t> staged_{0};
+  std::atomic<std::uint64_t> durable_{0};
   UndoLoggerStats stats_;
 };
 

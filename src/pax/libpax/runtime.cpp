@@ -51,6 +51,12 @@ Result<std::unique_ptr<PaxRuntime>> PaxRuntime::build(
   if (pm->size() % kPageSize != 0) {
     return invalid_argument("pool size must be page-aligned");
   }
+  if (options.device.stripes == 0) {
+    return invalid_argument("device.stripes must be >= 1");
+  }
+  if (options.device.persist_workers == 0) {
+    return invalid_argument("device.persist_workers must be >= 1");
+  }
 
   auto rt = std::unique_ptr<PaxRuntime>(new PaxRuntime());
   rt->owned_pm_ = std::move(owned_pm);

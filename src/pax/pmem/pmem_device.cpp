@@ -7,6 +7,9 @@
 #include "pax/common/rng.hpp"
 
 namespace pax::pmem {
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
 
 std::unique_ptr<PmemDevice> PmemDevice::create_in_memory(std::size_t bytes) {
   PAX_CHECK_MSG(bytes % kCacheLineSize == 0,
@@ -42,12 +45,13 @@ std::span<const std::byte> PmemDevice::media() const {
 
 void PmemDevice::store(PoolOffset off, std::span<const std::byte> data) {
   PAX_CHECK(off + data.size() <= size_);
-  std::lock_guard lock(mu_);
-  ++stats_.stores;
-  stats_.bytes_stored += data.size();
+  stats_.stores.fetch_add(1, kRelaxed);
+  stats_.bytes_stored.fetch_add(data.size(), kRelaxed);
 
   // Split the store across the lines it touches; each touched line becomes
-  // (or stays) pending with its updated contents.
+  // (or stays) pending with its updated contents. Lines are handled one at
+  // a time under their own shard lock — stores are not atomic across lines
+  // (matching real hardware, where only 8-byte-aligned writes are).
   std::size_t done = 0;
   while (done < data.size()) {
     const PoolOffset cur = off + done;
@@ -56,13 +60,15 @@ void PmemDevice::store(PoolOffset off, std::span<const std::byte> data) {
     const std::size_t n =
         std::min(kCacheLineSize - in_line, data.size() - done);
 
-    auto it = pending_.find(line);
-    if (it == pending_.end()) {
+    Shard& shard = shard_for(line);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.pending.find(line);
+    if (it == shard.pending.end()) {
       // First dirtying of this line: seed the pending copy from media.
       LineData d;
       std::memcpy(d.bytes.data(), media().data() + line.byte_offset(),
                   kCacheLineSize);
-      it = pending_.emplace(line, d).first;
+      it = shard.pending.emplace(line, d).first;
     }
     std::memcpy(it->second.bytes.data() + in_line, data.data() + done, n);
     done += n;
@@ -71,8 +77,7 @@ void PmemDevice::store(PoolOffset off, std::span<const std::byte> data) {
 
 void PmemDevice::load(PoolOffset off, std::span<std::byte> out) const {
   PAX_CHECK(off + out.size() <= size_);
-  std::lock_guard lock(mu_);
-  ++stats_.loads;
+  stats_.loads.fetch_add(1, kRelaxed);
 
   std::size_t done = 0;
   while (done < out.size()) {
@@ -82,9 +87,11 @@ void PmemDevice::load(PoolOffset off, std::span<std::byte> out) const {
     const std::size_t n =
         std::min(kCacheLineSize - in_line, out.size() - done);
 
-    auto it = pending_.find(line);
+    Shard& shard = shard_for(line);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.pending.find(line);
     const std::byte* src =
-        it != pending_.end()
+        it != shard.pending.end()
             ? it->second.bytes.data() + in_line
             : media().data() + line.byte_offset() + in_line;
     std::memcpy(out.data() + done, src, n);
@@ -94,17 +101,21 @@ void PmemDevice::load(PoolOffset off, std::span<std::byte> out) const {
 
 void PmemDevice::store_line(LineIndex line, const LineData& data) {
   PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
-  std::lock_guard lock(mu_);
-  ++stats_.stores;
-  stats_.bytes_stored += kCacheLineSize;
-  pending_[line] = data;
+  stats_.stores.fetch_add(1, kRelaxed);
+  stats_.bytes_stored.fetch_add(kCacheLineSize, kRelaxed);
+  Shard& shard = shard_for(line);
+  std::lock_guard lock(shard.mu);
+  shard.pending[line] = data;
 }
 
 LineData PmemDevice::load_line(LineIndex line) const {
   PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
-  std::lock_guard lock(mu_);
-  ++stats_.loads;
-  if (auto it = pending_.find(line); it != pending_.end()) return it->second;
+  stats_.loads.fetch_add(1, kRelaxed);
+  Shard& shard = shard_for(line);
+  std::lock_guard lock(shard.mu);
+  if (auto it = shard.pending.find(line); it != shard.pending.end()) {
+    return it->second;
+  }
   LineData d;
   std::memcpy(d.bytes.data(), media().data() + line.byte_offset(),
               kCacheLineSize);
@@ -123,45 +134,50 @@ std::uint64_t PmemDevice::load_u64(PoolOffset off) const {
   return value;
 }
 
-void PmemDevice::flush_line_locked(LineIndex line) {
-  auto it = pending_.find(line);
-  if (it == pending_.end()) {
-    ++stats_.empty_flushes;
+void PmemDevice::flush_line_locked(Shard& shard, LineIndex line) {
+  auto it = shard.pending.find(line);
+  if (it == shard.pending.end()) {
+    stats_.empty_flushes.fetch_add(1, kRelaxed);
     return;
   }
   std::memcpy(media().data() + line.byte_offset(), it->second.bytes.data(),
               kCacheLineSize);
-  pending_.erase(it);
-  ++stats_.line_flushes;
-  stats_.media_bytes_written += kCacheLineSize;
+  shard.pending.erase(it);
+  stats_.line_flushes.fetch_add(1, kRelaxed);
+  stats_.media_bytes_written.fetch_add(kCacheLineSize, kRelaxed);
   // XPLine accounting: a flush touches one 256 B internal block; flushes to
-  // the same block combine in the XPBuffer until the next drain.
-  if (xpline_window_.insert(line.byte_offset() / 256).second) {
-    ++stats_.xpline_blocks_written;
+  // the same block combine in the XPBuffer until the next drain. Block and
+  // line live in the same shard (sharding is by block), so the window needs
+  // no extra lock.
+  if (shard.xpline_window.insert(line.byte_offset() / 256).second) {
+    stats_.xpline_blocks_written.fetch_add(1, kRelaxed);
   }
 }
 
 void PmemDevice::flush_line(LineIndex line) {
   PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
-  std::lock_guard lock(mu_);
-  flush_line_locked(line);
+  Shard& shard = shard_for(line);
+  std::lock_guard lock(shard.mu);
+  flush_line_locked(shard, line);
 }
 
 void PmemDevice::flush_range(PoolOffset off, std::size_t len) {
   PAX_CHECK(off + len <= size_);
   if (len == 0) return;
-  std::lock_guard lock(mu_);
   const LineIndex first = LineIndex::containing(off);
   const LineIndex last = LineIndex::containing(off + len - 1);
   for (std::uint64_t l = first.value; l <= last.value; ++l) {
-    flush_line_locked(LineIndex{l});
+    flush_line(LineIndex{l});
   }
 }
 
 void PmemDevice::drain() {
-  std::lock_guard lock(mu_);
-  ++stats_.drains;
-  xpline_window_.clear();  // the XPBuffer write-combining window closes
+  stats_.drains.fetch_add(1, kRelaxed);
+  // The XPBuffer write-combining window closes on every shard.
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    shard.xpline_window.clear();
+  }
 }
 
 void PmemDevice::atomic_durable_store_u64(PoolOffset off,
@@ -172,36 +188,48 @@ void PmemDevice::atomic_durable_store_u64(PoolOffset off,
 }
 
 void PmemDevice::crash(const CrashConfig& config) {
-  std::lock_guard lock(mu_);
+  // Stop-the-world: hold every shard while the lottery runs so the torn
+  // state is a consistent cut of the overlay.
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    locks[i] = std::unique_lock(shards_[i].mu);
+  }
   Xoshiro256 rng(config.seed);
-  for (const auto& [line, data] : pending_) {
-    if (!rng.next_bool(config.line_survival_probability)) continue;
-    std::byte* dst = media().data() + line.byte_offset();
-    if (!config.tear_within_lines) {
-      std::memcpy(dst, data.bytes.data(), kCacheLineSize);
-      stats_.media_bytes_written += kCacheLineSize;
-      continue;
-    }
-    // Torn line: each 8-byte word (the x86 power-fail atomicity unit)
-    // independently made it out or did not.
-    for (std::size_t w = 0; w < kCacheLineSize; w += 8) {
-      if (rng.next_bool(0.5)) {
-        std::memcpy(dst + w, data.bytes.data() + w, 8);
-        stats_.media_bytes_written += 8;
+  for (auto& shard : shards_) {
+    for (const auto& [line, data] : shard.pending) {
+      if (!rng.next_bool(config.line_survival_probability)) continue;
+      std::byte* dst = media().data() + line.byte_offset();
+      if (!config.tear_within_lines) {
+        std::memcpy(dst, data.bytes.data(), kCacheLineSize);
+        stats_.media_bytes_written.fetch_add(kCacheLineSize, kRelaxed);
+        continue;
+      }
+      // Torn line: each 8-byte word (the x86 power-fail atomicity unit)
+      // independently made it out or did not.
+      for (std::size_t w = 0; w < kCacheLineSize; w += 8) {
+        if (rng.next_bool(0.5)) {
+          std::memcpy(dst + w, data.bytes.data() + w, 8);
+          stats_.media_bytes_written.fetch_add(8, kRelaxed);
+        }
       }
     }
+    shard.pending.clear();
   }
-  pending_.clear();
 }
 
 std::size_t PmemDevice::pending_line_count() const {
-  std::lock_guard lock(mu_);
-  return pending_.size();
+  std::size_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    total += shard.pending.size();
+  }
+  return total;
 }
 
 LineData PmemDevice::durable_line(LineIndex line) const {
   PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
-  std::lock_guard lock(mu_);
+  Shard& shard = shard_for(line);
+  std::lock_guard lock(shard.mu);
   LineData d;
   std::memcpy(d.bytes.data(), media().data() + line.byte_offset(),
               kCacheLineSize);
@@ -209,13 +237,27 @@ LineData PmemDevice::durable_line(LineIndex line) const {
 }
 
 PmemStats PmemDevice::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  PmemStats out;
+  out.stores = stats_.stores.load(kRelaxed);
+  out.bytes_stored = stats_.bytes_stored.load(kRelaxed);
+  out.loads = stats_.loads.load(kRelaxed);
+  out.line_flushes = stats_.line_flushes.load(kRelaxed);
+  out.empty_flushes = stats_.empty_flushes.load(kRelaxed);
+  out.drains = stats_.drains.load(kRelaxed);
+  out.media_bytes_written = stats_.media_bytes_written.load(kRelaxed);
+  out.xpline_blocks_written = stats_.xpline_blocks_written.load(kRelaxed);
+  return out;
 }
 
 void PmemDevice::reset_stats() {
-  std::lock_guard lock(mu_);
-  stats_ = PmemStats{};
+  stats_.stores.store(0, kRelaxed);
+  stats_.bytes_stored.store(0, kRelaxed);
+  stats_.loads.store(0, kRelaxed);
+  stats_.line_flushes.store(0, kRelaxed);
+  stats_.empty_flushes.store(0, kRelaxed);
+  stats_.drains.store(0, kRelaxed);
+  stats_.media_bytes_written.store(0, kRelaxed);
+  stats_.xpline_blocks_written.store(0, kRelaxed);
 }
 
 }  // namespace pax::pmem

@@ -18,10 +18,15 @@
 // kill-based crash tests, where losing the in-DRAM pending overlay on process
 // death is a *real* crash of the simulated persistence domain).
 //
-// All mutating entry points are internally synchronized: application threads
-// and the PAX device thread may touch disjoint lines concurrently.
+// All mutating entry points are internally synchronized, and the pending
+// overlay is *sharded* by 256 B internal block (the XPLine), so the striped
+// PAX device's data path and fan-out workers touch disjoint lines without
+// convoying on one device-wide mutex. Counters are atomics; only drain() and
+// crash() sweep every shard (both are serialized-tail / test-only paths).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -144,20 +149,48 @@ class PmemDevice {
   PmemDevice(std::vector<std::byte> heap_media, std::size_t size);
   PmemDevice(std::unique_ptr<MmapFile> file, std::size_t size);
 
+  // The overlay is partitioned by 256 B internal block (XPLine), i.e. four
+  // consecutive cache lines share a shard — which keeps each shard's
+  // XPBuffer write-combining window self-contained. Media bytes themselves
+  // need no lock: concurrent flushes of different lines touch disjoint
+  // ranges.
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<LineIndex, LineData> pending;
+    // 256 B blocks of this shard written since the last drain.
+    std::unordered_set<std::uint64_t> xpline_window;
+  };
+
+  Shard& shard_for(LineIndex line) const {
+    return shards_[(line.value / kLinesPerXpline) % kShards];
+  }
+  static constexpr std::uint64_t kLinesPerXpline = 256 / kCacheLineSize;
+
   std::span<std::byte> media();
   std::span<const std::byte> media() const;
 
-  void flush_line_locked(LineIndex line);
+  void flush_line_locked(Shard& shard, LineIndex line);
 
   std::vector<std::byte> heap_media_;    // in-memory mode
   std::unique_ptr<MmapFile> file_;       // file mode
   std::size_t size_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<LineIndex, LineData> pending_;
-  // 256 B internal blocks written since the last drain (XPBuffer window).
-  std::unordered_set<std::uint64_t> xpline_window_;
-  mutable PmemStats stats_;  // loads are counted from const readers
+  mutable std::array<Shard, kShards> shards_;
+
+  // Counters live outside the shards (an op may span several) as atomics;
+  // stats() snapshots them.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> stores{0};
+    std::atomic<std::uint64_t> bytes_stored{0};
+    std::atomic<std::uint64_t> loads{0};
+    std::atomic<std::uint64_t> line_flushes{0};
+    std::atomic<std::uint64_t> empty_flushes{0};
+    std::atomic<std::uint64_t> drains{0};
+    std::atomic<std::uint64_t> media_bytes_written{0};
+    std::atomic<std::uint64_t> xpline_blocks_written{0};
+  };
+  mutable AtomicStats stats_;  // loads are counted from const readers
 };
 
 }  // namespace pax::pmem

@@ -102,6 +102,9 @@ TEST(ShardedMapTest, PersistWhileWritersRunYieldsConsistentSnapshots) {
         }
       });
     }
+    // Under load the persist loop could otherwise finish before any writer
+    // is scheduled, committing only empty snapshots.
+    while (map.size() == 0) std::this_thread::yield();
     for (int p = 0; p < 10; ++p) {
       auto e = map.persist();
       ASSERT_TRUE(e.ok()) << e.status().to_string();
