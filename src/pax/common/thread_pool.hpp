@@ -1,0 +1,137 @@
+// A small persistent worker pool for data-parallel fan-out.
+//
+// Both halves of the host/device pipeline need the same shape of
+// parallelism: the PaxDevice commit protocol fans per-stripe write-back
+// across workers, and the libpax runtime fans per-page diffing across
+// workers. Spawning std::threads per operation is measurable overhead at
+// persist() frequency, so the pool keeps its workers parked on a condition
+// variable between jobs.
+//
+// parallel_for(n, fn) runs fn(i) for every i in [0, n): the calling thread
+// participates, indices are handed out through an atomic cursor (dynamic
+// load balancing — stripes/pages have skewed work), and the call returns
+// only when every index has completed. Worker threads synchronize with the
+// caller through the job's mutex/condition variable, so writes made by fn
+// happen-before parallel_for's return.
+//
+// A pool constructed with 0 workers degrades to an inline loop (no threads,
+// no locking) — the `workers = parallelism - 1` convention callers use to
+// express "run at parallelism 1" costs nothing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pax::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` parked threads. Total parallelism of parallel_for is
+  /// workers + 1 (the caller participates).
+  explicit ThreadPool(unsigned workers) {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Runs fn(i) for each i in [0, n), caller participating, returning when
+  /// all n indices completed. fn must not recursively call parallel_for on
+  /// the same pool. Safe to call from multiple threads (each call is its
+  /// own job; workers drain the most recently published one first).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (threads_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->fn = fn;
+    job->n = n;
+    job->pending.store(n, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(mu_);
+      current_ = job;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    run(*job);  // caller takes part
+
+    std::unique_lock lock(mu_);
+    job->done_cv.wait(lock, [&] {
+      return job->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+ private:
+  struct Job {
+    std::function<void(std::size_t)> fn;
+    std::size_t n = 0;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> pending{0};  // indices not yet completed
+    std::condition_variable done_cv;
+  };
+
+  // Claims and executes indices until the job is drained. The thread that
+  // completes the last index notifies the owner under the pool mutex (the
+  // owner re-checks pending under the same mutex, so the wakeup cannot be
+  // lost).
+  void run(Job& job) {
+    for (std::size_t i = job.cursor.fetch_add(1); i < job.n;
+         i = job.cursor.fetch_add(1)) {
+      job.fn(i);
+      if (job.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(mu_);
+        job.done_cv.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock lock(mu_);
+    for (;;) {
+      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      std::shared_ptr<Job> job = current_;  // keep alive past the owner
+      lock.unlock();
+      if (job) run(*job);
+      lock.lock();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pax::common

@@ -104,6 +104,98 @@ LineData PaxDevice::peek_line(LineIndex line) {
   return device_view(s, line);
 }
 
+void PaxDevice::peek_lines(std::span<const LineIndex> lines,
+                           std::span<LineData> out) {
+  PAX_CHECK(lines.size() == out.size());
+  if (lines.empty()) return;
+  for (LineIndex line : lines) check_line_in_data_extent(line);
+  std::shared_lock epoch_lock(epoch_mu_);
+
+  // One pass per stripe, taking each stripe mutex once. Input batches are
+  // small (a page's worth of lines), so the stripes × lines scan is cheap
+  // and avoids allocating per-stripe index buckets.
+  std::vector<bool> served(stripes_.size(), false);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t stripe = lines[i].value & stripe_mask_;
+    if (served[stripe]) continue;
+    served[stripe] = true;
+    Stripe& s = *stripes_[stripe];
+    std::lock_guard lock(s.mu);
+    for (std::size_t j = i; j < lines.size(); ++j) {
+      if ((lines[j].value & stripe_mask_) == stripe) {
+        out[j] = device_view(s, lines[j]);
+      }
+    }
+  }
+}
+
+Status PaxDevice::sync_lines(std::span<const LineUpdate> updates) {
+  if (updates.empty()) return Status::ok();
+  for (const LineUpdate& u : updates) check_line_in_data_extent(u.line);
+  std::shared_lock epoch_lock(epoch_mu_);
+  batch_syncs_.fetch_add(1, std::memory_order_relaxed);
+  batch_synced_lines_.fetch_add(updates.size(), std::memory_order_relaxed);
+
+  // Scratch reused across stripe groups.
+  std::vector<std::size_t> group;                          // update indices
+  std::vector<std::pair<LineIndex, LineData>> first_touch;  // pre-images
+  std::vector<std::uint64_t> record_ends;
+
+  std::vector<bool> served(stripes_.size(), false);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const std::size_t stripe = updates[i].line.value & stripe_mask_;
+    if (served[stripe]) continue;
+    served[stripe] = true;
+
+    group.clear();
+    for (std::size_t j = i; j < updates.size(); ++j) {
+      if ((updates[j].line.value & stripe_mask_) == stripe) group.push_back(j);
+    }
+
+    Stripe& s = *stripes_[stripe];
+    std::lock_guard lock(s.mu);
+    s.stats.write_intents += group.size();
+    s.stats.host_writebacks += group.size();
+
+    // Collect the group's first-touch lines and their epoch-boundary
+    // pre-images (the device view before the new data is applied).
+    first_touch.clear();
+    for (std::size_t j : group) {
+      const LineIndex line = updates[j].line;
+      if (!s.epoch_logged.contains(line)) {
+        first_touch.emplace_back(line, device_view(s, line));
+      }
+    }
+
+    // One log-mutex acquisition covers the whole group's undo records.
+    if (!first_touch.empty()) {
+      record_ends.clear();
+      {
+        std::lock_guard log_lock(log_mu_);
+        log_append_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+        PAX_RETURN_IF_ERROR(
+            loggers_[active_bank_]->log_lines(epoch_, first_touch,
+                                              &record_ends));
+      }
+      for (std::size_t k = 0; k < first_touch.size(); ++k) {
+        s.epoch_logged.emplace(first_touch[k].first,
+                               pack_record(active_bank_, record_ends[k]));
+      }
+      s.stats.first_touch_logs += first_touch.size();
+    }
+
+    // Buffer every update's new data, gated on its (now recorded) token.
+    for (std::size_t j : group) {
+      const LineUpdate& u = updates[j];
+      auto victim = s.hbm.insert(u.line, u.data, /*dirty=*/true,
+                                 s.epoch_logged.at(u.line),
+                                 loggers_[active_bank_]->durable());
+      evict_victim(s, victim);
+    }
+  }
+  return Status::ok();
+}
+
 Status PaxDevice::write_intent(LineIndex line) {
   check_line_in_data_extent(line);
   std::shared_lock epoch_lock(epoch_mu_);
@@ -121,6 +213,7 @@ Status PaxDevice::write_intent(LineIndex line) {
   std::uint64_t end;
   {
     std::lock_guard log_lock(log_mu_);
+    log_append_acquisitions_.fetch_add(1, std::memory_order_relaxed);
     auto appended = loggers_[active_bank_]->log_line(epoch_, line, old_data);
     if (!appended.ok()) return appended.status();
     end = appended.value();
@@ -131,41 +224,68 @@ Status PaxDevice::write_intent(LineIndex line) {
   return Status::ok();
 }
 
+LineData PaxDevice::undo_preimage(LineIndex line,
+                                  std::uint64_t packed) const {
+  // The pre-image lives in the log at [end - frame, end); frames for line
+  // undo records have a fixed size.
+  constexpr std::size_t kFrame =
+      wal::record_frame_size(sizeof(wal::LineUndoPayload));
+  const unsigned bank = (packed & kBankBit) ? 1 : 0;
+  const std::uint64_t end = packed & ~kBankBit;
+  PAX_CHECK(end >= kFrame);
+  const PoolOffset extent_base =
+      bank == 0 ? pool_->log_offset()
+                : pool_->log_offset() +
+                      ((pool_->log_size() / 2) & ~(kCacheLineSize - 1));
+  wal::LineUndoPayload payload{};
+  pm_->load(extent_base + end - kFrame + sizeof(wal::RecordHeader),
+            std::as_writable_bytes(std::span(&payload, 1)));
+  PAX_CHECK_MSG(payload.line_index == line.value,
+                "undo record offset bookkeeping corrupted");
+  return payload.old_data;
+}
+
+LineData PaxDevice::committed_view(Stripe& s, LineIndex line) {
+  if (has_sealed_) {
+    if (auto it = s.sealed_logged.find(line); it != s.sealed_logged.end()) {
+      return undo_preimage(line, it->second);
+    }
+  }
+  if (auto it = s.epoch_logged.find(line); it != s.epoch_logged.end()) {
+    return undo_preimage(line, it->second);
+  }
+  return device_view(s, line);  // unmodified since the last commit
+}
+
 LineData PaxDevice::read_committed_line(LineIndex line) {
   check_line_in_data_extent(line);
   std::shared_lock epoch_lock(epoch_mu_);
   Stripe& s = stripe_for(line);
   std::lock_guard lock(s.mu);
+  return committed_view(s, line);
+}
 
-  // The pre-image lives in the log at [end - frame, end); frames for line
-  // undo records have a fixed size.
-  constexpr std::size_t kFrame =
-      wal::record_frame_size(sizeof(wal::LineUndoPayload));
-  auto preimage_from = [&](std::uint64_t packed) {
-    const unsigned bank = (packed & kBankBit) ? 1 : 0;
-    const std::uint64_t end = packed & ~kBankBit;
-    PAX_CHECK(end >= kFrame);
-    const PoolOffset extent_base =
-        bank == 0 ? pool_->log_offset()
-                  : pool_->log_offset() +
-                        ((pool_->log_size() / 2) & ~(kCacheLineSize - 1));
-    wal::LineUndoPayload payload{};
-    pm_->load(extent_base + end - kFrame + sizeof(wal::RecordHeader),
-              std::as_writable_bytes(std::span(&payload, 1)));
-    PAX_CHECK_MSG(payload.line_index == line.value,
-                  "undo record offset bookkeeping corrupted");
-    return payload.old_data;
-  };
+void PaxDevice::read_committed_lines(LineIndex first,
+                                     std::span<LineData> out) {
+  if (out.empty()) return;
+  check_line_in_data_extent(first);
+  check_line_in_data_extent(LineIndex{first.value + out.size() - 1});
+  std::shared_lock epoch_lock(epoch_mu_);
 
-  if (has_sealed_) {
-    if (auto it = s.sealed_logged.find(line); it != s.sealed_logged.end()) {
-      return preimage_from(it->second);
+  // A contiguous line range visits the stripes round-robin: serve all of a
+  // stripe's lines under one mutex hold.
+  const std::size_t n = stripes_.size();
+  for (std::size_t stripe = 0; stripe < n; ++stripe) {
+    // First out index whose line lands on this stripe.
+    const std::size_t start =
+        (stripe + n - (first.value & stripe_mask_)) & stripe_mask_;
+    if (start >= out.size()) continue;
+    Stripe& s = *stripes_[stripe];
+    std::lock_guard lock(s.mu);
+    for (std::size_t i = start; i < out.size(); i += n) {
+      out[i] = committed_view(s, LineIndex{first.value + i});
     }
   }
-  if (auto it = s.epoch_logged.find(line); it != s.epoch_logged.end()) {
-    return preimage_from(it->second);
-  }
-  return device_view(s, line);  // unmodified since the last commit
 }
 
 Status PaxDevice::mem_write(LineIndex line, const LineData& data) {
@@ -183,6 +303,7 @@ Status PaxDevice::mem_write(LineIndex line, const LineData& data) {
     std::uint64_t end;
     {
       std::lock_guard log_lock(log_mu_);
+      log_append_acquisitions_.fetch_add(1, std::memory_order_relaxed);
       auto appended =
           loggers_[active_bank_]->log_line(epoch_, line, old_data);
       if (!appended.ok()) return appended.status();
@@ -295,17 +416,12 @@ void PaxDevice::fan_out(std::size_t total_lines,
     return;
   }
 
-  std::atomic<std::size_t> cursor{0};
-  auto work = [&] {
-    for (std::size_t i = cursor.fetch_add(1); i < n; i = cursor.fetch_add(1)) {
-      fn(*stripes_[i]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (unsigned w = 0; w + 1 < workers; ++w) pool.emplace_back(work);
-  work();
-  for (auto& t : pool) t.join();
+  // The committing thread participates, so the pool parks workers - 1
+  // threads. Lazy creation happens under the exclusive epoch lock.
+  if (!persist_pool_) {
+    persist_pool_ = std::make_unique<common::ThreadPool>(workers - 1);
+  }
+  persist_pool_->parallel_for(n, [&](std::size_t i) { fn(*stripes_[i]); });
 }
 
 std::optional<LineData> PaxDevice::pull_one(const PullFn& pull,
@@ -543,6 +659,7 @@ UndoLoggerStats PaxDevice::log_stats() const {
   total.records += other.records;
   total.bytes_staged += other.bytes_staged;
   total.flushes += other.flushes;
+  total.group_appends += other.group_appends;
   return total;
 }
 
@@ -567,6 +684,11 @@ DeviceStats PaxDevice::stats() const {
   total.persist_pulls = persist_pulls_.load(std::memory_order_relaxed);
   total.epoch_seals = epoch_seals_.load(std::memory_order_relaxed);
   total.async_commits = async_commits_.load(std::memory_order_relaxed);
+  total.batch_syncs = batch_syncs_.load(std::memory_order_relaxed);
+  total.batch_synced_lines =
+      batch_synced_lines_.load(std::memory_order_relaxed);
+  total.log_append_acquisitions =
+      log_append_acquisitions_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -14,6 +14,12 @@
 //                                 as (and only once) its undo record is
 //                                 durable (§3.3)
 //
+// Batch-oriented frontends (the libpax paging frontend's host sync path)
+// use the fused equivalents instead: peek_lines() reads device views with
+// one stripe-mutex hold per stripe per call, and sync_lines() performs
+// write_intent + writeback_line for a whole batch — grouped by stripe, the
+// group's undo records appended under a single log-mutex acquisition.
+//
 // tick() runs the write-back coordinator: batch log flushes plus proactive
 // write-back of buffered dirty lines, which is what keeps the per-epoch
 // working set unbounded by buffer capacity.
@@ -76,16 +82,26 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "pax/common/status.hpp"
+#include "pax/common/thread_pool.hpp"
 #include "pax/common/types.hpp"
 #include "pax/device/hbm_cache.hpp"
 #include "pax/device/undo_logger.hpp"
 #include "pax/pmem/pool.hpp"
 
 namespace pax::device {
+
+/// One host-modified line handed to the batched sync path: the host's
+/// current value of `line`, to be undo-logged (first touch this epoch) and
+/// buffered for write-back — write_intent + writeback_line fused.
+struct LineUpdate {
+  LineIndex line;
+  LineData data;
+};
 
 struct DeviceConfig {
   HbmConfig hbm;
@@ -125,6 +141,9 @@ struct DeviceStats {
   std::uint64_t persist_pulls = 0;        // RdShared pulls issued at persist
   std::uint64_t epoch_seals = 0;          // §6 non-blocking persist: seals
   std::uint64_t async_commits = 0;        // ... and their completions
+  std::uint64_t batch_syncs = 0;          // sync_lines() invocations
+  std::uint64_t batch_synced_lines = 0;   // lines carried by those batches
+  std::uint64_t log_append_acquisitions = 0;  // log-mutex holds for appends
 };
 
 class PaxDevice {
@@ -154,6 +173,27 @@ class PaxDevice {
   /// granularity (§5.1 hybrid).
   LineData peek_line(LineIndex line);
 
+  /// Batched peek: fills out[i] with the device view of lines[i]. Groups
+  /// the lines by stripe and acquires each stripe mutex once per call
+  /// instead of once per line — the cheap half of the batched host sync
+  /// path (the paging frontend peeks a whole page per call when diffing).
+  void peek_lines(std::span<const LineIndex> lines,
+                  std::span<LineData> out);
+
+  /// Batched host sync: write_intent + writeback_line fused, amortized
+  /// across a batch. Updates are grouped by stripe; each group takes its
+  /// stripe mutex once, undo-logs all of its first-touch lines under a
+  /// single log-mutex acquisition (one framing pass, one backing store —
+  /// UndoLogger::log_lines), then buffers every update's data for
+  /// write-back. Equivalent, line for line, to calling write_intent(line)
+  /// followed by writeback_line(line, data) for each update, including all
+  /// stats except the per-call counters. kOutOfSpace fails a whole stripe
+  /// group atomically (no partial group is logged or buffered); groups
+  /// already applied stay applied, exactly like the per-line path failing
+  /// midway. Updates in one batch should name distinct lines — a duplicate
+  /// costs a redundant (harmless) undo record.
+  Status sync_lines(std::span<const LineUpdate> updates);
+
   /// Reads `line` as of the most recently *committed* snapshot, even while
   /// the current (and a sealed) epoch are mutating it — a consistent
   /// time-travel read, free because the undo log already holds every
@@ -167,6 +207,11 @@ class PaxDevice {
   /// Readers get snapshot isolation without quiescing writers (§6's "new
   /// lens" on coherence-visible state).
   LineData read_committed_line(LineIndex line);
+
+  /// Ranged batch of read_committed_line: fills out[i] with the committed
+  /// view of line `first + i`, acquiring each stripe mutex once for the
+  /// whole range instead of once per line (read_snapshot's fast path).
+  void read_committed_lines(LineIndex first, std::span<LineData> out);
 
   /// CXL.mem write path (§6: ".mem can support basic functionality, but it
   /// does not have as much visibility into coherence as .cache"). A memory
@@ -246,6 +291,13 @@ class PaxDevice {
     return static_cast<unsigned>(stripes_.size());
   }
 
+  /// Which stripe a line lands on. Frontends that pre-bucket batched work
+  /// per stripe (so concurrent workers' sync_lines batches land on disjoint
+  /// stripe mutexes) use this to build their buckets.
+  unsigned stripe_index(LineIndex line) const {
+    return static_cast<unsigned>(line.value & stripe_mask_);
+  }
+
   DeviceStats stats() const;
   HbmStats hbm_stats() const;
   UndoLoggerStats log_stats() const;
@@ -297,8 +349,8 @@ class PaxDevice {
   // log_mu_; safe under any single stripe mutex.
   void flush_all_logs();
 
-  // Runs `fn(stripe)` for every stripe that `busy(stripe)` selects, on up
-  // to persist_workers threads (inline when the work is small). Caller
+  // Runs `fn(stripe)` for every stripe on up to persist_workers threads of
+  // the persistent commit pool (inline when the work is small). Caller
   // holds epoch_mu_ exclusively; fn must not touch epoch_mu_.
   void fan_out(std::size_t total_lines,
                const std::function<void(Stripe&)>& fn);
@@ -312,6 +364,14 @@ class PaxDevice {
   // Current device-side view of a line (buffer over PM), no stats. Caller
   // holds s.mu (or owns the stripe via the exclusive epoch lock).
   LineData device_view(Stripe& s, LineIndex line);
+
+  // Reads the pre-image held by the undo record addressed by `packed`
+  // (validating it belongs to `line`).
+  LineData undo_preimage(LineIndex line, std::uint64_t packed) const;
+
+  // Last-committed-snapshot view of a line (read_committed_line without the
+  // locking). Caller holds epoch_mu_ (shared suffices) and s.mu.
+  LineData committed_view(Stripe& s, LineIndex line);
 
   void check_line_in_data_extent(LineIndex line) const;
 
@@ -344,11 +404,20 @@ class PaxDevice {
   // Round-robin start cursor for tick()'s proactive write-back.
   std::atomic<std::uint64_t> tick_cursor_{0};
 
+  // Persistent worker pool for the commit fan-out (persist_workers - 1
+  // parked threads; the committing thread participates). Created lazily on
+  // the first fan-out large enough to want workers — always under the
+  // exclusive epoch lock, so no further synchronization is needed.
+  std::unique_ptr<common::ThreadPool> persist_pool_;
+
   // Device-wide counters that live outside any stripe.
   std::atomic<std::uint64_t> persists_{0};
   std::atomic<std::uint64_t> persist_pulls_{0};
   std::atomic<std::uint64_t> epoch_seals_{0};
   std::atomic<std::uint64_t> async_commits_{0};
+  std::atomic<std::uint64_t> batch_syncs_{0};
+  std::atomic<std::uint64_t> batch_synced_lines_{0};
+  std::atomic<std::uint64_t> log_append_acquisitions_{0};
 };
 
 }  // namespace pax::device

@@ -20,4 +20,28 @@ Result<std::uint64_t> UndoLogger::log_line(Epoch epoch, LineIndex line,
   return end;
 }
 
+Status UndoLogger::log_lines(
+    Epoch epoch, std::span<const std::pair<LineIndex, LineData>> items,
+    std::vector<std::uint64_t>* ends_out) {
+  if (items.empty()) return Status::ok();
+
+  std::vector<wal::LineUndoPayload> payloads(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    payloads[i].line_index = items[i].first.value;
+    payloads[i].old_data = items[i].second;
+  }
+  auto end = writer_.append_batch(
+      epoch, wal::RecordType::kLineUndo,
+      std::as_bytes(std::span(payloads.data(), payloads.size())),
+      sizeof(wal::LineUndoPayload), ends_out);
+  if (!end.ok()) return end.status();
+
+  stats_.records += items.size();
+  stats_.bytes_staged +=
+      items.size() * wal::record_frame_size(sizeof(wal::LineUndoPayload));
+  ++stats_.group_appends;
+  staged_.store(writer_.appended(), std::memory_order_release);
+  return Status::ok();
+}
+
 }  // namespace pax::device

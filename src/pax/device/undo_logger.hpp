@@ -16,6 +16,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "pax/common/status.hpp"
 #include "pax/common/types.hpp"
@@ -27,6 +30,7 @@ struct UndoLoggerStats {
   std::uint64_t records = 0;
   std::uint64_t bytes_staged = 0;
   std::uint64_t flushes = 0;
+  std::uint64_t group_appends = 0;  // batched log_lines() calls
 };
 
 class UndoLogger {
@@ -41,6 +45,15 @@ class UndoLogger {
   /// the device's log mutex.
   Result<std::uint64_t> log_line(Epoch epoch, LineIndex line,
                                  const LineData& old_data);
+
+  /// Batched variant: stages one undo record per (line, pre-image) pair in
+  /// a single framing pass with one backing store (wal append_batch), so a
+  /// whole stripe group costs one log-mutex hold instead of one per line.
+  /// All-or-nothing on kOutOfSpace. Per-record end offsets are appended to
+  /// `ends_out` in input order. Caller must hold the device's log mutex.
+  Status log_lines(Epoch epoch,
+                   std::span<const std::pair<LineIndex, LineData>> items,
+                   std::vector<std::uint64_t>* ends_out);
 
   /// Makes all staged records durable. Caller must hold the log mutex.
   void flush() {

@@ -25,12 +25,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "pax/common/status.hpp"
+#include "pax/common/thread_pool.hpp"
 #include "pax/common/types.hpp"
 #include "pax/device/pax_device.hpp"
 #include "pax/device/recovery.hpp"
@@ -54,6 +56,19 @@ struct RuntimeOptions {
   /// pool replicated from another node/runtime must present recovered raw
   /// pointers at the address the origin used (replication failover).
   std::uintptr_t vpm_base_hint = 0;
+  /// Max lines carried per batched device sync call. Dirty lines accumulate
+  /// into per-worker buffers flushed through PaxDevice::sync_lines, which
+  /// fuses write_intent + writeback_line and appends a stripe group's undo
+  /// records under one log-mutex hold. 1 = the legacy per-line path
+  /// (peek_line / write_intent / writeback_line), bit-for-bit identical to
+  /// pre-batching behavior.
+  std::size_t sync_batch_lines = 256;
+  /// Parallelism of the dirty-page diff (caller participates; diff_workers
+  /// total threads touch pages). 1 = diff on the calling thread only.
+  unsigned diff_workers = 4;
+  /// Don't fan out the diff below this many dirty pages — thread-pool
+  /// handoff costs more than diffing a handful of pages inline.
+  std::size_t diff_fanout_min_pages = 16;
 };
 
 struct RuntimeStats {
@@ -62,6 +77,12 @@ struct RuntimeStats {
   std::uint64_t lines_diff_checked = 0;
   std::uint64_t lines_dirty_found = 0;
   std::uint64_t sync_steps = 0;
+  /// Device API invocations made by the sync path (peek/intent/writeback or
+  /// their batched equivalents). The legacy path costs 3 per dirty line;
+  /// batching amortizes to ~1 call per page of peeks + 1 per batch of syncs.
+  std::uint64_t device_calls = 0;
+  /// Batched sync_lines flushes issued (0 on the legacy path).
+  std::uint64_t sync_batches = 0;
 };
 
 class PaxRuntime {
@@ -153,9 +174,22 @@ class PaxRuntime {
       std::unique_ptr<pmem::PmemDevice> owned_pm, pmem::PmemDevice* pm,
       const RuntimeOptions& options);
 
-  /// Diffs the given pages line-by-line against the device view; issues
-  /// write_intent + writeback_line for changed lines. Returns first error.
+  /// Diffs the given pages line-by-line against the device view and pushes
+  /// changed lines into the device. Dispatches to the legacy per-line path
+  /// (sync_batch_lines <= 1) or the parallel batched path. Returns first
+  /// error. Caller must hold sync_mu_.
   Status sync_pages(const std::vector<PageIndex>& pages);
+
+  /// Pre-batching behavior, preserved verbatim: per line, peek_line →
+  /// memdiff → write_intent → writeback_line (3 device calls per dirty
+  /// line).
+  Status sync_pages_legacy(const std::vector<PageIndex>& pages);
+
+  /// Partitions `pages` across the diff worker pool; each shard peeks the
+  /// device shadow a page at a time (one batched call), diffs with the
+  /// TSan-safe line capture, and flushes dirty lines through
+  /// PaxDevice::sync_lines in sync_batch_lines-sized batches.
+  Status sync_pages_batched(const std::vector<PageIndex>& pages);
 
   PoolOffset page_pool_offset(PageIndex page) const {
     return pool_->data_offset() + page.byte_offset();
@@ -175,8 +209,18 @@ class PaxRuntime {
   mutable std::mutex sync_mu_;  // serializes sync_step/persist internals
   RuntimeStats stats_;
 
+  // Sync-path tuning, frozen at build() (validated there).
+  std::size_t sync_batch_lines_ = 1;
+  unsigned diff_workers_ = 1;
+  std::size_t diff_fanout_min_pages_ = 16;
+  std::unique_ptr<common::ThreadPool> diff_pool_;  // diff_workers_ - 1 threads
+
   std::thread flusher_;
   std::atomic<bool> stop_flusher_{false};
+  // The flusher parks on flusher_cv_ between sync_steps; the destructor
+  // notifies it so shutdown costs one wakeup, not a full interval sleep.
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
 };
 
 }  // namespace pax::libpax

@@ -139,28 +139,50 @@ VpmRegion::~VpmRegion() {
 }
 
 Status VpmRegion::protect_all() {
+  protect_syscalls_.fetch_add(1, std::memory_order_relaxed);
   if (::mprotect(base_, size_, PROT_READ) != 0) {
     return io_error(std::string("mprotect: ") + std::strerror(errno));
   }
   for (std::size_t i = 0; i < page_count(); ++i) {
-    dirty_[i].store(0, std::memory_order_relaxed);
+    if (dirty_[i].exchange(0, std::memory_order_acq_rel) != 0) {
+      dirty_count_.fetch_sub(1, std::memory_order_acq_rel);
+    }
   }
   return Status::ok();
 }
 
 Status VpmRegion::protect_pages(std::span<const PageIndex> pages) {
-  for (PageIndex page : pages) {
-    PAX_CHECK(page.value < page_count());
-    if (::mprotect(base_ + page.byte_offset(), kPageSize, PROT_READ) != 0) {
-      return io_error(std::string("mprotect page: ") + std::strerror(errno));
+  // Merge runs of adjacent pages into one mprotect each: persist() hands us
+  // the sorted dirty set, which is typically dense (sequential workloads
+  // dirty whole extents), so this turns O(pages) syscalls into O(runs).
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    PAX_CHECK(pages[i].value < page_count());
+    std::size_t j = i + 1;
+    while (j < pages.size() && pages[j].value == pages[j - 1].value + 1) {
+      PAX_CHECK(pages[j].value < page_count());
+      ++j;
     }
-    dirty_[page.value].store(0, std::memory_order_relaxed);
+    protect_syscalls_.fetch_add(1, std::memory_order_relaxed);
+    if (::mprotect(base_ + pages[i].byte_offset(), (j - i) * kPageSize,
+                   PROT_READ) != 0) {
+      return io_error(std::string("mprotect pages: ") + std::strerror(errno));
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      if (dirty_[pages[k].value].exchange(0, std::memory_order_acq_rel) != 0) {
+        dirty_count_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+    i = j;
   }
   return Status::ok();
 }
 
 std::vector<PageIndex> VpmRegion::dirty_pages() const {
+  const std::size_t approx = dirty_count_.load(std::memory_order_acquire);
   std::vector<PageIndex> out;
+  if (approx == 0) return out;  // clean region: skip the full scan
+  out.reserve(approx);
   for (std::size_t i = 0; i < page_count(); ++i) {
     if (dirty_[i].load(std::memory_order_acquire) != 0) {
       out.push_back(PageIndex{i});
@@ -180,7 +202,12 @@ bool VpmRegion::handle_fault(void* addr) {
 
   const std::size_t page = static_cast<std::size_t>(p - base_) / kPageSize;
   faults_.fetch_add(1, std::memory_order_relaxed);
-  dirty_[page].store(1, std::memory_order_release);
+  // exchange (not store) so the 0→1 transition is counted exactly once even
+  // when two threads fault the same page. Lock-free atomics only: this runs
+  // inside the signal handler.
+  if (dirty_[page].exchange(1, std::memory_order_acq_rel) == 0) {
+    dirty_count_.fetch_add(1, std::memory_order_acq_rel);
+  }
   // Unprotect the page; the faulting store retries and succeeds. If two
   // threads fault the same page, both mark it dirty and both mprotect —
   // idempotent.

@@ -53,17 +53,33 @@ class VpmRegion {
   Status protect_all();
 
   /// Write-protects the given pages and clears their dirty flags (used
-  /// after persist() handled exactly those pages).
+  /// after persist() handled exactly those pages). Contiguous page runs are
+  /// merged into single mprotect calls, so re-arming a densely dirty region
+  /// costs O(runs) syscalls, not O(pages). `pages` must be sorted ascending
+  /// (dirty_pages() returns them that way).
   Status protect_pages(std::span<const PageIndex> pages);
 
   /// Pages written since their last protection, in index order. Does not
   /// clear flags or re-protect — pages remain writable until protected
-  /// again, so a concurrent writer cannot slip through unseen.
+  /// again, so a concurrent writer cannot slip through unseen. O(1) when
+  /// nothing is dirty (counter early-out), O(page_count) otherwise.
   std::vector<PageIndex> dirty_pages() const;
 
   bool is_dirty(PageIndex page) const;
   std::uint64_t fault_count() const {
     return faults_.load(std::memory_order_relaxed);
+  }
+
+  /// Dirty pages right now (approximate under concurrent faulting — exact
+  /// whenever mutators are quiesced).
+  std::size_t dirty_page_count() const {
+    return dirty_count_.load(std::memory_order_acquire);
+  }
+
+  /// mprotect invocations made by protect_all/protect_pages (coalescing
+  /// observability; fault-path unprotects are not counted).
+  std::uint64_t protect_syscall_count() const {
+    return protect_syscalls_.load(std::memory_order_relaxed);
   }
 
   /// Dispatches a fault at `addr` (called by the global handler). Returns
@@ -78,6 +94,11 @@ class VpmRegion {
   // One flag per page; written from the signal handler (atomics only).
   std::unique_ptr<std::atomic<std::uint8_t>[]> dirty_;
   std::atomic<std::uint64_t> faults_{0};
+  // Count of set dirty flags, maintained by exchange-guarded transitions so
+  // double faults / double clears never skew it. Lets dirty_pages() skip the
+  // O(page_count) scan when the region is clean (the common flusher case).
+  std::atomic<std::size_t> dirty_count_{0};
+  std::atomic<std::uint64_t> protect_syscalls_{0};
 };
 
 }  // namespace pax::libpax

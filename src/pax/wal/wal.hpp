@@ -34,6 +34,19 @@ class LogWriter {
   Result<std::uint64_t> append(Epoch epoch, RecordType type,
                                std::span<const std::byte> payload);
 
+  /// Group append: stages `payloads.size() / payload_size` equally-sized
+  /// records of the same type in one framing pass. All frames (headers,
+  /// payloads, padding) are built into one contiguous staging buffer and
+  /// handed to the PM device as a single store, so the per-record framing
+  /// and store overhead is amortized across the batch. All-or-nothing:
+  /// returns kOutOfSpace (staging nothing) if the extent cannot hold the
+  /// whole batch. Per-record end offsets are appended to `ends_out`; the
+  /// returned value is the batch's final end offset (== appended()).
+  Result<std::uint64_t> append_batch(Epoch epoch, RecordType type,
+                                     std::span<const std::byte> payloads,
+                                     std::size_t payload_size,
+                                     std::vector<std::uint64_t>* ends_out);
+
   /// Makes all appended records durable (flush lines + drain).
   void flush();
 
@@ -55,6 +68,7 @@ class LogWriter {
   std::size_t extent_size_;
   std::uint64_t appended_ = 0;
   std::uint64_t durable_ = 0;
+  std::vector<std::byte> batch_scratch_;  // reused by append_batch
 };
 
 /// One decoded record.

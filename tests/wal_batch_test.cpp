@@ -1,0 +1,124 @@
+// Group append (LogWriter::append_batch): the batched host sync path's
+// single-framing-pass log write. Batched records must be bitwise readable
+// exactly as the equivalent sequence of single appends, report the same end
+// offsets, and fail all-or-nothing on exhaustion.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pax/pmem/pmem_device.hpp"
+#include "pax/wal/wal.hpp"
+
+namespace pax::wal {
+namespace {
+
+constexpr PoolOffset kExtent = 4096;
+constexpr std::size_t kExtentSize = 16 * 1024;
+
+std::vector<std::byte> payload_of(std::size_t i, std::size_t size) {
+  std::vector<std::byte> p(size);
+  for (std::size_t b = 0; b < size; ++b) {
+    p[b] = static_cast<std::byte>((i * 37 + b * 11 + 3) & 0xff);
+  }
+  return p;
+}
+
+struct WalBatchFixture : ::testing::Test {
+  std::unique_ptr<pmem::PmemDevice> dev =
+      pmem::PmemDevice::create_in_memory(1 << 20);
+  LogWriter writer{dev.get(), kExtent, kExtentSize};
+};
+
+TEST_F(WalBatchFixture, BatchMatchesEquivalentSingleAppends) {
+  constexpr std::size_t kPayload = 72;  // sizeof(LineUndoPayload)
+  constexpr std::size_t kCount = 9;
+  std::vector<std::byte> flat;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    auto p = payload_of(i, kPayload);
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+
+  // Reference: the same records through single appends on a second writer.
+  auto dev2 = pmem::PmemDevice::create_in_memory(1 << 20);
+  LogWriter single{dev2.get(), kExtent, kExtentSize};
+  std::vector<std::uint64_t> single_ends;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    auto end = single.append(7, RecordType::kLineUndo,
+                             std::span(flat).subspan(i * kPayload, kPayload));
+    ASSERT_TRUE(end.ok());
+    single_ends.push_back(end.value());
+  }
+
+  std::vector<std::uint64_t> batch_ends;
+  auto end = writer.append_batch(7, RecordType::kLineUndo, flat, kPayload,
+                                 &batch_ends);
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end.value(), writer.appended());
+  EXPECT_EQ(writer.appended(), single.appended());
+  EXPECT_EQ(batch_ends, single_ends);
+
+  writer.flush();
+  auto records = LogReader::read_all(dev.get(), kExtent, kExtentSize);
+  ASSERT_EQ(records.size(), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(records[i].epoch, 7u);
+    EXPECT_EQ(records[i].type, RecordType::kLineUndo);
+    EXPECT_EQ(records[i].payload, payload_of(i, kPayload));
+    EXPECT_EQ(records[i].end_offset, batch_ends[i]);
+  }
+}
+
+TEST_F(WalBatchFixture, BatchAfterSingleAppendsContinuesTheLog) {
+  ASSERT_TRUE(
+      writer.append(1, RecordType::kLineUndo, payload_of(0, 40)).ok());
+  std::vector<std::byte> flat;
+  for (std::size_t i = 1; i <= 3; ++i) {
+    auto p = payload_of(i, 40);
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  std::vector<std::uint64_t> ends;
+  ASSERT_TRUE(
+      writer.append_batch(1, RecordType::kLineUndo, flat, 40, &ends).ok());
+  writer.flush();
+
+  auto records = LogReader::read_all(dev.get(), kExtent, kExtentSize);
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[i].payload, payload_of(i, 40));
+  }
+}
+
+TEST_F(WalBatchFixture, ExhaustionIsAllOrNothing) {
+  // A batch that cannot fit must stage nothing: appended() unchanged, no
+  // partial records readable, ends_out untouched.
+  const std::size_t frame = record_frame_size(256);
+  const std::size_t fits = kExtentSize / frame;
+  std::vector<std::byte> flat((fits + 1) * 256, std::byte{0x5a});
+
+  std::vector<std::uint64_t> ends;
+  auto end = writer.append_batch(2, RecordType::kLineUndo, flat, 256, &ends);
+  ASSERT_FALSE(end.ok());
+  EXPECT_EQ(end.status().code(), StatusCode::kOutOfSpace);
+  EXPECT_EQ(writer.appended(), 0u);
+  EXPECT_TRUE(ends.empty());
+  writer.flush();
+  EXPECT_TRUE(LogReader::read_all(dev.get(), kExtent, kExtentSize).empty());
+
+  // A batch that exactly fits still succeeds.
+  flat.resize(fits * 256);
+  ASSERT_TRUE(
+      writer.append_batch(2, RecordType::kLineUndo, flat, 256, &ends).ok());
+  EXPECT_EQ(ends.size(), fits);
+}
+
+TEST_F(WalBatchFixture, EmptyBatchIsANoOp) {
+  std::vector<std::uint64_t> ends;
+  auto end = writer.append_batch(1, RecordType::kLineUndo, {}, 64, &ends);
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(writer.appended(), 0u);
+  EXPECT_TRUE(ends.empty());
+}
+
+}  // namespace
+}  // namespace pax::wal
