@@ -79,7 +79,7 @@ LineData PaxDevice::read_line(LineIndex line) {
   check_line_in_data_extent(line);
   std::shared_lock epoch_lock(epoch_mu_);
   Stripe& s = stripe_for(line);
-  std::lock_guard lock(s.mu);
+  auto lock = lock_stripe(s);
   ++s.stats.read_reqs;
 
   if (auto cached = s.hbm.lookup(line)) {
@@ -100,7 +100,7 @@ LineData PaxDevice::peek_line(LineIndex line) {
   check_line_in_data_extent(line);
   std::shared_lock epoch_lock(epoch_mu_);
   Stripe& s = stripe_for(line);
-  std::lock_guard lock(s.mu);
+  auto lock = lock_stripe(s);
   return device_view(s, line);
 }
 
@@ -120,7 +120,7 @@ void PaxDevice::peek_lines(std::span<const LineIndex> lines,
     if (served[stripe]) continue;
     served[stripe] = true;
     Stripe& s = *stripes_[stripe];
-    std::lock_guard lock(s.mu);
+    auto lock = lock_stripe(s);
     for (std::size_t j = i; j < lines.size(); ++j) {
       if ((lines[j].value & stripe_mask_) == stripe) {
         out[j] = device_view(s, lines[j]);
@@ -153,7 +153,7 @@ Status PaxDevice::sync_lines(std::span<const LineUpdate> updates) {
     }
 
     Stripe& s = *stripes_[stripe];
-    std::lock_guard lock(s.mu);
+    auto lock = lock_stripe(s);
     s.stats.write_intents += group.size();
     s.stats.host_writebacks += group.size();
 
@@ -200,7 +200,7 @@ Status PaxDevice::write_intent(LineIndex line) {
   check_line_in_data_extent(line);
   std::shared_lock epoch_lock(epoch_mu_);
   Stripe& s = stripe_for(line);
-  std::lock_guard lock(s.mu);
+  auto lock = lock_stripe(s);
   ++s.stats.write_intents;
 
   if (s.epoch_logged.contains(line)) return Status::ok();  // already captured
@@ -261,7 +261,7 @@ LineData PaxDevice::read_committed_line(LineIndex line) {
   check_line_in_data_extent(line);
   std::shared_lock epoch_lock(epoch_mu_);
   Stripe& s = stripe_for(line);
-  std::lock_guard lock(s.mu);
+  auto lock = lock_stripe(s);
   return committed_view(s, line);
 }
 
@@ -281,7 +281,7 @@ void PaxDevice::read_committed_lines(LineIndex first,
         (stripe + n - (first.value & stripe_mask_)) & stripe_mask_;
     if (start >= out.size()) continue;
     Stripe& s = *stripes_[stripe];
-    std::lock_guard lock(s.mu);
+    auto lock = lock_stripe(s);
     for (std::size_t i = start; i < out.size(); i += n) {
       out[i] = committed_view(s, LineIndex{first.value + i});
     }
@@ -292,7 +292,7 @@ Status PaxDevice::mem_write(LineIndex line, const LineData& data) {
   check_line_in_data_extent(line);
   std::shared_lock epoch_lock(epoch_mu_);
   Stripe& s = stripe_for(line);
-  std::lock_guard lock(s.mu);
+  auto lock = lock_stripe(s);
   ++s.stats.mem_writes;
 
   auto it = s.epoch_logged.find(line);
@@ -323,7 +323,7 @@ void PaxDevice::writeback_line(LineIndex line, const LineData& data) {
   check_line_in_data_extent(line);
   std::shared_lock epoch_lock(epoch_mu_);
   Stripe& s = stripe_for(line);
-  std::lock_guard lock(s.mu);
+  auto lock = lock_stripe(s);
   ++s.stats.host_writebacks;
 
   auto it = s.epoch_logged.find(line);
@@ -690,6 +690,40 @@ DeviceStats PaxDevice::stats() const {
   total.log_append_acquisitions =
       log_append_acquisitions_.load(std::memory_order_relaxed);
   return total;
+}
+
+std::vector<StripeStats> PaxDevice::stripe_stats() const {
+  std::shared_lock epoch_lock(epoch_mu_);
+  std::vector<StripeStats> out;
+  out.reserve(stripes_.size());
+  for (unsigned i = 0; i < stripes_.size(); ++i) {
+    const Stripe& s = *stripes_[i];
+    StripeStats st;
+    st.stripe = i;
+    st.lock_acquisitions =
+        s.lock_acquisitions.load(std::memory_order_relaxed);
+    st.lock_contended = s.lock_contended.load(std::memory_order_relaxed);
+    {
+      std::lock_guard lock(s.mu);
+      st.write_intents = s.stats.write_intents;
+      st.host_writebacks = s.stats.host_writebacks;
+      st.pm_writeback_lines = s.stats.pm_writeback_lines;
+      st.epoch_logged_lines = s.epoch_logged.size();
+    }
+    out.push_back(st);
+  }
+  return out;
+}
+
+void PaxDevice::stripe_lock_totals(std::uint64_t* acquisitions,
+                                   std::uint64_t* contended) const {
+  std::uint64_t acq = 0, con = 0;
+  for (const auto& s : stripes_) {
+    acq += s->lock_acquisitions.load(std::memory_order_relaxed);
+    con += s->lock_contended.load(std::memory_order_relaxed);
+  }
+  if (acquisitions != nullptr) *acquisitions = acq;
+  if (contended != nullptr) *contended = con;
 }
 
 HbmStats PaxDevice::hbm_stats() const {

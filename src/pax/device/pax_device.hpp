@@ -126,6 +126,23 @@ struct DeviceConfig {
   static DeviceConfig defaults() { return DeviceConfig{}; }
 };
 
+/// Per-stripe snapshot for contention-aware frontends (the libpax
+/// SyncTuner) and operator tooling. Lock counters are sampled lock-free
+/// from atomics; the rest is read under the stripe mutex.
+struct StripeStats {
+  unsigned stripe = 0;
+  std::uint64_t write_intents = 0;
+  std::uint64_t host_writebacks = 0;
+  std::uint64_t pm_writeback_lines = 0;
+  /// Distinct lines undo-logged on this stripe in the current epoch.
+  std::uint64_t epoch_logged_lines = 0;
+  /// Stripe-mutex acquisitions by the data path, and how many of those
+  /// found the mutex already held (try_lock failed first). contended /
+  /// acquisitions is the contention ratio the SyncTuner sheds workers on.
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_contended = 0;
+};
+
 struct DeviceStats {
   std::uint64_t read_reqs = 0;
   std::uint64_t read_hbm_hits = 0;
@@ -302,6 +319,14 @@ class PaxDevice {
   HbmStats hbm_stats() const;
   UndoLoggerStats log_stats() const;
 
+  /// Per-stripe counter snapshot, one entry per stripe in index order.
+  std::vector<StripeStats> stripe_stats() const;
+
+  /// Device-wide stripe-mutex acquisition/contention totals, sampled
+  /// lock-free — cheap enough for per-epoch tuner polling.
+  void stripe_lock_totals(std::uint64_t* acquisitions,
+                          std::uint64_t* contended) const;
+
  private:
   // One data-path partition. Padded to its own cache lines so stripe
   // mutexes don't false-share.
@@ -314,7 +339,24 @@ class PaxDevice {
     // Sealed-but-uncommitted epoch (§6): this stripe's slice of its set.
     std::unordered_map<LineIndex, std::uint64_t> sealed_logged;
     DeviceStats stats;  // data-path counters only; aggregated by stats()
+    // Lock-contention telemetry, updated before the mutex is held (atomics)
+    // so stripe_lock_totals() can sample without taking any lock.
+    mutable std::atomic<std::uint64_t> lock_acquisitions{0};
+    mutable std::atomic<std::uint64_t> lock_contended{0};
   };
+
+  // Locks s.mu, counting the acquisition and whether it contended. All
+  // data-path entry points route through this so the contention ratio the
+  // SyncTuner consumes reflects real fights over the stripe.
+  static std::unique_lock<std::mutex> lock_stripe(const Stripe& s) {
+    std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      s.lock_contended.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+    s.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    return lock;
+  }
 
   // Undo records are addressed as (bank, end-offset) packed into one u64:
   // the bank index occupies the top bit. HbmCache carries these packed

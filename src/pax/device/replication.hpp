@@ -34,6 +34,20 @@ struct ReplicatorStats {
   std::uint64_t epochs_enqueued = 0;
   std::uint64_t epochs_applied = 0;
   std::uint64_t lines_shipped = 0;
+  /// sync_lines batches issued by the batched apply path (0 when per-line).
+  std::uint64_t batches_shipped = 0;
+};
+
+struct ReplicatorOptions {
+  /// Apply epochs through the backup device's batched frontend: lines are
+  /// bucketed by stripe and shipped as LineUpdate batches via sync_lines,
+  /// so each batch takes its stripe mutex once and its undo records append
+  /// under a single log-mutex hold. false keeps the original per-line
+  /// write_intent + writeback_line calls (the reference the equivalence
+  /// test compares against).
+  bool batched = true;
+  /// Max LineUpdates per sync_lines call in batched mode.
+  std::size_t batch_lines = 256;
 };
 
 class Replicator {
@@ -45,7 +59,7 @@ class Replicator {
   /// apply_pending().
   static Result<std::unique_ptr<Replicator>> create(
       pmem::PmemPool* backup, const DeviceConfig& backup_device_config,
-      bool synchronous);
+      bool synchronous, const ReplicatorOptions& options = {});
 
   /// The hook to install on the primary: primary.set_commit_hook(
   /// replicator->commit_hook()).
@@ -71,16 +85,18 @@ class Replicator {
   };
 
   Replicator(pmem::PmemPool* backup, const DeviceConfig& config,
-             bool synchronous)
+             bool synchronous, const ReplicatorOptions& options)
       : backup_pool_(backup),
         backup_device_(backup, config),
-        synchronous_(synchronous) {}
+        synchronous_(synchronous),
+        options_(options) {}
 
   Status apply_one(const PendingEpoch& pending);
 
   pmem::PmemPool* backup_pool_;
   PaxDevice backup_device_;
   bool synchronous_;
+  ReplicatorOptions options_;
   mutable std::mutex mu_;
   std::deque<PendingEpoch> queue_;
   ReplicatorStats stats_;

@@ -28,6 +28,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -38,6 +39,7 @@
 #include "pax/device/recovery.hpp"
 #include "pax/libpax/heap.hpp"
 #include "pax/libpax/stl_allocator.hpp"
+#include "pax/libpax/sync_tuner.hpp"
 #include "pax/libpax/vpm_region.hpp"
 #include "pax/pmem/pool.hpp"
 
@@ -69,6 +71,20 @@ struct RuntimeOptions {
   /// Don't fan out the diff below this many dirty pages — thread-pool
   /// handoff costs more than diffing a handful of pages inline.
   std::size_t diff_fanout_min_pages = 16;
+  /// Line-granular dirty tracking (vpm_region.hpp): per-page candidate
+  /// bitmaps plus per-line digests of the last-synced contents let the diff
+  /// skip lines whose digest still matches without peeking the device
+  /// shadow — persist cost then follows lines written, not pages touched.
+  /// false keeps the diff (and every stat it reports) bit-for-bit on the
+  /// page-granular path.
+  bool track_lines = true;
+  /// Let a SyncTuner pick sync_batch_lines and the effective diff_workers
+  /// per epoch from the observed dirty-set size, dirty-line density, and
+  /// device stripe contention. The static knobs above still size the worker
+  /// pool; the pins below freeze one knob while the other adapts.
+  bool adaptive_sync = false;
+  std::size_t adaptive_pin_batch_lines = 0;  // 0 = adapt batch size
+  unsigned adaptive_pin_workers = 0;         // 0 = adapt worker count
 };
 
 struct RuntimeStats {
@@ -83,6 +99,27 @@ struct RuntimeStats {
   std::uint64_t device_calls = 0;
   /// Batched sync_lines flushes issued (0 on the legacy path).
   std::uint64_t sync_batches = 0;
+};
+
+/// Where the sync path's line examinations went. lines_diffed counts lines
+/// memcmp'd against a fetched device shadow; lines_skipped counts lines the
+/// line tracker proved clean (candidate bit clear, digest match) without
+/// touching the shadow; lines_synced counts lines actually pushed. Without
+/// track_lines, lines_skipped stays 0 and lines_diffed == the legacy
+/// lines_diff_checked.
+struct SyncStats {
+  std::uint64_t pages_scanned = 0;
+  std::uint64_t lines_diffed = 0;
+  std::uint64_t lines_skipped = 0;
+  std::uint64_t lines_synced = 0;
+  /// Pages whose per-line digests were (re)seeded by a full-page compare —
+  /// every page's first diff after map/attach goes through this.
+  std::uint64_t digest_rebuilds = 0;
+  /// SyncTuner consultations (0 unless adaptive_sync).
+  std::uint64_t tuner_decisions = 0;
+  /// Knob values used by the most recent sync (static or tuner-chosen).
+  std::size_t last_batch_lines = 0;
+  unsigned last_diff_workers = 0;
 };
 
 class PaxRuntime {
@@ -166,6 +203,7 @@ class PaxRuntime {
     return recovery_report_;
   }
   RuntimeStats stats() const;
+  SyncStats sync_stats() const;
 
  private:
   PaxRuntime() = default;
@@ -175,9 +213,10 @@ class PaxRuntime {
       const RuntimeOptions& options);
 
   /// Diffs the given pages line-by-line against the device view and pushes
-  /// changed lines into the device. Dispatches to the legacy per-line path
-  /// (sync_batch_lines <= 1) or the parallel batched path. Returns first
-  /// error. Caller must hold sync_mu_.
+  /// changed lines into the device. Consults the tuner (if adaptive_sync)
+  /// for this epoch's knobs, then dispatches to the legacy per-line path
+  /// (batch <= 1) or the parallel batched path. Returns first error.
+  /// Caller must hold sync_mu_.
   Status sync_pages(const std::vector<PageIndex>& pages);
 
   /// Pre-batching behavior, preserved verbatim: per line, peek_line →
@@ -185,11 +224,14 @@ class PaxRuntime {
   /// line).
   Status sync_pages_legacy(const std::vector<PageIndex>& pages);
 
-  /// Partitions `pages` across the diff worker pool; each shard peeks the
-  /// device shadow a page at a time (one batched call), diffs with the
-  /// TSan-safe line capture, and flushes dirty lines through
-  /// PaxDevice::sync_lines in sync_batch_lines-sized batches.
-  Status sync_pages_batched(const std::vector<PageIndex>& pages);
+  /// Partitions `pages` across the diff worker pool (`workers` threads
+  /// including the caller); each shard diffs its pages with the TSan-safe
+  /// line capture and flushes dirty lines through PaxDevice::sync_lines in
+  /// batch_lines-sized batches. With track_lines, a page whose digests are
+  /// valid peeks only its candidate lines (bitmap | digest mismatch);
+  /// otherwise the full page shadow is fetched and the digests (re)seeded.
+  Status sync_pages_batched(const std::vector<PageIndex>& pages,
+                            std::size_t batch_lines, unsigned workers);
 
   PoolOffset page_pool_offset(PageIndex page) const {
     return pool_->data_offset() + page.byte_offset();
@@ -208,12 +250,25 @@ class PaxRuntime {
 
   mutable std::mutex sync_mu_;  // serializes sync_step/persist internals
   RuntimeStats stats_;
+  SyncStats sync_stats_;
 
   // Sync-path tuning, frozen at build() (validated there).
   std::size_t sync_batch_lines_ = 1;
   unsigned diff_workers_ = 1;
   std::size_t diff_fanout_min_pages_ = 16;
-  std::unique_ptr<common::ThreadPool> diff_pool_;  // diff_workers_ - 1 threads
+  bool track_lines_ = true;
+  std::unique_ptr<common::ThreadPool> diff_pool_;  // max parallelism - 1
+
+  // Adaptive sync (sync_tuner.hpp). The window baselines turn cumulative
+  // counters into per-window rates: density from this runtime's own
+  // SyncStats, contention from the device-wide stripe-lock totals (which
+  // other frontends of a shared device also move — intentionally, since
+  // that contention is exactly what the diff workers would fight).
+  std::optional<SyncTuner> tuner_;
+  std::uint64_t tuner_window_pages_ = 0;
+  std::uint64_t tuner_window_lines_ = 0;
+  std::uint64_t tuner_window_lock_acq_ = 0;
+  std::uint64_t tuner_window_lock_con_ = 0;
 
   std::thread flusher_;
   std::atomic<bool> stop_flusher_{false};

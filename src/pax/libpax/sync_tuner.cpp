@@ -1,0 +1,75 @@
+#include "pax/libpax/sync_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pax/common/check.hpp"
+
+namespace pax::libpax {
+namespace {
+
+std::size_t ceil_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SyncTuner::SyncTuner(const SyncTunerConfig& config) : config_(config) {
+  PAX_CHECK_MSG(config_.min_batch_lines >= 1 &&
+                    config_.min_batch_lines <= config_.max_batch_lines,
+                "SyncTuner batch bounds inverted");
+  PAX_CHECK_MSG(config_.max_workers >= 1, "SyncTuner needs >= 1 worker");
+  PAX_CHECK_MSG(config_.contention_low <= config_.contention_high,
+                "SyncTuner contention thresholds inverted");
+}
+
+SyncDecision SyncTuner::decide(const SyncObservation& obs) const {
+  SyncDecision d;
+
+  // Expected dirty-line volume this epoch: the dirty-set size is exact; the
+  // density is last epoch's measurement (>= 1 line per dirty page by
+  // construction — a page cannot be dirty without a store).
+  const double density = std::max(1.0, obs.lines_per_page);
+  const double expected_lines =
+      static_cast<double>(obs.dirty_pages) * density;
+
+  // Batch size: one batch per worker per ~16 flushes keeps the log-mutex
+  // amortization high without letting a single batch hold a stripe group's
+  // worth of lines hostage for too long. Rounded to a power of two so
+  // sweeps and logs stay comparable.
+  if (config_.pinned_batch_lines != 0) {
+    d.batch_lines = config_.pinned_batch_lines;
+  } else {
+    const std::size_t target =
+        static_cast<std::size_t>(expected_lines / 16.0);
+    d.batch_lines = std::clamp(ceil_pow2(std::max<std::size_t>(1, target)),
+                               config_.min_batch_lines,
+                               config_.max_batch_lines);
+  }
+
+  // Workers: one per 32 dirty pages (below that, thread hand-off costs more
+  // than the diff), then shed threads linearly as stripe contention climbs
+  // from the low to the high threshold.
+  if (config_.pinned_workers != 0) {
+    d.workers = config_.pinned_workers;
+  } else {
+    const std::size_t by_pages = obs.dirty_pages / 32;
+    unsigned w = static_cast<unsigned>(std::clamp<std::size_t>(
+        by_pages, 1, config_.max_workers));
+    const double c = std::clamp(obs.stripe_contention, 0.0, 1.0);
+    if (c > config_.contention_low) {
+      const double span =
+          std::max(1e-9, config_.contention_high - config_.contention_low);
+      const double keep =
+          std::clamp(1.0 - (c - config_.contention_low) / span, 0.0, 1.0);
+      w = std::max(1u, static_cast<unsigned>(
+                           std::floor(static_cast<double>(w) * keep)));
+    }
+    d.workers = w;
+  }
+  return d;
+}
+
+}  // namespace pax::libpax

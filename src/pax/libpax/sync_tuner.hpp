@@ -1,0 +1,84 @@
+// Adaptive sync tuning: pick the host sync path's knobs per epoch instead
+// of freezing them at map_pool() time.
+//
+// The batched diff has two knobs — `sync_batch_lines` (how many LineUpdates
+// ride one PaxDevice::sync_lines call) and `diff_workers` (parallelism of
+// the dirty-page diff) — whose best values depend on the workload the
+// options struct cannot know in advance: how many pages an epoch dirties,
+// how dense the dirty lines are within those pages, and how hard the
+// device's stripe mutexes are being fought over. The tuner observes exactly
+// those three signals (dirty-set size from VpmRegion, lines-per-page
+// density from the runtime's SyncStats window, stripe contention from
+// PaxDevice::stripe_stats) and derives both knobs each epoch:
+//
+//   * batch size grows with the expected dirty-line volume — bigger epochs
+//     amortize the per-batch stripe-group and log-mutex work across more
+//     lines; tiny epochs keep batches small so lines aren't held back.
+//   * worker count grows with the dirty-set size (fan-out only pays for
+//     itself when there are pages to shard) and shrinks when the device
+//     reports stripe contention — extra diff threads that serialize on
+//     stripe mutexes burn CPU without moving lines.
+//
+// decide() is a pure function of its observation: deterministic, trivially
+// unit-testable (monotonicity in each signal is part of the contract), and
+// free of feedback state beyond what the caller chooses to feed it. Static
+// knobs remain overrides: a pinned value is returned verbatim and only the
+// unpinned knob adapts.
+#pragma once
+
+#include <cstddef>
+
+namespace pax::libpax {
+
+struct SyncTunerConfig {
+  /// Bounds for the adapted batch size (both inclusive; powers of two keep
+  /// the sweep space comparable across runs).
+  std::size_t min_batch_lines = 64;
+  std::size_t max_batch_lines = 2048;
+  /// Upper bound for the adapted worker count (callers cap this further by
+  /// the thread pool they actually built).
+  unsigned max_workers = 8;
+  /// Pins: nonzero freezes that knob at the given value (the static
+  /// RuntimeOptions override); the tuner adapts only the other one.
+  std::size_t pinned_batch_lines = 0;
+  unsigned pinned_workers = 0;
+  /// Contention ratio (contended acquisitions / acquisitions) above which
+  /// the worker count starts shedding threads.
+  double contention_low = 0.02;
+  /// Ratio at (and beyond) which the fan-out collapses to a single worker.
+  double contention_high = 0.5;
+};
+
+/// One epoch's observed signals. lines_per_page and stripe_contention are
+/// windowed rates from the previous epoch(s); dirty_pages is the current
+/// epoch's dirty-set size (known exactly before the diff starts).
+struct SyncObservation {
+  std::size_t dirty_pages = 0;
+  double lines_per_page = 0.0;    // dirty lines found per page scanned
+  double stripe_contention = 0.0; // contended / total stripe-mutex acquires
+};
+
+struct SyncDecision {
+  std::size_t batch_lines = 0;
+  unsigned workers = 0;
+};
+
+class SyncTuner {
+ public:
+  explicit SyncTuner(const SyncTunerConfig& config = {});
+
+  const SyncTunerConfig& config() const { return config_; }
+
+  /// Derives both knobs from `obs`. Guarantees (tested):
+  ///   * batch_lines is monotone non-decreasing in dirty_pages and in
+  ///     lines_per_page, clamped to [min_batch_lines, max_batch_lines];
+  ///   * workers is monotone non-decreasing in dirty_pages and monotone
+  ///     non-increasing in stripe_contention, in [1, max_workers];
+  ///   * a pinned knob is returned verbatim.
+  SyncDecision decide(const SyncObservation& obs) const;
+
+ private:
+  SyncTunerConfig config_;
+};
+
+}  // namespace pax::libpax

@@ -71,7 +71,7 @@ void install_handler_once() {
 }  // namespace
 
 Result<std::unique_ptr<VpmRegion>> VpmRegion::create(
-    std::size_t size, std::uintptr_t fixed_hint) {
+    std::size_t size, std::uintptr_t fixed_hint, bool track_lines) {
   if (size == 0 || size % kPageSize != 0) {
     return invalid_argument("vPM region size must be page-aligned");
   }
@@ -98,7 +98,7 @@ Result<std::unique_ptr<VpmRegion>> VpmRegion::create(
   }
 
   auto region = std::unique_ptr<VpmRegion>(
-      new VpmRegion(static_cast<std::byte*>(base), size));
+      new VpmRegion(static_cast<std::byte*>(base), size, track_lines));
   {
     std::lock_guard lock(g_registry_mu);
     bool placed = false;
@@ -116,12 +116,22 @@ Result<std::unique_ptr<VpmRegion>> VpmRegion::create(
   return region;
 }
 
-VpmRegion::VpmRegion(std::byte* b, std::size_t size)
+VpmRegion::VpmRegion(std::byte* b, std::size_t size, bool track_lines)
     : base_(b),
       size_(size),
+      track_lines_(track_lines),
       dirty_(new std::atomic<std::uint8_t>[size / kPageSize]) {
   for (std::size_t i = 0; i < page_count(); ++i) {
     dirty_[i].store(0, std::memory_order_relaxed);
+  }
+  if (track_lines_) {
+    line_bits_.reset(new std::atomic<std::uint64_t>[page_count()]);
+    digests_valid_.reset(new std::atomic<std::uint8_t>[page_count()]);
+    digests_.reset(new std::uint32_t[page_count() * kLinesPerPage]);
+    for (std::size_t i = 0; i < page_count(); ++i) {
+      line_bits_[i].store(0, std::memory_order_relaxed);
+      digests_valid_[i].store(0, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -147,6 +157,9 @@ Status VpmRegion::protect_all() {
     if (dirty_[i].exchange(0, std::memory_order_acq_rel) != 0) {
       dirty_count_.fetch_sub(1, std::memory_order_acq_rel);
     }
+    // A protected page cannot change without faulting again, so its digests
+    // (if valid) stay truthful and its candidate set restarts empty.
+    if (track_lines_) line_bits_[i].store(0, std::memory_order_release);
   }
   return Status::ok();
 }
@@ -171,6 +184,9 @@ Status VpmRegion::protect_pages(std::span<const PageIndex> pages) {
     for (std::size_t k = i; k < j; ++k) {
       if (dirty_[pages[k].value].exchange(0, std::memory_order_acq_rel) != 0) {
         dirty_count_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (track_lines_) {
+        line_bits_[pages[k].value].store(0, std::memory_order_release);
       }
     }
     i = j;
@@ -202,6 +218,15 @@ bool VpmRegion::handle_fault(void* addr) {
 
   const std::size_t page = static_cast<std::size_t>(p - base_) / kPageSize;
   faults_.fetch_add(1, std::memory_order_relaxed);
+  if (track_lines_) {
+    // The faulting store is the one line-level event the kernel shows us:
+    // record it so the diff memcmps this line even on a digest collision.
+    // Lock-free atomic or-in only — this runs inside the signal handler.
+    const std::size_t line =
+        (static_cast<std::size_t>(p - base_) / kCacheLineSize) % kLinesPerPage;
+    line_bits_[page].fetch_or(std::uint64_t{1} << line,
+                              std::memory_order_release);
+  }
   // exchange (not store) so the 0→1 transition is counted exactly once even
   // when two threads fault the same page. Lock-free atomics only: this runs
   // inside the signal handler.

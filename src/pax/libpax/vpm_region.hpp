@@ -12,6 +12,20 @@
 //
 // Faults on non-vPM addresses are forwarded to the previously installed
 // SIGSEGV disposition, so real bugs still crash loudly.
+//
+// Line-granular tracking (optional, `track_lines`): the region additionally
+// keeps, per page, a 64-bit candidate-line bitmap and a per-line 32-bit
+// CRC32C digest of the line's last-synced contents. The fault handler sets
+// the faulting line's candidate bit (the one store the kernel lets us
+// observe exactly); the diff path updates digests at capture time and skips
+// lines whose digest still matches without touching the device shadow —
+// persist cost then scales with lines written, not pages touched. Candidate
+// bits force a memcmp regardless of digest equality (the digest-collision
+// fallback); a line modified while its page was already writable is caught
+// by its digest mismatch instead, which is probabilistic with a 2^-32
+// per-line false-clean window — the price of sub-page tracking without
+// per-line faults. `track_lines = false` keeps the region bit-for-bit on
+// the page-granular path.
 #pragma once
 
 #include <atomic>
@@ -33,8 +47,11 @@ class VpmRegion {
   /// seeding it. `fixed_hint`, if nonzero, requests a specific base address
   /// — PaxRuntime passes the address a pool was mapped at before, so that
   /// recovered raw pointers stay valid when the same pool is reopened.
+  /// `track_lines` allocates the per-page candidate bitmaps and per-line
+  /// digests for line-granular dirty tracking.
   static Result<std::unique_ptr<VpmRegion>> create(std::size_t size,
-                                                   std::uintptr_t fixed_hint = 0);
+                                                   std::uintptr_t fixed_hint = 0,
+                                                   bool track_lines = false);
 
   ~VpmRegion();
   VpmRegion(const VpmRegion&) = delete;
@@ -86,11 +103,46 @@ class VpmRegion {
   /// true if the address belongs to this region and was handled.
   bool handle_fault(void* addr);
 
+  // --- Line-granular tracking (track_lines mode) -------------------------
+
+  bool track_lines() const { return track_lines_; }
+
+  /// True once the page's per-line digests reflect its last-synced contents.
+  /// Fresh regions (and therefore every crash/recovery reattach) start with
+  /// every page invalid: the first diff of a page runs the full page-shadow
+  /// compare and seeds the digests.
+  bool line_digests_valid(PageIndex page) const {
+    return track_lines_ &&
+           digests_valid_[page.value].load(std::memory_order_acquire) != 0;
+  }
+  void mark_line_digests_valid(PageIndex page) {
+    digests_valid_[page.value].store(1, std::memory_order_release);
+  }
+
+  /// Candidate-line bitmap: bit l set means line l must be memcmp'd against
+  /// the device shadow regardless of its digest (set by the fault handler
+  /// for the one store it observes; cleared when the page is re-protected).
+  std::uint64_t candidate_lines(PageIndex page) const {
+    return line_bits_[page.value].load(std::memory_order_acquire);
+  }
+
+  /// CRC32C of the line's last-synced contents. Only meaningful while
+  /// line_digests_valid(page). Written by the (single, sync_mu_-serialized)
+  /// diff owner of the page; the test suite also pokes it to simulate
+  /// digest collisions.
+  std::uint32_t line_digest(PageIndex page, std::size_t line) const {
+    return digests_[page.value * kLinesPerPage + line];
+  }
+  void set_line_digest(PageIndex page, std::size_t line, std::uint32_t crc) {
+    digests_[page.value * kLinesPerPage + line] = crc;
+  }
+
  private:
-  VpmRegion(std::byte* b, std::size_t size);
+  VpmRegion(std::byte* b, std::size_t size, bool track_lines);
 
   std::byte* base_;
   std::size_t size_;
+  bool track_lines_;
   // One flag per page; written from the signal handler (atomics only).
   std::unique_ptr<std::atomic<std::uint8_t>[]> dirty_;
   std::atomic<std::uint64_t> faults_{0};
@@ -99,6 +151,16 @@ class VpmRegion {
   // O(page_count) scan when the region is clean (the common flusher case).
   std::atomic<std::size_t> dirty_count_{0};
   std::atomic<std::uint64_t> protect_syscalls_{0};
+
+  // track_lines mode only (null otherwise). Candidate bits are written from
+  // the signal handler (lock-free atomics); digests only from the page's
+  // diff owner, so a plain array suffices.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> line_bits_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> digests_valid_;
+  std::unique_ptr<std::uint32_t[]> digests_;
+
+  static_assert(kLinesPerPage == 64,
+                "candidate-line bitmaps assume 64 lines per page");
 };
 
 }  // namespace pax::libpax

@@ -33,9 +33,12 @@ int pattern(int t, int round) { return 0x20 + t * 37 + round * 11; }
 
 // One full crash/recover cycle under `opts`; returns the recovered image of
 // all slabs. The final round is committed with a blocking persist() so the
-// expected recovery point is deterministic.
+// expected recovery point is deterministic regardless of `crash` mode: any
+// post-commit garbage line that survives the crash lottery has a durable
+// undo record (logged before its write-back), so recovery rolls it back.
 std::vector<std::byte> run_and_recover(pmem::PmemDevice* pm,
-                                       const RuntimeOptions& opts) {
+                                       const RuntimeOptions& opts,
+                                       const pmem::CrashConfig& crash) {
   {
     auto rt = PaxRuntime::attach(pm, opts).value();
     std::barrier round_barrier(kThreads + 1);
@@ -70,7 +73,7 @@ std::vector<std::byte> run_and_recover(pmem::PmemDevice* pm,
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }  // teardown without persist: crash semantics
-  pm->crash(pmem::CrashConfig::drop_all());
+  pm->crash(crash);
 
   RuntimeOptions quiet = opts;
   quiet.start_flusher_thread = false;
@@ -83,36 +86,71 @@ std::vector<std::byte> run_and_recover(pmem::PmemDevice* pm,
   return image;
 }
 
-TEST(HostSyncTortureTest, RacingFlusherRecoversLastPersistedRound) {
-  RuntimeOptions legacy;
-  legacy.start_flusher_thread = true;
-  legacy.flusher_interval = std::chrono::microseconds(50);
-  legacy.sync_batch_lines = 1;
-  legacy.diff_workers = 1;
+// The three sync-path configurations whose recoveries must be bit-identical:
+// the pre-batching per-line path, the PR 2 batched path, and the PR 3
+// line-tracked + adaptive path.
+RuntimeOptions legacy_config() {
+  RuntimeOptions o;
+  o.start_flusher_thread = true;
+  o.flusher_interval = std::chrono::microseconds(50);
+  o.sync_batch_lines = 1;
+  o.diff_workers = 1;
+  o.track_lines = false;
+  return o;
+}
 
-  RuntimeOptions batched = legacy;
-  batched.sync_batch_lines = 32;
-  batched.diff_workers = 3;
-  batched.diff_fanout_min_pages = 1;
+RuntimeOptions batched_config() {
+  RuntimeOptions o = legacy_config();
+  o.sync_batch_lines = 32;
+  o.diff_workers = 3;
+  o.diff_fanout_min_pages = 1;
+  return o;
+}
 
+RuntimeOptions tracked_config() {
+  RuntimeOptions o = batched_config();
+  o.track_lines = true;
+  o.adaptive_sync = true;
+  return o;
+}
+
+void run_all_configs_and_compare(const pmem::CrashConfig& crash,
+                                 const char* mode) {
   auto pm_a = pmem::PmemDevice::create_in_memory(kPool);
   auto pm_b = pmem::PmemDevice::create_in_memory(kPool);
+  auto pm_c = pmem::PmemDevice::create_in_memory(kPool);
   const std::vector<std::byte> legacy_image =
-      run_and_recover(pm_a.get(), legacy);
+      run_and_recover(pm_a.get(), legacy_config(), crash);
   const std::vector<std::byte> batched_image =
-      run_and_recover(pm_b.get(), batched);
+      run_and_recover(pm_b.get(), batched_config(), crash);
+  const std::vector<std::byte> tracked_image =
+      run_and_recover(pm_c.get(), tracked_config(), crash);
 
-  // Every slab byte holds the final round's pattern; the 0xEE garbage died.
+  // Every slab byte holds the final round's pattern; the 0xEE garbage died
+  // (dropped outright, or rolled back off its undo record if it survived).
   for (int t = 0; t < kThreads; ++t) {
     const auto expected =
         static_cast<std::byte>(pattern(t, kRounds - 1) & 0xff);
     for (std::size_t i = 0; i < kSlabBytes; ++i) {
       ASSERT_EQ(legacy_image[t * kSlabBytes + i], expected)
-          << "legacy slab " << t << " byte " << i;
+          << mode << " legacy slab " << t << " byte " << i;
     }
   }
-  // And the two sync paths recovered identical state.
-  EXPECT_EQ(legacy_image, batched_image);
+  // And all sync paths recovered identical state.
+  EXPECT_EQ(legacy_image, batched_image) << mode;
+  EXPECT_EQ(legacy_image, tracked_image) << mode;
+}
+
+TEST(HostSyncTortureTest, RacingFlusherRecoversLastPersistedRound) {
+  run_all_configs_and_compare(pmem::CrashConfig::drop_all(), "drop_all");
+}
+
+TEST(HostSyncTortureTest, RandomLineLossRecoversLastPersistedRound) {
+  run_all_configs_and_compare(pmem::CrashConfig::random(0.5, 0xfeed), "random");
+}
+
+TEST(HostSyncTortureTest, TornLinesRecoverLastPersistedRound) {
+  run_all_configs_and_compare(pmem::CrashConfig::torn(0.6, 0xbead), "torn");
 }
 
 }  // namespace

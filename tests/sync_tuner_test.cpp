@@ -1,0 +1,100 @@
+// SyncTuner unit tests: the decide() contract — monotone response to each
+// observed signal, clamping to the configured bounds, and pinned knobs
+// returned verbatim while the other knob keeps adapting.
+#include <gtest/gtest.h>
+
+#include "pax/libpax/sync_tuner.hpp"
+
+namespace pax::libpax {
+namespace {
+
+SyncObservation obs(std::size_t dirty_pages, double lines_per_page,
+                    double contention) {
+  return SyncObservation{dirty_pages, lines_per_page, contention};
+}
+
+TEST(SyncTunerTest, BatchGrowsMonotonicallyWithDirtyVolume) {
+  SyncTuner tuner;
+  std::size_t prev = 0;
+  for (std::size_t pages : {0u, 8u, 64u, 512u, 4096u, 65536u}) {
+    const SyncDecision d = tuner.decide(obs(pages, 8.0, 0.0));
+    EXPECT_GE(d.batch_lines, prev) << "pages " << pages;
+    EXPECT_GE(d.batch_lines, tuner.config().min_batch_lines);
+    EXPECT_LE(d.batch_lines, tuner.config().max_batch_lines);
+    prev = d.batch_lines;
+  }
+  // And in density, at a fixed dirty-set size.
+  prev = 0;
+  for (double density : {1.0, 4.0, 16.0, 64.0}) {
+    const SyncDecision d = tuner.decide(obs(256, density, 0.0));
+    EXPECT_GE(d.batch_lines, prev) << "density " << density;
+    prev = d.batch_lines;
+  }
+}
+
+TEST(SyncTunerTest, BatchSaturatesAtConfiguredBounds) {
+  SyncTuner tuner;
+  EXPECT_EQ(tuner.decide(obs(0, 0.0, 0.0)).batch_lines,
+            tuner.config().min_batch_lines);
+  EXPECT_EQ(tuner.decide(obs(1u << 20, 64.0, 0.0)).batch_lines,
+            tuner.config().max_batch_lines);
+}
+
+TEST(SyncTunerTest, WorkersGrowWithPagesAndShedUnderContention) {
+  SyncTuner tuner;
+  unsigned prev = 0;
+  for (std::size_t pages : {0u, 32u, 128u, 512u, 4096u}) {
+    const SyncDecision d = tuner.decide(obs(pages, 8.0, 0.0));
+    EXPECT_GE(d.workers, prev) << "pages " << pages;
+    EXPECT_GE(d.workers, 1u);
+    EXPECT_LE(d.workers, tuner.config().max_workers);
+    prev = d.workers;
+  }
+  // Monotone non-increasing in contention, collapsing to 1 at the high
+  // threshold and beyond.
+  prev = tuner.config().max_workers + 1;
+  for (double c : {0.0, 0.01, 0.05, 0.2, 0.5, 0.9}) {
+    const SyncDecision d = tuner.decide(obs(4096, 8.0, c));
+    EXPECT_LE(d.workers, prev) << "contention " << c;
+    prev = d.workers;
+  }
+  EXPECT_EQ(tuner.decide(obs(4096, 8.0, 0.5)).workers, 1u);
+  EXPECT_EQ(tuner.decide(obs(4096, 8.0, 1.0)).workers, 1u);
+  // Below the low threshold nothing sheds.
+  EXPECT_EQ(tuner.decide(obs(4096, 8.0, 0.0)).workers,
+            tuner.config().max_workers);
+}
+
+TEST(SyncTunerTest, PinnedKnobsReturnedVerbatim) {
+  SyncTunerConfig cfg;
+  cfg.pinned_batch_lines = 96;  // deliberately not a power of two
+  SyncTuner batch_pinned(cfg);
+  for (std::size_t pages : {0u, 512u, 65536u}) {
+    const SyncDecision d = batch_pinned.decide(obs(pages, 32.0, 0.0));
+    EXPECT_EQ(d.batch_lines, 96u) << "pages " << pages;
+  }
+  // The unpinned knob still adapts.
+  EXPECT_LT(batch_pinned.decide(obs(32, 8.0, 0.0)).workers,
+            batch_pinned.decide(obs(4096, 8.0, 0.0)).workers);
+
+  SyncTunerConfig wcfg;
+  wcfg.pinned_workers = 3;
+  SyncTuner workers_pinned(wcfg);
+  for (double c : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(workers_pinned.decide(obs(4096, 8.0, c)).workers, 3u);
+  }
+  EXPECT_LT(workers_pinned.decide(obs(8, 1.0, 0.0)).batch_lines,
+            workers_pinned.decide(obs(65536, 64.0, 0.0)).batch_lines);
+}
+
+TEST(SyncTunerTest, DensityFloorsAtOneLinePerPage) {
+  // A dirty page implies at least one dirty line; a zero/garbage density
+  // observation must not drive the batch below what dirty_pages alone
+  // implies.
+  SyncTuner tuner;
+  EXPECT_EQ(tuner.decide(obs(4096, 0.0, 0.0)).batch_lines,
+            tuner.decide(obs(4096, 1.0, 0.0)).batch_lines);
+}
+
+}  // namespace
+}  // namespace pax::libpax

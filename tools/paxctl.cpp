@@ -7,6 +7,9 @@
 //   paxctl recover <pool>     run recovery in place (what map_pool does)
 //   paxctl hexdump <pool> <offset> [len]   dump pool bytes
 //   paxctl trace <trace-file> summarize a recorded coherence trace
+//   paxctl synctest [pages] [lines-per-page]   exercise the line-tracked,
+//                             adaptive host sync path on a scratch in-memory
+//                             pool and report SyncStats + stripe telemetry
 //
 // Works on any pool produced by libpax, the pagewal baseline, or the
 // device-level API (they share the pool format).
@@ -19,6 +22,7 @@
 #include "pax/coherence/trace.hpp"
 #include "pax/device/recovery.hpp"
 #include "pax/libpax/heap.hpp"
+#include "pax/libpax/runtime.hpp"
 #include "pax/pmem/pool.hpp"
 #include "pax/wal/wal.hpp"
 
@@ -30,7 +34,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: paxctl <info|log|verify|recover> <pool-file>\n"
                "       paxctl hexdump <pool-file> <offset> [len]\n"
-               "       paxctl trace <trace-file>\n");
+               "       paxctl trace <trace-file>\n"
+               "       paxctl synctest [pages] [lines-per-page]\n");
   return 2;
 }
 
@@ -239,6 +244,72 @@ int cmd_hexdump(pmem::PmemDevice* dev, PoolOffset offset, std::size_t len) {
   return 0;
 }
 
+int cmd_synctest(std::size_t pages, std::size_t lines_per_page) {
+  if (lines_per_page == 0 || lines_per_page > kLinesPerPage) {
+    std::fprintf(stderr, "lines-per-page must be in [1, %zu]\n",
+                 kLinesPerPage);
+    return 2;
+  }
+  libpax::RuntimeOptions opts;
+  opts.track_lines = true;
+  opts.adaptive_sync = true;
+  const std::size_t pool_size = 16 << 20;
+  auto rt = libpax::PaxRuntime::create_in_memory(pool_size, opts);
+  if (!rt.ok()) {
+    std::fprintf(stderr, "%s\n", rt.status().to_string().c_str());
+    return 1;
+  }
+  auto& r = *rt.value();
+  const std::size_t usable = r.vpm_size() / kPageSize;
+  pages = std::min(pages, usable);
+
+  // Epoch 0 seeds the digests (every page's first diff is a full rebuild);
+  // epochs 1..3 run the tracked fast path at the requested density.
+  constexpr int kEpochs = 4;
+  for (int e = 0; e < kEpochs; ++e) {
+    for (std::size_t p = 0; p < pages; ++p) {
+      std::byte* page = r.vpm_base() + p * kPageSize;
+      for (std::size_t l = 0; l < lines_per_page; ++l) {
+        page[l * kCacheLineSize] = static_cast<std::byte>(e + 1);
+      }
+    }
+    auto committed = r.persist();
+    if (!committed.ok()) {
+      std::fprintf(stderr, "persist: %s\n",
+                   committed.status().to_string().c_str());
+      return 1;
+    }
+  }
+
+  const libpax::SyncStats ss = r.sync_stats();
+  std::printf("synctest: %zu page(s) x %zu line(s), %d epoch(s)\n", pages,
+              lines_per_page, kEpochs);
+  std::printf("  pages scanned:   %" PRIu64 "\n", ss.pages_scanned);
+  std::printf("  lines diffed:    %" PRIu64 "\n", ss.lines_diffed);
+  std::printf("  lines skipped:   %" PRIu64 "\n", ss.lines_skipped);
+  std::printf("  lines synced:    %" PRIu64 "\n", ss.lines_synced);
+  std::printf("  digest rebuilds: %" PRIu64 "\n", ss.digest_rebuilds);
+  std::printf("  tuner decisions: %" PRIu64 " (last: batch %zu, workers %u)\n",
+              ss.tuner_decisions, ss.last_batch_lines, ss.last_diff_workers);
+
+  std::uint64_t acq = 0, con = 0;
+  r.device().stripe_lock_totals(&acq, &con);
+  std::printf("  stripe locks:    %" PRIu64 " acquisition(s), %" PRIu64
+              " contended\n",
+              acq, con);
+  std::uint64_t busiest = 0, busiest_intents = 0;
+  for (const auto& st : r.device().stripe_stats()) {
+    if (st.write_intents >= busiest_intents) {
+      busiest_intents = st.write_intents;
+      busiest = st.stripe;
+    }
+  }
+  std::printf("  busiest stripe:  #%" PRIu64 " (%" PRIu64
+              " write intent(s))\n",
+              busiest, busiest_intents);
+  return 0;
+}
+
 int cmd_trace(const std::string& path) {
   auto events = coherence::load_trace(path);
   if (!events.ok()) {
@@ -259,8 +330,16 @@ int cmd_trace(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "synctest") {
+    const std::size_t pages =
+        argc >= 3 ? std::strtoull(argv[2], nullptr, 0) : 256;
+    const std::size_t lines =
+        argc >= 4 ? std::strtoull(argv[3], nullptr, 0) : 8;
+    return cmd_synctest(pages, lines);
+  }
+  if (argc < 3) return usage();
 
   if (cmd == "trace") return cmd_trace(argv[2]);
   if (cmd != "info" && cmd != "log" && cmd != "verify" && cmd != "recover" &&
