@@ -15,12 +15,15 @@ unsigned floor_pow2(unsigned v) {
   return p;
 }
 
+std::atomic<std::uint32_t> g_device_id{0};
+
 }  // namespace
 
 PaxDevice::PaxDevice(pmem::PmemPool* pool, const DeviceConfig& config)
     : pool_(pool),
       pm_(pool->device()),
       config_(config),
+      device_id_(g_device_id.fetch_add(1, std::memory_order_relaxed)),
       epoch_(pool->committed_epoch() + 1) {
   PAX_CHECK(pool != nullptr);
 
@@ -39,6 +42,7 @@ PaxDevice::PaxDevice(pmem::PmemPool* pool, const DeviceConfig& config)
   stripes_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     stripes_.push_back(std::make_unique<Stripe>(per_stripe));
+    stripes_.back()->index = i;
   }
 
   // Split the log extent into two banks (§6 epoch overlap). Synchronous-only
@@ -77,7 +81,7 @@ void PaxDevice::evict_victim(Stripe& s,
 
 LineData PaxDevice::read_line(LineIndex line) {
   check_line_in_data_extent(line);
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   Stripe& s = stripe_for(line);
   auto lock = lock_stripe(s);
   ++s.stats.read_reqs;
@@ -98,7 +102,7 @@ LineData PaxDevice::read_line(LineIndex line) {
 
 LineData PaxDevice::peek_line(LineIndex line) {
   check_line_in_data_extent(line);
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   Stripe& s = stripe_for(line);
   auto lock = lock_stripe(s);
   return device_view(s, line);
@@ -109,7 +113,7 @@ void PaxDevice::peek_lines(std::span<const LineIndex> lines,
   PAX_CHECK(lines.size() == out.size());
   if (lines.empty()) return;
   for (LineIndex line : lines) check_line_in_data_extent(line);
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
 
   // One pass per stripe, taking each stripe mutex once. Input batches are
   // small (a page's worth of lines), so the stripes × lines scan is cheap
@@ -132,7 +136,7 @@ void PaxDevice::peek_lines(std::span<const LineIndex> lines,
 Status PaxDevice::sync_lines(std::span<const LineUpdate> updates) {
   if (updates.empty()) return Status::ok();
   for (const LineUpdate& u : updates) check_line_in_data_extent(u.line);
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   batch_syncs_.fetch_add(1, std::memory_order_relaxed);
   batch_synced_lines_.fetch_add(updates.size(), std::memory_order_relaxed);
 
@@ -171,7 +175,7 @@ Status PaxDevice::sync_lines(std::span<const LineUpdate> updates) {
     if (!first_touch.empty()) {
       record_ends.clear();
       {
-        std::lock_guard log_lock(log_mu_);
+        auto log_lock = lock_log();
         log_append_acquisitions_.fetch_add(1, std::memory_order_relaxed);
         PAX_RETURN_IF_ERROR(
             loggers_[active_bank_]->log_lines(epoch_, first_touch,
@@ -198,7 +202,7 @@ Status PaxDevice::sync_lines(std::span<const LineUpdate> updates) {
 
 Status PaxDevice::write_intent(LineIndex line) {
   check_line_in_data_extent(line);
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   Stripe& s = stripe_for(line);
   auto lock = lock_stripe(s);
   ++s.stats.write_intents;
@@ -212,7 +216,7 @@ Status PaxDevice::write_intent(LineIndex line) {
   const LineData old_data = device_view(s, line);
   std::uint64_t end;
   {
-    std::lock_guard log_lock(log_mu_);
+    auto log_lock = lock_log();
     log_append_acquisitions_.fetch_add(1, std::memory_order_relaxed);
     auto appended = loggers_[active_bank_]->log_line(epoch_, line, old_data);
     if (!appended.ok()) return appended.status();
@@ -259,7 +263,7 @@ LineData PaxDevice::committed_view(Stripe& s, LineIndex line) {
 
 LineData PaxDevice::read_committed_line(LineIndex line) {
   check_line_in_data_extent(line);
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   Stripe& s = stripe_for(line);
   auto lock = lock_stripe(s);
   return committed_view(s, line);
@@ -270,7 +274,7 @@ void PaxDevice::read_committed_lines(LineIndex first,
   if (out.empty()) return;
   check_line_in_data_extent(first);
   check_line_in_data_extent(LineIndex{first.value + out.size() - 1});
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
 
   // A contiguous line range visits the stripes round-robin: serve all of a
   // stripe's lines under one mutex hold.
@@ -290,7 +294,7 @@ void PaxDevice::read_committed_lines(LineIndex first,
 
 Status PaxDevice::mem_write(LineIndex line, const LineData& data) {
   check_line_in_data_extent(line);
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   Stripe& s = stripe_for(line);
   auto lock = lock_stripe(s);
   ++s.stats.mem_writes;
@@ -302,7 +306,7 @@ Status PaxDevice::mem_write(LineIndex line, const LineData& data) {
     const LineData old_data = device_view(s, line);
     std::uint64_t end;
     {
-      std::lock_guard log_lock(log_mu_);
+      auto log_lock = lock_log();
       log_append_acquisitions_.fetch_add(1, std::memory_order_relaxed);
       auto appended =
           loggers_[active_bank_]->log_line(epoch_, line, old_data);
@@ -321,7 +325,7 @@ Status PaxDevice::mem_write(LineIndex line, const LineData& data) {
 
 void PaxDevice::writeback_line(LineIndex line, const LineData& data) {
   check_line_in_data_extent(line);
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   Stripe& s = stripe_for(line);
   auto lock = lock_stripe(s);
   ++s.stats.host_writebacks;
@@ -353,14 +357,22 @@ void PaxDevice::write_line_to_pm(Stripe& s, LineIndex line,
   // the undo record that can roll it back is durable.
   PAX_CHECK_MSG(record_is_durable(packed_record),
                 "write-back attempted before undo record was durable");
+  note_writeback(line, packed_record);
   pm_->store_line(line, data);
   pm_->flush_line(line);
   ++s.stats.pm_writeback_lines;
   s.hbm.mark_clean(line);
 }
 
+void PaxDevice::note_writeback(LineIndex line, std::uint64_t packed) const {
+  if (auto* chk = pm_->checker()) {
+    const unsigned bank = (packed & kBankBit) ? 1 : 0;
+    chk->on_writeback(line.value, loggers_[bank]->id(), packed & ~kBankBit);
+  }
+}
+
 void PaxDevice::flush_all_logs() {
-  std::lock_guard log_lock(log_mu_);
+  auto log_lock = lock_log();
   for (auto& logger : loggers_) {
     if (logger->staged() > logger->durable()) logger->flush();
   }
@@ -368,7 +380,7 @@ void PaxDevice::flush_all_logs() {
 }
 
 void PaxDevice::tick(bool force_flush) {
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
 
   std::uint64_t staged_volatile = 0;
   for (const auto& logger : loggers_) {
@@ -391,7 +403,7 @@ void PaxDevice::tick(bool force_flush) {
   std::vector<std::tuple<LineIndex, LineData, std::uint64_t>> ready;
   for (std::size_t i = 0; i < n; ++i) {
     Stripe& s = *stripes_[(start + i) % n];
-    std::lock_guard lock(s.mu);
+    auto lock = lock_stripe(s, /*count=*/false);
     ready.clear();
     s.hbm.for_each_dirty(
         [&](LineIndex line, const LineData& data, std::uint64_t packed) {
@@ -428,12 +440,13 @@ std::optional<LineData> PaxDevice::pull_one(const PullFn& pull,
                                             LineIndex line) {
   persist_pulls_.fetch_add(1, std::memory_order_relaxed);
   if (!pull) return std::nullopt;
+  if (auto* chk = pm_->checker()) chk->on_pull_invoke(line.value);
   std::lock_guard lock(pull_mu_);
   return pull(line);
 }
 
 Result<Epoch> PaxDevice::persist(const PullFn& pull) {
-  std::unique_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_exclusive();
   persists_.fetch_add(1, std::memory_order_relaxed);
 
   // Complete any outstanding async epoch first: epochs commit in order.
@@ -464,7 +477,6 @@ Result<Epoch> PaxDevice::persist(const PullFn& pull) {
     std::vector<std::pair<LineIndex, LineData>> local;
     if (want_hook) local.reserve(s.epoch_logged.size());
     for (const auto& [line, packed] : s.epoch_logged) {
-      (void)packed;
       std::optional<LineData> host_copy = pull_one(pull, line);
       LineData value;
       if (host_copy) {
@@ -478,6 +490,7 @@ Result<Epoch> PaxDevice::persist(const PullFn& pull) {
         // wrote it back; re-reading PM keeps the store below idempotent.
         value = pm_->load_line(line);
       }
+      note_writeback(line, packed);
       pm_->store_line(line, value);
       pm_->flush_line(line);
       ++s.stats.pm_writeback_lines;
@@ -502,7 +515,7 @@ Result<Epoch> PaxDevice::persist(const PullFn& pull) {
   // New epoch: the active log bank is reusable (every record inside is now
   // stale under the committed epoch cell).
   {
-    std::lock_guard log_lock(log_mu_);
+    auto log_lock = lock_log();
     loggers_[active_bank_]->reset_after_commit();
   }
   for (auto& s : stripes_) {
@@ -517,7 +530,7 @@ Result<Epoch> PaxDevice::persist(const PullFn& pull) {
 }
 
 Result<Epoch> PaxDevice::seal_epoch(const PullFn& pull) {
-  std::unique_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_exclusive();
   if (has_sealed_) {
     return failed_precondition(
         "an epoch is already sealed; commit it before sealing another");
@@ -553,11 +566,12 @@ Result<Epoch> PaxDevice::seal_epoch(const PullFn& pull) {
   PAX_CHECK_MSG(loggers_[active_bank_]->staged() == 0,
                 "switching to a log bank that still holds live records");
   epoch_ = sealed_epoch_ + 1;
+  if (auto* chk = pm_->checker()) chk->on_epoch_seal(sealed_epoch_);
   return sealed_epoch_;
 }
 
 Result<Epoch> PaxDevice::commit_sealed() {
-  std::unique_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_exclusive();
   return commit_sealed_locked();
 }
 
@@ -587,7 +601,7 @@ Result<Epoch> PaxDevice::commit_sealed_locked() {
     std::vector<std::pair<LineIndex, LineData>> local;
     if (want_hook) local.reserve(s.sealed_logged.size());
     for (const auto& [line, packed] : s.sealed_logged) {
-      (void)packed;
+      note_writeback(line, packed);
       const LineData value = device_view(s, line);
       pm_->store_line(line, value);
       pm_->flush_line(line);
@@ -611,7 +625,7 @@ Result<Epoch> PaxDevice::commit_sealed_locked() {
   // The sealed bank's records are stale now; reclaim it.
   const unsigned sealed_bank = active_bank_ ^ 1;
   {
-    std::lock_guard log_lock(log_mu_);
+    auto log_lock = lock_log();
     loggers_[sealed_bank]->reset_after_commit();
   }
   for (auto& s : stripes_) s->sealed_logged.clear();
@@ -624,25 +638,25 @@ Result<Epoch> PaxDevice::commit_sealed_locked() {
 }
 
 bool PaxDevice::has_sealed_epoch() const {
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   return has_sealed_;
 }
 
 void PaxDevice::set_commit_hook(CommitHook hook) {
-  std::unique_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_exclusive();
   commit_hook_ = std::move(hook);
 }
 
 Epoch PaxDevice::current_epoch() const {
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   return epoch_;
 }
 
 std::size_t PaxDevice::epoch_logged_lines() const {
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   std::size_t total = 0;
   for (const auto& s : stripes_) {
-    std::lock_guard lock(s->mu);
+    auto lock = lock_stripe(*s, /*count=*/false);
     total += s->epoch_logged.size();
   }
   return total;
@@ -653,7 +667,7 @@ std::uint64_t PaxDevice::log_bytes_in_use() const {
 }
 
 UndoLoggerStats PaxDevice::log_stats() const {
-  std::lock_guard log_lock(log_mu_);
+  auto log_lock = lock_log();
   UndoLoggerStats total = loggers_[0]->stats();
   const UndoLoggerStats& other = loggers_[1]->stats();
   total.records += other.records;
@@ -664,10 +678,10 @@ UndoLoggerStats PaxDevice::log_stats() const {
 }
 
 DeviceStats PaxDevice::stats() const {
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   DeviceStats total;
   for (const auto& s : stripes_) {
-    std::lock_guard lock(s->mu);
+    auto lock = lock_stripe(*s, /*count=*/false);
     const DeviceStats& st = s->stats;
     total.read_reqs += st.read_reqs;
     total.read_hbm_hits += st.read_hbm_hits;
@@ -693,7 +707,7 @@ DeviceStats PaxDevice::stats() const {
 }
 
 std::vector<StripeStats> PaxDevice::stripe_stats() const {
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   std::vector<StripeStats> out;
   out.reserve(stripes_.size());
   for (unsigned i = 0; i < stripes_.size(); ++i) {
@@ -704,7 +718,7 @@ std::vector<StripeStats> PaxDevice::stripe_stats() const {
         s.lock_acquisitions.load(std::memory_order_relaxed);
     st.lock_contended = s.lock_contended.load(std::memory_order_relaxed);
     {
-      std::lock_guard lock(s.mu);
+      auto lock = lock_stripe(s, /*count=*/false);
       st.write_intents = s.stats.write_intents;
       st.host_writebacks = s.stats.host_writebacks;
       st.pm_writeback_lines = s.stats.pm_writeback_lines;
@@ -727,10 +741,10 @@ void PaxDevice::stripe_lock_totals(std::uint64_t* acquisitions,
 }
 
 HbmStats PaxDevice::hbm_stats() const {
-  std::shared_lock epoch_lock(epoch_mu_);
+  auto epoch_lock = epoch_shared();
   HbmStats total;
   for (const auto& s : stripes_) {
-    std::lock_guard lock(s->mu);
+    auto lock = lock_stripe(*s, /*count=*/false);
     total += s->hbm.stats();
   }
   return total;

@@ -86,6 +86,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pax/check/checker.hpp"
 #include "pax/common/status.hpp"
 #include "pax/common/thread_pool.hpp"
 #include "pax/common/types.hpp"
@@ -333,6 +334,7 @@ class PaxDevice {
   struct alignas(64) Stripe {
     explicit Stripe(const HbmConfig& hbm_config) : hbm(hbm_config) {}
     mutable std::mutex mu;
+    unsigned index = 0;  // position in stripes_; PaxCheck lock identity
     HbmCache hbm;
     // line -> packed undo-record token, for every line logged this epoch.
     std::unordered_map<LineIndex, std::uint64_t> epoch_logged;
@@ -345,17 +347,58 @@ class PaxDevice {
     mutable std::atomic<std::uint64_t> lock_contended{0};
   };
 
+  // RAII pair of a real lock and its PaxCheck lock-discipline events: the
+  // token emits its acquire right after the lock is taken and its release
+  // (member destruction order) right before the lock is dropped.
+  template <typename LockT>
+  struct Guarded {
+    LockT lock;
+    check::LockToken token;
+  };
+
+  // Distinguishes this device's locks from another device's in the checker
+  // (e.g. a replication backup driven from the primary's commit hook).
+  std::uint32_t stripe_lock_id(const Stripe& s) const {
+    return (device_id_ << 16) | s.index;
+  }
+
   // Locks s.mu, counting the acquisition and whether it contended. All
   // data-path entry points route through this so the contention ratio the
-  // SyncTuner consumes reflects real fights over the stripe.
-  static std::unique_lock<std::mutex> lock_stripe(const Stripe& s) {
+  // SyncTuner consumes reflects real fights over the stripe. The
+  // coordinator/stats passes pass count = false: they held raw guards
+  // before and must not perturb that ratio.
+  Guarded<std::unique_lock<std::mutex>> lock_stripe(const Stripe& s,
+                                                    bool count = true) const {
     std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
     if (!lock.owns_lock()) {
-      s.lock_contended.fetch_add(1, std::memory_order_relaxed);
+      if (count) s.lock_contended.fetch_add(1, std::memory_order_relaxed);
       lock.lock();
     }
-    s.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
-    return lock;
+    if (count) s.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    return {std::move(lock),
+            check::LockToken(pm_->checker(), check::LockClass::kStripe,
+                             stripe_lock_id(s), /*shared=*/false)};
+  }
+
+  Guarded<std::shared_lock<std::shared_mutex>> epoch_shared() const {
+    std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+    return {std::move(lock),
+            check::LockToken(pm_->checker(), check::LockClass::kEpochGate,
+                             device_id_, /*shared=*/true)};
+  }
+
+  Guarded<std::unique_lock<std::shared_mutex>> epoch_exclusive() const {
+    std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+    return {std::move(lock),
+            check::LockToken(pm_->checker(), check::LockClass::kEpochGate,
+                             device_id_, /*shared=*/false)};
+  }
+
+  Guarded<std::unique_lock<std::mutex>> lock_log() const {
+    std::unique_lock<std::mutex> lock(log_mu_);
+    return {std::move(lock),
+            check::LockToken(pm_->checker(), check::LockClass::kLogMu,
+                             device_id_, /*shared=*/false)};
   }
 
   // Undo records are addressed as (bank, end-offset) packed into one u64:
@@ -382,6 +425,10 @@ class PaxDevice {
   // this epoch) is durable; checked here.
   void write_line_to_pm(Stripe& s, LineIndex line, const LineData& data,
                         std::uint64_t packed_record);
+
+  // Emits the PaxCheck write-back event for `line` gated on the undo record
+  // addressed by `packed` (no-op without an attached checker).
+  void note_writeback(LineIndex line, std::uint64_t packed) const;
 
   // Handles the victim of an HbmCache::insert under s.mu: forces a log
   // flush if the victim's record isn't durable yet, then writes it back.
@@ -420,6 +467,7 @@ class PaxDevice {
   pmem::PmemPool* pool_;
   pmem::PmemDevice* pm_;
   DeviceConfig config_;
+  std::uint32_t device_id_ = 0;  // process-unique; PaxCheck lock identity
 
   // Striped data-path state. The vector is immutable after construction.
   std::vector<std::unique_ptr<Stripe>> stripes_;

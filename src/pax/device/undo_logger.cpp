@@ -2,6 +2,9 @@
 
 #include <span>
 
+#include "pax/check/checker.hpp"
+#include "pax/pmem/pmem_device.hpp"
+
 namespace pax::device {
 
 Result<std::uint64_t> UndoLogger::log_line(Epoch epoch, LineIndex line,
@@ -16,6 +19,9 @@ Result<std::uint64_t> UndoLogger::log_line(Epoch epoch, LineIndex line,
     ++stats_.records;
     stats_.bytes_staged += wal::record_frame_size(sizeof(payload));
     staged_.store(writer_.appended(), std::memory_order_release);
+    if (auto* chk = pm_->checker()) {
+      chk->on_log_append(id_, line.value, end.value());
+    }
   }
   return end;
 }
@@ -41,7 +47,34 @@ Status UndoLogger::log_lines(
       items.size() * wal::record_frame_size(sizeof(wal::LineUndoPayload));
   ++stats_.group_appends;
   staged_.store(writer_.appended(), std::memory_order_release);
+  if (auto* chk = pm_->checker()) {
+    // append_batch appended our ends at the tail of ends_out (callers may
+    // pass a partially-filled vector).
+    const std::size_t base = ends_out->size() - items.size();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      chk->on_log_append(id_, items[i].first.value, (*ends_out)[base + i]);
+    }
+  }
   return Status::ok();
+}
+
+void UndoLogger::flush() {
+  ++stats_.flushes;
+  writer_.flush();
+  // The checker sees the new watermark *before* it is published to the
+  // write-back gate: any data-path thread whose gate check (acquire-load of
+  // durable_) observes this flush emits its write-back with a larger seq.
+  if (auto* chk = pm_->checker()) {
+    chk->on_log_flush(id_, writer_.durable());
+  }
+  durable_.store(writer_.durable(), std::memory_order_release);
+}
+
+void UndoLogger::reset_after_commit() {
+  writer_.reset();
+  if (auto* chk = pm_->checker()) chk->on_log_reset(id_);
+  staged_.store(0, std::memory_order_release);
+  durable_.store(0, std::memory_order_release);
 }
 
 }  // namespace pax::device

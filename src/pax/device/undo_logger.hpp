@@ -37,7 +37,13 @@ class UndoLogger {
  public:
   UndoLogger(pmem::PmemDevice* device, PoolOffset extent_offset,
              std::size_t extent_size)
-      : writer_(device, extent_offset, extent_size) {}
+      : writer_(device, extent_offset, extent_size),
+        pm_(device),
+        id_(extent_offset) {}
+
+  /// Stable identifier for PaxCheck events (the extent offset — unique per
+  /// bank within a pool).
+  std::uint64_t id() const { return id_; }
 
   /// Stages an undo record holding `old_data`, the pre-image of `line` at
   /// the current epoch boundary. Returns the record end offset (the
@@ -56,11 +62,7 @@ class UndoLogger {
                    std::vector<std::uint64_t>* ends_out);
 
   /// Makes all staged records durable. Caller must hold the log mutex.
-  void flush() {
-    ++stats_.flushes;
-    writer_.flush();
-    durable_.store(writer_.durable(), std::memory_order_release);
-  }
+  void flush();
 
   /// Lock-free watermark reads (safe concurrently with log_line/flush).
   std::uint64_t staged() const {
@@ -78,17 +80,15 @@ class UndoLogger {
   /// Restarts the log after an epoch commit made all records stale. Caller
   /// must hold the log mutex AND have quiesced the data path (no write-back
   /// may be gating on a record of this bank).
-  void reset_after_commit() {
-    writer_.reset();
-    staged_.store(0, std::memory_order_release);
-    durable_.store(0, std::memory_order_release);
-  }
+  void reset_after_commit();
 
   const UndoLoggerStats& stats() const { return stats_; }
   std::size_t extent_size() const { return writer_.extent_size(); }
 
  private:
   wal::LogWriter writer_;
+  pmem::PmemDevice* pm_;
+  std::uint64_t id_;
   std::atomic<std::uint64_t> staged_{0};
   std::atomic<std::uint64_t> durable_{0};
   UndoLoggerStats stats_;

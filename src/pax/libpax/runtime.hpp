@@ -32,6 +32,7 @@
 #include <string>
 #include <thread>
 
+#include "pax/check/checker.hpp"
 #include "pax/common/status.hpp"
 #include "pax/common/thread_pool.hpp"
 #include "pax/common/types.hpp"
@@ -232,6 +233,16 @@ class PaxRuntime {
   /// otherwise the full page shadow is fetched and the digests (re)seeded.
   Status sync_pages_batched(const std::vector<PageIndex>& pages,
                             std::size_t batch_lines, unsigned workers);
+
+  /// PaxCheck discipline event for sync_mu_ (construct right after locking
+  /// it). The id distinguishes runtimes sharing one checker.
+  check::LockToken sync_lock_token() const {
+    return check::LockToken(
+        pm_->checker(), check::LockClass::kSyncMu,
+        static_cast<std::uint32_t>(reinterpret_cast<std::uintptr_t>(this) >>
+                                   4),
+        /*shared=*/false);
+  }
 
   PoolOffset page_pool_offset(PageIndex page) const {
     return pool_->data_offset() + page.byte_offset();

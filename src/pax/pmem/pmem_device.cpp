@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "pax/check/checker.hpp"
 #include "pax/common/check.hpp"
 #include "pax/common/rng.hpp"
 
@@ -71,6 +72,9 @@ void PmemDevice::store(PoolOffset off, std::span<const std::byte> data) {
       it = shard.pending.emplace(line, d).first;
     }
     std::memcpy(it->second.bytes.data() + in_line, data.data() + done, n);
+    // Emitted under the shard mutex so the checker's sequence numbers
+    // respect the real per-line store/flush order.
+    if (auto* chk = checker()) chk->on_store(line.value);
     done += n;
   }
 }
@@ -106,6 +110,7 @@ void PmemDevice::store_line(LineIndex line, const LineData& data) {
   Shard& shard = shard_for(line);
   std::lock_guard lock(shard.mu);
   shard.pending[line] = data;
+  if (auto* chk = checker()) chk->on_store(line.value);
 }
 
 LineData PmemDevice::load_line(LineIndex line) const {
@@ -138,6 +143,7 @@ void PmemDevice::flush_line_locked(Shard& shard, LineIndex line) {
   auto it = shard.pending.find(line);
   if (it == shard.pending.end()) {
     stats_.empty_flushes.fetch_add(1, kRelaxed);
+    if (auto* chk = checker()) chk->on_flush(line.value, /*empty=*/true);
     return;
   }
   std::memcpy(media().data() + line.byte_offset(), it->second.bytes.data(),
@@ -152,6 +158,7 @@ void PmemDevice::flush_line_locked(Shard& shard, LineIndex line) {
   if (shard.xpline_window.insert(line.byte_offset() / 256).second) {
     stats_.xpline_blocks_written.fetch_add(1, kRelaxed);
   }
+  if (auto* chk = checker()) chk->on_flush(line.value, /*empty=*/false);
 }
 
 void PmemDevice::flush_line(LineIndex line) {
@@ -178,6 +185,9 @@ void PmemDevice::drain() {
     std::lock_guard lock(shard.mu);
     shard.xpline_window.clear();
   }
+  // After the sweep: every flush whose shard lock this drain passed through
+  // is sequenced before the drain event.
+  if (auto* chk = checker()) chk->on_drain();
 }
 
 void PmemDevice::atomic_durable_store_u64(PoolOffset off,
@@ -215,6 +225,11 @@ void PmemDevice::crash(const CrashConfig& config) {
     }
     shard.pending.clear();
   }
+  if (auto* chk = checker()) chk->on_crash();
+}
+
+void PmemDevice::note_epoch_commit(std::uint64_t epoch) {
+  if (auto* chk = checker()) chk->on_epoch_commit(epoch);
 }
 
 std::size_t PmemDevice::pending_line_count() const {

@@ -41,6 +41,10 @@
 #include "pax/common/types.hpp"
 #include "pax/pmem/mmap_file.hpp"
 
+namespace pax::check {
+class Checker;
+}  // namespace pax::check
+
 namespace pax::pmem {
 
 /// Counters for persistence-cost accounting and write-amplification studies.
@@ -145,6 +149,26 @@ class PmemDevice {
   PmemStats stats() const;
   void reset_stats();
 
+  // --- PaxCheck attach point --------------------------------------------
+
+  /// Attaches (or detaches, with nullptr) a PaxCheck observer. The device is
+  /// the root of the instrumented stack: upper layers (undo logger, PAX
+  /// device, libpax runtime) discover the checker through their PmemDevice.
+  /// The checker must outlive all use of this device; attach before
+  /// concurrent traffic starts or quiesce first.
+  void set_checker(check::Checker* checker) {
+    checker_.store(checker, std::memory_order_release);
+  }
+  check::Checker* checker() const {
+    return checker_.load(std::memory_order_acquire);
+  }
+
+  /// Tells an attached checker that the caller is about to commit `epoch`
+  /// via the 8-byte power-fail-atomic store (pool.hpp). Emitted *before*
+  /// that store so the epoch cell's own store/flush/drain are not flagged
+  /// as unflushed-at-commit.
+  void note_epoch_commit(std::uint64_t epoch);
+
  private:
   PmemDevice(std::vector<std::byte> heap_media, std::size_t size);
   PmemDevice(std::unique_ptr<MmapFile> file, std::size_t size);
@@ -191,6 +215,8 @@ class PmemDevice {
     std::atomic<std::uint64_t> xpline_blocks_written{0};
   };
   mutable AtomicStats stats_;  // loads are counted from const readers
+
+  std::atomic<check::Checker*> checker_{nullptr};
 };
 
 }  // namespace pax::pmem

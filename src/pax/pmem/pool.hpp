@@ -48,6 +48,7 @@ class PmemPool {
   /// drain). Must be called only after every undo record and write-back of
   /// the epoch is durable.
   void commit_epoch(Epoch epoch) {
+    device_->note_epoch_commit(epoch);
     device_->atomic_durable_store_u64(kEpochCellOffset, epoch);
   }
 

@@ -11,6 +11,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "pax/check/checker.hpp"
 #include "pax/common/rng.hpp"
 #include "pax/libpax/persistent.hpp"
 
@@ -30,6 +31,10 @@ TEST_P(TortureTest, GenerationsOfCrashesNeverLoseACommittedSnapshot) {
   Xoshiro256 rng(seed);
 
   auto pm = pmem::PmemDevice::create_in_memory(64 << 20);
+  // Every generation — mutation mix, crashes, recoveries — runs under
+  // PaxCheck; the report is verified once per generation below.
+  check::Checker checker;
+  pm->set_checker(&checker);
   RuntimeOptions opts;
   opts.log_size = 4 << 20;
   opts.device.log_flush_batch_bytes = 256;
@@ -116,7 +121,10 @@ TEST_P(TortureTest, GenerationsOfCrashesNeverLoseACommittedSnapshot) {
     } else {
       pm->crash(pmem::CrashConfig::torn(0.6, seed * 100 + gen));
     }
+    auto report = checker.report();
+    ASSERT_TRUE(report.clean()) << "gen " << gen << "\n" << report.to_string();
   }
+  pm->set_checker(nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TortureTest,

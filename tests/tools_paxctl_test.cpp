@@ -116,6 +116,13 @@ TEST(PaxctlTest, TraceSummary) {
   std::remove(trace_path.c_str());
 }
 
+TEST(PaxctlTest, CheckRunsCleanWorkload) {
+  auto r = run("check 32 4");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("paxcheck: clean"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("event(s)"), std::string::npos) << r.output;
+}
+
 TEST(PaxctlTest, UsageOnBadInvocation) {
   auto r = run("frobnicate /tmp/x");
   EXPECT_NE(r.exit_code, 0);

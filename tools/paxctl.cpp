@@ -10,6 +10,10 @@
 //   paxctl synctest [pages] [lines-per-page]   exercise the line-tracked,
 //                             adaptive host sync path on a scratch in-memory
 //                             pool and report SyncStats + stripe telemetry
+//   paxctl check [pages] [epochs]   run a persist/crash/recover workload on
+//                             a scratch in-memory pool under PaxCheck (the
+//                             persist-order + lock-discipline checker) and
+//                             report the findings; exit 1 on any violation
 //
 // Works on any pool produced by libpax, the pagewal baseline, or the
 // device-level API (they share the pool format).
@@ -19,6 +23,7 @@
 #include <string>
 #include <sys/stat.h>
 
+#include "pax/check/checker.hpp"
 #include "pax/coherence/trace.hpp"
 #include "pax/device/recovery.hpp"
 #include "pax/libpax/heap.hpp"
@@ -35,7 +40,8 @@ int usage() {
                "usage: paxctl <info|log|verify|recover> <pool-file>\n"
                "       paxctl hexdump <pool-file> <offset> [len]\n"
                "       paxctl trace <trace-file>\n"
-               "       paxctl synctest [pages] [lines-per-page]\n");
+               "       paxctl synctest [pages] [lines-per-page]\n"
+               "       paxctl check [pages] [epochs]\n");
   return 2;
 }
 
@@ -310,6 +316,59 @@ int cmd_synctest(std::size_t pages, std::size_t lines_per_page) {
   return 0;
 }
 
+int cmd_check(std::size_t pages, int epochs) {
+  // A representative workload under PaxCheck: tracked + adaptive sync,
+  // blocking and §6 async persists, background sync steps, a crash, and
+  // recovery. A correct build reports clean; any persist-order or
+  // lock-discipline violation prints with its event backtrace and fails.
+  auto pm = pmem::PmemDevice::create_in_memory(32 << 20);
+  check::Checker checker;
+  pm->set_checker(&checker);
+
+  libpax::RuntimeOptions opts;
+  opts.log_size = 4 << 20;
+  opts.track_lines = true;
+  opts.adaptive_sync = true;
+  {
+    auto rt = libpax::PaxRuntime::attach(pm.get(), opts);
+    if (!rt.ok()) {
+      std::fprintf(stderr, "%s\n", rt.status().to_string().c_str());
+      return 1;
+    }
+    auto& r = *rt.value();
+    pages = std::min(pages, r.vpm_size() / kPageSize);
+    for (int e = 0; e < epochs; ++e) {
+      for (std::size_t p = 0; p < pages; ++p) {
+        std::byte* page = r.vpm_base() + p * kPageSize;
+        for (std::size_t l = 0; l < kLinesPerPage; l += 2) {
+          page[l * kCacheLineSize] = static_cast<std::byte>(e + p + 1);
+        }
+      }
+      const bool async = e % 2 == 1;
+      auto committed = async ? r.persist_async() : r.persist();
+      if (!committed.ok()) {
+        std::fprintf(stderr, "persist: %s\n",
+                     committed.status().to_string().c_str());
+        return 1;
+      }
+      r.sync_step();  // completes the async seal, drives the tuner
+    }
+  }  // teardown without a final persist: crash semantics
+  pm->crash(pmem::CrashConfig::torn(0.5, 0xc43c));
+  {
+    auto rt = libpax::PaxRuntime::attach(pm.get(), opts);
+    if (!rt.ok()) {
+      std::fprintf(stderr, "recovery: %s\n", rt.status().to_string().c_str());
+      return 1;
+    }
+  }
+  pm->set_checker(nullptr);
+
+  auto report = checker.report();
+  std::printf("%s\n", report.to_string().c_str());
+  return report.clean() ? 0 : 1;
+}
+
 int cmd_trace(const std::string& path) {
   auto events = coherence::load_trace(path);
   if (!events.ok()) {
@@ -338,6 +397,13 @@ int main(int argc, char** argv) {
     const std::size_t lines =
         argc >= 4 ? std::strtoull(argv[3], nullptr, 0) : 8;
     return cmd_synctest(pages, lines);
+  }
+  if (cmd == "check") {
+    const std::size_t pages =
+        argc >= 3 ? std::strtoull(argv[2], nullptr, 0) : 128;
+    const int epochs =
+        argc >= 4 ? static_cast<int>(std::strtoul(argv[3], nullptr, 0)) : 6;
+    return cmd_check(pages, epochs);
   }
   if (argc < 3) return usage();
 
