@@ -269,6 +269,7 @@ void Checker::settle_locked() {
   const std::uint64_t recent_mask = recent_.size() - 1;
   for (const Event& e : staged_) {
     recent_[recent_pos_++ & recent_mask] = e;
+    if (options_.record_events) recorded_.push_back(e);
     process(e);
   }
   diag_.events += staged_.size();
@@ -537,13 +538,37 @@ void Checker::process(const Event& e) {
   }
 }
 
-Report Checker::report() {
-  std::lock_guard lock(engine_mu_);
-  settle_locked();
+Report Checker::snapshot_report_locked() const {
   Report r;
   r.violations = violations_;
   r.diagnostics = diag_;
   return r;
+}
+
+Report Checker::report() {
+  std::lock_guard lock(engine_mu_);
+  settle_locked();
+  return snapshot_report_locked();
+}
+
+Report Checker::replay(std::span<const Event> events) {
+  std::lock_guard lock(engine_mu_);
+  // Anything already emitted live settles first, then the trace is staged
+  // verbatim (no re-ticketing) and settled in its recorded seq order.
+  settle_locked();
+  staged_.insert(staged_.end(), events.begin(), events.end());
+  std::uint64_t max_seq = seq_.load(std::memory_order_relaxed);
+  for (const Event& e : events) max_seq = std::max(max_seq, e.seq);
+  settle_locked();
+  // Live events emitted after the replay must order after the trace.
+  seq_.store(max_seq, std::memory_order_relaxed);
+  return snapshot_report_locked();
+}
+
+std::vector<Event> Checker::recorded_events() {
+  std::lock_guard lock(engine_mu_);
+  settle_locked();
+  return recorded_;
 }
 
 // --- Emission helpers ----------------------------------------------------

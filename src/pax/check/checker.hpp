@@ -49,6 +49,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -85,6 +86,11 @@ struct CheckerOptions {
   /// (rounded up to a power of two). Backtraces older than this window are
   /// lost; per-event cost is one sequential 40-byte write either way.
   std::size_t recent_events = 65536;
+  /// Keep a copy of every event the engine processes, retrievable with
+  /// recorded_events() — the raw material for .paxevt traces
+  /// (trace_file.hpp) and crash-point stream truncation. Unbounded memory
+  /// (40 B/event); enable only for harness-sized workloads.
+  bool record_events = false;
 };
 
 struct Violation {
@@ -168,6 +174,17 @@ class Checker {
   /// next one.
   Report report();
 
+  /// Feeds pre-recorded events (a decoded .paxevt trace, or a truncated
+  /// recorded stream) through the rule engines verbatim — seq and tid are
+  /// preserved, and the internal sequence counter is advanced past the
+  /// replayed ticket range so live events emitted afterwards (crash,
+  /// recovery) order after the trace. Returns the cumulative report.
+  Report replay(std::span<const Event> events);
+
+  /// Copy of every event processed so far, in engine order. Populated only
+  /// when CheckerOptions::record_events is set; settles first.
+  std::vector<Event> recorded_events();
+
   const CheckerOptions& options() const { return options_; }
 
  private:
@@ -178,6 +195,7 @@ class Checker {
   Ring* ring_for_this_thread();
   void drain_ring_locked(Ring* ring);
   void settle_locked();
+  Report snapshot_report_locked() const;
   void process(const Event& e);
   void process_lock_acquire(const Event& e);
   LineState& line_state(std::uint64_t line);
@@ -218,6 +236,7 @@ class Checker {
   std::set<std::pair<std::uint8_t, std::uint64_t>> reported_;
   std::vector<Violation> violations_;
   CheckDiagnostics diag_;
+  std::vector<Event> recorded_;  // engine-order copy (record_events only)
 };
 
 }  // namespace pax::check

@@ -72,4 +72,14 @@ struct Event {
 const char* event_type_name(EventType t);
 const char* lock_class_name(LockClass c);
 
+/// True for the event types PmemDevice counts toward crash_events(): the
+/// device-level persistence actions a crash point is named after. Exactly
+/// one such event is emitted per counter increment, which lets the crash
+/// explorer cut a recorded stream at the device's "crash after event N"
+/// boundary (crashpoint.hpp).
+inline constexpr bool is_crash_countable(EventType t) {
+  return t == EventType::kStore || t == EventType::kFlush ||
+         t == EventType::kDrain;
+}
+
 }  // namespace pax::check

@@ -10,6 +10,15 @@
 #include "pax/common/log.hpp"
 
 namespace pax::libpax {
+
+RuntimeOptions RuntimeOptions::deterministic(RuntimeOptions base) {
+  base.start_flusher_thread = false;
+  base.diff_workers = 1;
+  base.device.persist_workers = 1;
+  if (base.adaptive_sync) base.adaptive_pin_workers = 1;
+  return base;
+}
+
 namespace {
 
 // Per-device remembered vPM base, so reopening a pool maps the region at the

@@ -86,6 +86,15 @@ struct RuntimeOptions {
   bool adaptive_sync = false;
   std::size_t adaptive_pin_batch_lines = 0;  // 0 = adapt batch size
   unsigned adaptive_pin_workers = 0;         // 0 = adapt worker count
+
+  /// `base` with every source of scheduling nondeterminism pinned: no
+  /// flusher thread, single-threaded diff and device persist workers, and
+  /// the adaptive tuner (if enabled) locked to one worker. A workload run
+  /// under these options emits the identical device event sequence on every
+  /// execution — the contract crash-point exploration (check/crashpoint.hpp)
+  /// depends on. Byte-identical vPM snapshots additionally require a fixed
+  /// vpm_base_hint, which the caller must choose.
+  static RuntimeOptions deterministic(RuntimeOptions base);
 };
 
 struct RuntimeStats {

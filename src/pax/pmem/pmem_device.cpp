@@ -10,13 +10,65 @@
 namespace pax::pmem {
 namespace {
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Per-line crash lottery. Every draw for a line comes from a generator
+// seeded by (seed, line index) alone, so whether the line survives — and
+// which of its 8-byte words tore — never depends on how many other pending
+// lines exist or in what order a container iterates them. The same seed
+// therefore resolves the same post-crash state across shard layouts,
+// stripe counts, and offline CrashCut::resolve replays.
+Xoshiro256 crash_line_rng(std::uint64_t seed, std::uint64_t line) {
+  SplitMix64 mix(line + 0x9e3779b97f4a7c15ULL);
+  return Xoshiro256(seed ^ mix.next());
+}
+
+// Resolves one pending line onto `dst` (its media bytes). Returns the
+// number of media bytes written (0 when the line is dropped).
+std::size_t resolve_crash_line(const CrashConfig& config, std::uint64_t line,
+                               const LineData& data, std::byte* dst) {
+  Xoshiro256 rng = crash_line_rng(config.seed, line);
+  if (!rng.next_bool(config.line_survival_probability)) return 0;
+  if (!config.tear_within_lines) {
+    std::memcpy(dst, data.bytes.data(), kCacheLineSize);
+    return kCacheLineSize;
+  }
+  // Torn line: each 8-byte word (the x86 power-fail atomicity unit)
+  // independently made it out or did not.
+  std::size_t written = 0;
+  for (std::size_t w = 0; w < kCacheLineSize; w += 8) {
+    if (rng.next_bool(0.5)) {
+      std::memcpy(dst + w, data.bytes.data() + w, 8);
+      written += 8;
+    }
+  }
+  return written;
+}
+
 }  // namespace
+
+std::vector<std::byte> CrashCut::resolve(const CrashConfig& config) const {
+  std::vector<std::byte> image = media;
+  for (const auto& [line, data] : pending) {
+    resolve_crash_line(config, line.value, data,
+                       image.data() + line.byte_offset());
+  }
+  return image;
+}
 
 std::unique_ptr<PmemDevice> PmemDevice::create_in_memory(std::size_t bytes) {
   PAX_CHECK_MSG(bytes % kCacheLineSize == 0,
                 "PM size must be line-aligned");
   return std::unique_ptr<PmemDevice>(
       new PmemDevice(std::vector<std::byte>(bytes), bytes));
+}
+
+std::unique_ptr<PmemDevice> PmemDevice::create_in_memory_from(
+    std::vector<std::byte> media) {
+  PAX_CHECK_MSG(media.size() % kCacheLineSize == 0,
+                "PM size must be line-aligned");
+  const std::size_t bytes = media.size();
+  return std::unique_ptr<PmemDevice>(
+      new PmemDevice(std::move(media), bytes));
 }
 
 Result<std::unique_ptr<PmemDevice>> PmemDevice::open_file(
@@ -61,20 +113,23 @@ void PmemDevice::store(PoolOffset off, std::span<const std::byte> data) {
     const std::size_t n =
         std::min(kCacheLineSize - in_line, data.size() - done);
 
-    Shard& shard = shard_for(line);
-    std::lock_guard lock(shard.mu);
-    auto it = shard.pending.find(line);
-    if (it == shard.pending.end()) {
-      // First dirtying of this line: seed the pending copy from media.
-      LineData d;
-      std::memcpy(d.bytes.data(), media().data() + line.byte_offset(),
-                  kCacheLineSize);
-      it = shard.pending.emplace(line, d).first;
+    {
+      Shard& shard = shard_for(line);
+      std::lock_guard lock(shard.mu);
+      auto it = shard.pending.find(line);
+      if (it == shard.pending.end()) {
+        // First dirtying of this line: seed the pending copy from media.
+        LineData d;
+        std::memcpy(d.bytes.data(), media().data() + line.byte_offset(),
+                    kCacheLineSize);
+        it = shard.pending.emplace(line, d).first;
+      }
+      std::memcpy(it->second.bytes.data() + in_line, data.data() + done, n);
+      // Emitted under the shard mutex so the checker's sequence numbers
+      // respect the real per-line store/flush order.
+      if (auto* chk = checker()) chk->on_store(line.value);
     }
-    std::memcpy(it->second.bytes.data() + in_line, data.data() + done, n);
-    // Emitted under the shard mutex so the checker's sequence numbers
-    // respect the real per-line store/flush order.
-    if (auto* chk = checker()) chk->on_store(line.value);
+    bump_crash_event();
     done += n;
   }
 }
@@ -107,10 +162,13 @@ void PmemDevice::store_line(LineIndex line, const LineData& data) {
   PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
   stats_.stores.fetch_add(1, kRelaxed);
   stats_.bytes_stored.fetch_add(kCacheLineSize, kRelaxed);
-  Shard& shard = shard_for(line);
-  std::lock_guard lock(shard.mu);
-  shard.pending[line] = data;
-  if (auto* chk = checker()) chk->on_store(line.value);
+  {
+    Shard& shard = shard_for(line);
+    std::lock_guard lock(shard.mu);
+    shard.pending[line] = data;
+    if (auto* chk = checker()) chk->on_store(line.value);
+  }
+  bump_crash_event();
 }
 
 LineData PmemDevice::load_line(LineIndex line) const {
@@ -163,9 +221,12 @@ void PmemDevice::flush_line_locked(Shard& shard, LineIndex line) {
 
 void PmemDevice::flush_line(LineIndex line) {
   PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
-  Shard& shard = shard_for(line);
-  std::lock_guard lock(shard.mu);
-  flush_line_locked(shard, line);
+  {
+    Shard& shard = shard_for(line);
+    std::lock_guard lock(shard.mu);
+    flush_line_locked(shard, line);
+  }
+  bump_crash_event();
 }
 
 void PmemDevice::flush_range(PoolOffset off, std::size_t len) {
@@ -188,6 +249,7 @@ void PmemDevice::drain() {
   // After the sweep: every flush whose shard lock this drain passed through
   // is sequenced before the drain event.
   if (auto* chk = checker()) chk->on_drain();
+  bump_crash_event();
 }
 
 void PmemDevice::atomic_durable_store_u64(PoolOffset off,
@@ -204,28 +266,62 @@ void PmemDevice::crash(const CrashConfig& config) {
   for (std::size_t i = 0; i < kShards; ++i) {
     locks[i] = std::unique_lock(shards_[i].mu);
   }
-  Xoshiro256 rng(config.seed);
   for (auto& shard : shards_) {
     for (const auto& [line, data] : shard.pending) {
-      if (!rng.next_bool(config.line_survival_probability)) continue;
-      std::byte* dst = media().data() + line.byte_offset();
-      if (!config.tear_within_lines) {
-        std::memcpy(dst, data.bytes.data(), kCacheLineSize);
-        stats_.media_bytes_written.fetch_add(kCacheLineSize, kRelaxed);
-        continue;
-      }
-      // Torn line: each 8-byte word (the x86 power-fail atomicity unit)
-      // independently made it out or did not.
-      for (std::size_t w = 0; w < kCacheLineSize; w += 8) {
-        if (rng.next_bool(0.5)) {
-          std::memcpy(dst + w, data.bytes.data() + w, 8);
-          stats_.media_bytes_written.fetch_add(8, kRelaxed);
-        }
+      const std::size_t written = resolve_crash_line(
+          config, line.value, data, media().data() + line.byte_offset());
+      if (written > 0) {
+        stats_.media_bytes_written.fetch_add(written, kRelaxed);
       }
     }
     shard.pending.clear();
   }
   if (auto* chk = checker()) chk->on_crash();
+}
+
+void PmemDevice::bump_crash_event() {
+  const std::uint64_t n = crash_events_.fetch_add(1, kRelaxed) + 1;
+  if (n == crash_arm_.load(kRelaxed)) capture_crash_cut(n);
+}
+
+void PmemDevice::arm_crash_point(std::uint64_t after_events) {
+  PAX_CHECK_MSG(after_events > crash_events_.load(kRelaxed),
+                "crash point already passed");
+  std::lock_guard lock(crash_cut_mu_);
+  crash_cut_.reset();
+  crash_arm_.store(after_events, kRelaxed);
+}
+
+void PmemDevice::capture_crash_cut(std::uint64_t at_event) {
+  // Stop-the-world copy under every shard lock (same discipline as
+  // crash()). The triggering operation released its shard lock before
+  // bump_crash_event, so no lock is held twice.
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    locks[i] = std::unique_lock(shards_[i].mu);
+  }
+  CrashCut cut;
+  cut.after_events = at_event;
+  cut.media.assign(media().begin(), media().end());
+  for (const auto& shard : shards_) {
+    for (const auto& [line, data] : shard.pending) {
+      cut.pending.emplace_back(line, data);
+    }
+  }
+  std::sort(cut.pending.begin(), cut.pending.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.value < b.first.value;
+            });
+  std::lock_guard lock(crash_cut_mu_);
+  crash_cut_ = std::move(cut);
+  crash_arm_.store(0, kRelaxed);
+}
+
+std::optional<CrashCut> PmemDevice::take_crash_cut() {
+  std::lock_guard lock(crash_cut_mu_);
+  std::optional<CrashCut> out = std::move(crash_cut_);
+  crash_cut_.reset();
+  return out;
 }
 
 void PmemDevice::note_epoch_commit(std::uint64_t epoch) {
@@ -249,6 +345,11 @@ LineData PmemDevice::durable_line(LineIndex line) const {
   std::memcpy(d.bytes.data(), media().data() + line.byte_offset(),
               kCacheLineSize);
   return d;
+}
+
+void PmemDevice::read_durable(PoolOffset off, std::span<std::byte> out) const {
+  PAX_CHECK(off + out.size() <= size_);
+  std::memcpy(out.data(), media().data() + off, out.size());
 }
 
 PmemStats PmemDevice::stats() const {

@@ -34,6 +34,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <unordered_set>
 #include <vector>
 
@@ -84,6 +85,20 @@ struct CrashConfig {
   }
 };
 
+/// A consistent cut of the device captured after the N-th persistence event
+/// (arm_crash_point): the media image plus every line still in the pending
+/// overlay at that instant. resolve() runs the crash lottery over the cut,
+/// yielding the post-crash media image for any CrashConfig — one captured
+/// cut serves drop_all, random, and torn without re-running the workload.
+struct CrashCut {
+  std::uint64_t after_events = 0;
+  std::vector<std::byte> media;
+  /// Pending overlay at the cut, sorted by line index.
+  std::vector<std::pair<LineIndex, LineData>> pending;
+
+  std::vector<std::byte> resolve(const CrashConfig& config) const;
+};
+
 class PmemDevice {
  public:
   /// Media held in DRAM; contents vanish with the object. For unit tests.
@@ -93,6 +108,12 @@ class PmemDevice {
   static Result<std::unique_ptr<PmemDevice>> open_file(const std::string& path,
                                                        std::size_t bytes,
                                                        bool create);
+
+  /// In-memory device whose media starts as a copy of `media` — typically a
+  /// CrashCut::resolve image: the post-crash reincarnation crash-point
+  /// exploration recovers and audits (check/crashpoint.hpp).
+  static std::unique_ptr<PmemDevice> create_in_memory_from(
+      std::vector<std::byte> media);
 
   std::size_t size() const { return size_; }
   std::size_t num_lines() const { return size_ / kCacheLineSize; }
@@ -137,7 +158,31 @@ class PmemDevice {
 
   /// Simulates power loss: resolves the pending overlay per `config`, then
   /// clears it. The device remains usable and now shows post-crash media.
+  /// The lottery draws per line from (config.seed, line index) alone, so
+  /// the same seed produces the same torn state no matter how the overlay
+  /// is sharded or iterated.
   void crash(const CrashConfig& config);
+
+  /// Count of crash-countable persistence events executed so far: one per
+  /// line a store() touches, one per flush_line (empty or not), one per
+  /// drain(). Deterministic workloads replay to identical counts, which is
+  /// what makes "crash after event N" a stable name for a machine state
+  /// across re-executions (check/crashpoint.hpp).
+  std::uint64_t crash_events() const {
+    return crash_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms a one-shot consistent-cut capture: when crash_events() reaches
+  /// `after_events` the media image and pending overlay are snapshotted
+  /// (all shard locks held, taken after the triggering operation released
+  /// its own) into the cut retrievable with take_crash_cut(). Equivalent to
+  /// a crash between device operations — the only granularity at which a
+  /// single-threaded workload can crash.
+  void arm_crash_point(std::uint64_t after_events);
+
+  /// The cut captured by an armed crash point, if the workload ran that
+  /// far. Each arm yields at most one cut; taking it clears the slot.
+  std::optional<CrashCut> take_crash_cut();
 
   /// Number of lines with not-yet-durable data.
   std::size_t pending_line_count() const;
@@ -145,6 +190,11 @@ class PmemDevice {
   /// Reads what media alone holds (ignoring the pending overlay) — what a
   /// post-crash observer would see. For test assertions.
   LineData durable_line(LineIndex line) const;
+
+  /// Bulk durable read of [off, off+out.size()): media bytes only, no
+  /// pending overlay. Unlocked — call from a quiesced point (concurrent
+  /// flushes could tear the copy).
+  void read_durable(PoolOffset off, std::span<std::byte> out) const;
 
   PmemStats stats() const;
   void reset_stats();
@@ -196,6 +246,11 @@ class PmemDevice {
 
   void flush_line_locked(Shard& shard, LineIndex line);
 
+  /// Advances the crash-event counter; captures the armed cut when the
+  /// counter hits it. Called with no shard lock held.
+  void bump_crash_event();
+  void capture_crash_cut(std::uint64_t at_event);
+
   std::vector<std::byte> heap_media_;    // in-memory mode
   std::unique_ptr<MmapFile> file_;       // file mode
   std::size_t size_;
@@ -215,6 +270,13 @@ class PmemDevice {
     std::atomic<std::uint64_t> xpline_blocks_written{0};
   };
   mutable AtomicStats stats_;  // loads are counted from const readers
+
+  // Crash-point machinery: the counter always runs (one relaxed add per
+  // countable event); the arm/cut slots are touched only by harnesses.
+  std::atomic<std::uint64_t> crash_events_{0};
+  std::atomic<std::uint64_t> crash_arm_{0};  // 0 = disarmed
+  std::mutex crash_cut_mu_;
+  std::optional<CrashCut> crash_cut_;
 
   std::atomic<check::Checker*> checker_{nullptr};
 };

@@ -115,6 +115,73 @@ TEST(PmemDeviceTest, CrashWithPartialSurvivalIsSeedDeterministic) {
   }
 }
 
+// Regression: the crash lottery draws from a per-line RNG stream, so the
+// outcome for a line depends only on (seed, line) — not on the order the
+// lines entered the pending overlay or the order shards are drained in.
+TEST(PmemDeviceTest, CrashLotteryIsStoreOrderIndependent) {
+  for (const CrashConfig& config :
+       {CrashConfig::random(0.5, 909), CrashConfig::torn(0.5, 909)}) {
+    auto ascending = PmemDevice::create_in_memory(1 << 16);
+    auto descending = PmemDevice::create_in_memory(1 << 16);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      ascending->store_line(LineIndex{i}, patterned_line(i));
+      descending->store_line(LineIndex{63 - i}, patterned_line(63 - i));
+    }
+    ascending->crash(config);
+    descending->crash(config);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      EXPECT_EQ(ascending->durable_line(LineIndex{i}),
+                descending->durable_line(LineIndex{i}))
+          << "line " << i << (config.tear_within_lines ? " torn" : " random");
+    }
+  }
+}
+
+// A captured crash cut resolved under a config must equal what crash()
+// itself would have produced at the same instant with the same config —
+// they share the lottery.
+TEST(PmemDeviceTest, CrashCutResolvesIdenticallyToCrash) {
+  const auto run_ops = [](PmemDevice& dev) {
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      dev.store_line(LineIndex{i}, patterned_line(i + 100));
+      if (i % 3 == 0) dev.flush_line(LineIndex{i});
+    }
+    dev.drain();
+  };
+  auto reference = PmemDevice::create_in_memory(1 << 16);
+  run_ops(*reference);
+  const std::uint64_t total = reference->crash_events();
+  const CrashConfig config = CrashConfig::torn(0.5, 4242);
+  reference->crash(config);
+
+  auto armed = PmemDevice::create_in_memory(1 << 16);
+  armed->arm_crash_point(total);
+  run_ops(*armed);
+  auto cut = armed->take_crash_cut();
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->after_events, total);
+  auto resolved = PmemDevice::create_in_memory_from(cut->resolve(config));
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(resolved->durable_line(LineIndex{i}),
+              reference->durable_line(LineIndex{i}))
+        << "line " << i;
+  }
+}
+
+TEST(PmemDeviceTest, ArmedCrashPointIsOneShot) {
+  auto dev = PmemDevice::create_in_memory(1 << 16);
+  dev->arm_crash_point(2);
+  dev->store_line(LineIndex{1}, patterned_line(1));  // event 1
+  EXPECT_FALSE(dev->take_crash_cut().has_value());
+  dev->store_line(LineIndex{2}, patterned_line(2));  // event 2: capture
+  dev->store_line(LineIndex{3}, patterned_line(3));  // past the cut
+  auto cut = dev->take_crash_cut();
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->after_events, 2u);
+  EXPECT_EQ(cut->pending.size(), 2u);  // lines 1 and 2 only
+  EXPECT_FALSE(dev->take_crash_cut().has_value());  // taken exactly once
+}
+
 TEST(PmemDeviceTest, TornCrashTearsAtWordGranularity) {
   auto dev = PmemDevice::create_in_memory(1 << 16);
   LineData ones;

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "pax/check/trace_file.hpp"
 #include "pax/coherence/trace.hpp"
 #include "pax/libpax/persistent.hpp"
 
@@ -121,6 +122,50 @@ TEST(PaxctlTest, CheckRunsCleanWorkload) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("paxcheck: clean"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("event(s)"), std::string::npos) << r.output;
+}
+
+TEST(PaxctlTest, ExploreCleanWorkloadSampled) {
+  auto r = run("explore 2 2 --every 9");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean: every recovery matched"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("crash point(s)"), std::string::npos) << r.output;
+}
+
+TEST(PaxctlTest, CheckReplayRoundTrip) {
+  // A .paxevt with one clean store/flush/drain sequence must replay clean.
+  const std::string path = "/tmp/paxctl_test.paxevt";
+  std::vector<check::Event> events;
+  check::Event e;
+  e.seq = 1;
+  e.type = check::EventType::kStore;
+  e.line = 42;
+  events.push_back(e);
+  e.seq = 2;
+  e.type = check::EventType::kFlush;
+  events.push_back(e);
+  e.seq = 3;
+  e.type = check::EventType::kDrain;
+  e.line = check::kNoLine;
+  events.push_back(e);
+  ASSERT_TRUE(check::write_trace(path, events).is_ok());
+  auto r = run("check --replay " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("replayed 3 event(s)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("paxcheck: clean"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(PaxctlTest, CheckReplayRejectsCorruptFile) {
+  const std::string junk = "/tmp/paxctl_junk.paxevt";
+  std::FILE* f = std::fopen(junk.c_str(), "wb");
+  std::fputs("definitely not a paxevt trace", f);
+  std::fclose(f);
+  auto r = run("check --replay " + junk);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find(".paxevt"), std::string::npos) << r.output;
+  std::remove(junk.c_str());
 }
 
 TEST(PaxctlTest, UsageOnBadInvocation) {

@@ -14,6 +14,16 @@
 //                             a scratch in-memory pool under PaxCheck (the
 //                             persist-order + lock-discipline checker) and
 //                             report the findings; exit 1 on any violation
+//   paxctl check --replay <file.paxevt>   re-run the PaxCheck rule engines
+//                             over a recorded event stream (e.g. a crash-
+//                             exploration artifact); exit 1 on any violation
+//   paxctl explore [pages] [epochs] [--every N] [--max-points N] [--seed S]
+//                  [--artifacts DIR]   enumerate crash points of a
+//                             deterministic libpax workload: crash after
+//                             every N-th device event under drop_all /
+//                             random / torn, recover, and audit each
+//                             recovery (PaxCheck + snapshot equivalence);
+//                             exit 1 on any finding
 //
 // Works on any pool produced by libpax, the pagewal baseline, or the
 // device-level API (they share the pool format).
@@ -24,6 +34,8 @@
 #include <sys/stat.h>
 
 #include "pax/check/checker.hpp"
+#include "pax/check/crashpoint.hpp"
+#include "pax/check/trace_file.hpp"
 #include "pax/coherence/trace.hpp"
 #include "pax/device/recovery.hpp"
 #include "pax/libpax/heap.hpp"
@@ -41,7 +53,10 @@ int usage() {
                "       paxctl hexdump <pool-file> <offset> [len]\n"
                "       paxctl trace <trace-file>\n"
                "       paxctl synctest [pages] [lines-per-page]\n"
-               "       paxctl check [pages] [epochs]\n");
+               "       paxctl check [pages] [epochs]\n"
+               "       paxctl check --replay <file.paxevt>\n"
+               "       paxctl explore [pages] [epochs] [--every N] "
+               "[--max-points N] [--seed S] [--artifacts DIR]\n");
   return 2;
 }
 
@@ -369,6 +384,68 @@ int cmd_check(std::size_t pages, int epochs) {
   return report.clean() ? 0 : 1;
 }
 
+int cmd_replay(const std::string& path) {
+  auto events = check::read_trace(path);
+  if (!events.ok()) {
+    std::fprintf(stderr, "%s\n", events.status().to_string().c_str());
+    return 1;
+  }
+  check::Checker checker;
+  const check::Report report = checker.replay(events.value());
+  std::printf("replayed %zu event(s) from %s\n%s\n", events.value().size(),
+              path.c_str(), report.to_string().c_str());
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_explore(std::size_t pages, int epochs, std::uint64_t every,
+                std::uint64_t max_points, std::uint64_t seed,
+                const std::string& artifact_dir) {
+  // The demo workload crash exploration enumerates: a full libpax stack
+  // (attach, page mutation, blocking persists, crash-semantics teardown)
+  // pinned deterministic so every re-execution counts the same events.
+  const auto workload = [pages, epochs](
+                            pmem::PmemDevice& dev,
+                            check::CrashOracle& oracle) -> Status {
+    libpax::RuntimeOptions opts;
+    opts.log_size = 256 << 10;
+    opts.track_lines = true;
+    opts.vpm_base_hint = 0x7d00'0000'0000ULL;  // byte-identical snapshots
+    opts = libpax::RuntimeOptions::deterministic(opts);
+    auto rt = libpax::PaxRuntime::attach(&dev, opts);
+    if (!rt.ok()) return rt.status();
+    auto& r = *rt.value();
+    PAX_RETURN_IF_ERROR(oracle.note_commit(r.committed_epoch()));
+    const std::size_t usable = std::min(pages, r.vpm_size() / kPageSize);
+    for (int e = 0; e < epochs; ++e) {
+      for (std::size_t p = 0; p < usable; ++p) {
+        std::byte* page = r.vpm_base() + p * kPageSize;
+        for (std::size_t l = 0; l < kLinesPerPage; l += 2) {
+          page[l * kCacheLineSize] = static_cast<std::byte>(e + p + 1);
+        }
+      }
+      auto committed = r.persist();
+      if (!committed.ok()) return committed.status();
+      PAX_RETURN_IF_ERROR(oracle.note_commit(committed.value()));
+    }
+    return Status::ok();  // teardown without persist: crash semantics
+  };
+
+  check::CrashExplorerOptions opts;
+  opts.every = every;
+  opts.max_crash_points = max_points;
+  opts.seed = seed;
+  opts.artifact_dir = artifact_dir;
+  check::CrashExplorer explorer(2 << 20, workload, opts);
+  auto result = explorer.explore();
+  if (!result.ok()) {
+    std::fprintf(stderr, "explore harness failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result.value().to_string().c_str());
+  return result.value().clean() ? 0 : 1;
+}
+
 int cmd_trace(const std::string& path) {
   auto events = coherence::load_trace(path);
   if (!events.ok()) {
@@ -399,11 +476,43 @@ int main(int argc, char** argv) {
     return cmd_synctest(pages, lines);
   }
   if (cmd == "check") {
+    if (argc >= 3 && std::strcmp(argv[2], "--replay") == 0) {
+      if (argc < 4) return usage();
+      return cmd_replay(argv[3]);
+    }
     const std::size_t pages =
         argc >= 3 ? std::strtoull(argv[2], nullptr, 0) : 128;
     const int epochs =
         argc >= 4 ? static_cast<int>(std::strtoul(argv[3], nullptr, 0)) : 6;
     return cmd_check(pages, epochs);
+  }
+  if (cmd == "explore") {
+    std::size_t pages = 2;
+    int epochs = 3;
+    std::uint64_t every = 1, max_points = 0, seed = 1;
+    std::string artifacts;
+    int positional = 0;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--every" && i + 1 < argc) {
+        every = std::strtoull(argv[++i], nullptr, 0);
+      } else if (arg == "--max-points" && i + 1 < argc) {
+        max_points = std::strtoull(argv[++i], nullptr, 0);
+      } else if (arg == "--seed" && i + 1 < argc) {
+        seed = std::strtoull(argv[++i], nullptr, 0);
+      } else if (arg == "--artifacts" && i + 1 < argc) {
+        artifacts = argv[++i];
+      } else if (positional == 0) {
+        pages = std::strtoull(argv[i], nullptr, 0);
+        ++positional;
+      } else if (positional == 1) {
+        epochs = static_cast<int>(std::strtoul(argv[i], nullptr, 0));
+        ++positional;
+      } else {
+        return usage();
+      }
+    }
+    return cmd_explore(pages, epochs, every, max_points, seed, artifacts);
   }
   if (argc < 3) return usage();
 
