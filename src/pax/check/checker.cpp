@@ -52,6 +52,8 @@ const char* event_type_name(EventType t) {
     case EventType::kDigestApply: return "DIGEST_APPLY";
     case EventType::kLockAcquire: return "LOCK_ACQ";
     case EventType::kLockRelease: return "LOCK_REL";
+    case EventType::kPipelineSeal: return "PIPE_SEAL";
+    case EventType::kPipelinePage: return "PIPE_PAGE";
   }
   return "?";
 }
@@ -78,6 +80,8 @@ const char* rule_name(Rule r) {
     case Rule::kLockSelfDeadlock: return "lock-self-deadlock";
     case Rule::kDoubleStripeLock: return "double-stripe-lock";
     case Rule::kPullWhileLocked: return "pull-while-locked";
+    case Rule::kSealedEpochMutation: return "sealed-epoch-mutation";
+    case Rule::kPipelineCommitOrder: return "pipeline-commit-order";
   }
   return "?";
 }
@@ -415,6 +419,7 @@ void Checker::process(const Event& e) {
       pending_count_ = 0;
       flushes_since_drain_ = 0;
       log_durable_.clear();
+      pipeline_fifo_.clear();
       break;
     case EventType::kLogAppend:
       break;
@@ -440,10 +445,30 @@ void Checker::process(const Event& e) {
       }
       break;
     }
-    case EventType::kEpochSeal:
+    case EventType::kEpochSeal: {
+      if (!options_.persist_order) break;
+      if (!pipeline_fifo_.empty() && pipeline_fifo_.front().epoch != e.a) {
+        add_violation(Rule::kPipelineCommitOrder, e, e.a,
+                      "device sealed epoch " + std::to_string(e.a) +
+                          " while pipeline snapshot for epoch " +
+                          std::to_string(pipeline_fifo_.front().epoch) +
+                          " is at the head of the drain queue");
+      }
       break;
+    }
     case EventType::kEpochCommit: {
       if (!options_.persist_order) break;
+      if (!pipeline_fifo_.empty()) {
+        if (pipeline_fifo_.front().epoch == e.a) {
+          pipeline_fifo_.erase(pipeline_fifo_.begin());
+        } else {
+          add_violation(Rule::kPipelineCommitOrder, e, e.a,
+                        "epoch " + std::to_string(e.a) +
+                            " committed while pipeline snapshot for epoch " +
+                            std::to_string(pipeline_fifo_.front().epoch) +
+                            " is at the head of the drain queue");
+        }
+      }
       if (pending_count_ > 0) {  // clean commits never scan the table
         std::vector<std::uint64_t> pending;
         pending.reserve(pending_count_);
@@ -488,6 +513,18 @@ void Checker::process(const Event& e) {
     }
     case EventType::kSyncPush: {
       if (!options_.persist_order) break;
+      // While snapshots are outstanding, the drain worker is the only sync
+      // producer and must push only the head snapshot's pages — anything
+      // else is live next-epoch mutation bleeding into the sealed epoch.
+      if (!pipeline_fifo_.empty() &&
+          pipeline_fifo_.front().pages.count(e.line >> 6) == 0) {
+        add_violation(Rule::kSealedEpochMutation, e, e.line,
+                      "line " + std::to_string(e.line) +
+                          " pushed while sealed epoch " +
+                          std::to_string(pipeline_fifo_.front().epoch) +
+                          "'s snapshot (which does not cover it) heads the "
+                          "drain queue");
+      }
       LineState& ls = line_state(e.line);
       ls.pushed = true;
       ls.pushed_tid = e.tid;
@@ -518,6 +555,23 @@ void Checker::process(const Event& e) {
                       "digest for line " + std::to_string(e.line) +
                           " applied while its sync_lines batch is still "
                           "in flight");
+      }
+      break;
+    }
+    case EventType::kPipelineSeal: {
+      if (!options_.persist_order) break;
+      pipeline_fifo_.push_back({e.a, {}});
+      break;
+    }
+    case EventType::kPipelinePage: {
+      if (!options_.persist_order) break;
+      // Pages arrive right after their seal event; match from the back.
+      for (auto it = pipeline_fifo_.rbegin(); it != pipeline_fifo_.rend();
+           ++it) {
+        if (it->epoch == e.a) {
+          it->pages.insert(e.line >> 6);
+          break;
+        }
       }
       break;
     }
@@ -680,6 +734,22 @@ void Checker::on_digest_apply(std::uint64_t line) {
   e.type = EventType::kDigestApply;
   e.line = line;
   emit(e);
+}
+
+void Checker::on_pipeline_seal(std::uint64_t epoch,
+                               std::span<const std::uint64_t> page_lines) {
+  Event seal;
+  seal.type = EventType::kPipelineSeal;
+  seal.a = epoch;
+  seal.b = page_lines.size();
+  emit(seal);
+  for (std::uint64_t line : page_lines) {
+    Event page;
+    page.type = EventType::kPipelinePage;
+    page.line = line;
+    page.a = epoch;
+    emit(page);
+  }
 }
 
 void Checker::on_lock_acquire(LockClass cls, std::uint32_t id, bool shared) {

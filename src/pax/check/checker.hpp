@@ -68,6 +68,17 @@ enum class Rule : std::uint8_t {
   kLockSelfDeadlock,
   kDoubleStripeLock,
   kPullWhileLocked,
+  // Epoch pipeline (pipelined persist_async; dormant when no kPipelineSeal
+  // events are emitted):
+  //   * while runtime-sealed snapshots are outstanding, every kSyncPush must
+  //     target a page captured by the OLDEST outstanding snapshot — a push
+  //     outside that set means live epoch-(N+1) mutation leaked into the
+  //     device sync of sealed epoch N (kSealedEpochMutation);
+  //   * device kEpochSeal / kEpochCommit must match the snapshot FIFO head —
+  //     commits crossing the drain queue out of order break the §3.3
+  //     in-order epoch contract (kPipelineCommitOrder).
+  kSealedEpochMutation,
+  kPipelineCommitOrder,
 };
 
 const char* rule_name(Rule r);
@@ -166,6 +177,11 @@ class Checker {
   void on_sync_batch_ok();
   void on_sync_batch_fail();
   void on_digest_apply(std::uint64_t line);
+  /// Pipelined persist_async sealed a dirty-set snapshot: one kPipelineSeal
+  /// followed by one kPipelinePage per captured page (`page_lines` holds
+  /// each page's first pool line).
+  void on_pipeline_seal(std::uint64_t epoch,
+                        std::span<const std::uint64_t> page_lines);
   void on_lock_acquire(LockClass cls, std::uint32_t id, bool shared);
   void on_lock_release(LockClass cls, std::uint32_t id);
 
@@ -231,6 +247,14 @@ class Checker {
   std::vector<Event> recent_;  // power-of-2 ring of replayed events
   std::uint64_t recent_pos_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> log_durable_;
+  // Epoch-pipeline FIFO: runtime-sealed snapshots awaiting their device
+  // commit, oldest first. Page keys are pool-line-index >> 6 (pages are
+  // line-aligned). Cleared on kCrash like the rest of the in-flight state.
+  struct PipelineEpoch {
+    std::uint64_t epoch = 0;
+    std::set<std::uint64_t> pages;
+  };
+  std::vector<PipelineEpoch> pipeline_fifo_;
   std::unordered_map<std::uint16_t, std::vector<Event>> lock_stacks_;
   std::uint64_t flushes_since_drain_ = 0;
   std::set<std::pair<std::uint8_t, std::uint64_t>> reported_;

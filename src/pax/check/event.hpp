@@ -40,6 +40,12 @@ enum class EventType : std::uint8_t {
   // Lock discipline.
   kLockAcquire,  // a := LockClass, b := instance id; flag kFlagSharedLock
   kLockRelease,  // a := LockClass, b := instance id
+  // Epoch pipeline (appended so existing .paxevt traces stay decodable and
+  // crash-point numbering is unchanged — none of these is crash-countable).
+  kPipelineSeal,  // runtime sealed a dirty-set snapshot; a := epoch,
+                  // b := snapshotted page count
+  kPipelinePage,  // one page of that snapshot; line := the page's first
+                  // pool line, a := epoch
 };
 
 /// Lock classes in their required acquisition order (LOCK ORDER comment in

@@ -23,7 +23,7 @@ T get(const std::byte* src, std::size_t off) {
 }
 
 constexpr std::uint8_t kMaxEventType =
-    static_cast<std::uint8_t>(EventType::kLockRelease);
+    static_cast<std::uint8_t>(EventType::kPipelinePage);
 
 }  // namespace
 

@@ -54,6 +54,10 @@ PaxDevice::PaxDevice(pmem::PmemPool* pool, const DeviceConfig& config)
       std::make_unique<UndoLogger>(pm_, pool->log_offset(), half);
   loggers_[1] = std::make_unique<UndoLogger>(
       pm_, pool->log_offset() + half, pool->log_size() - half);
+  if (config.log_ring_slots > 0) {
+    loggers_[0]->enable_ring(config.log_ring_slots);
+    loggers_[1]->enable_ring(config.log_ring_slots);
+  }
 }
 
 void PaxDevice::check_line_in_data_extent(LineIndex line) const {
@@ -145,19 +149,13 @@ Status PaxDevice::sync_lines(std::span<const LineUpdate> updates) {
   std::vector<std::pair<LineIndex, LineData>> first_touch;  // pre-images
   std::vector<std::uint64_t> record_ends;
 
-  std::vector<bool> served(stripes_.size(), false);
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    const std::size_t stripe = updates[i].line.value & stripe_mask_;
-    if (served[stripe]) continue;
-    served[stripe] = true;
-
+  // Serves one stripe group; caller holds s.mu.
+  const auto sync_group = [&](Stripe& s, std::size_t stripe,
+                              std::size_t first) -> Status {
     group.clear();
-    for (std::size_t j = i; j < updates.size(); ++j) {
+    for (std::size_t j = first; j < updates.size(); ++j) {
       if ((updates[j].line.value & stripe_mask_) == stripe) group.push_back(j);
     }
-
-    Stripe& s = *stripes_[stripe];
-    auto lock = lock_stripe(s);
     s.stats.write_intents += group.size();
     s.stats.host_writebacks += group.size();
 
@@ -171,10 +169,15 @@ Status PaxDevice::sync_lines(std::span<const LineUpdate> updates) {
       }
     }
 
-    // One log-mutex acquisition covers the whole group's undo records.
     if (!first_touch.empty()) {
       record_ends.clear();
-      {
+      if (loggers_[active_bank_]->ring_enabled()) {
+        // Lock-free hot path: one fetch_add reservation covers the group;
+        // the log mutex is never taken on the append path.
+        PAX_RETURN_IF_ERROR(loggers_[active_bank_]->ring_append_batch(
+            epoch_, first_touch, &record_ends));
+      } else {
+        // One log-mutex acquisition covers the whole group's undo records.
         auto log_lock = lock_log();
         log_append_acquisitions_.fetch_add(1, std::memory_order_relaxed);
         PAX_RETURN_IF_ERROR(
@@ -196,6 +199,45 @@ Status PaxDevice::sync_lines(std::span<const LineUpdate> updates) {
                                  loggers_[active_bank_]->durable());
       evict_victim(s, victim);
     }
+    return Status::ok();
+  };
+
+  // Pass 1: try-lock-first. A stripe whose mutex is free is served now; a
+  // contended stripe's group is pushed onto this worker's overflow ring
+  // and retried after every free stripe has been served, so a worker never
+  // parks behind a peer while it still has uncontended work.
+  std::vector<std::size_t> overflow;  // SPSC: pass 1 produces, pass 2 drains
+  std::vector<bool> served(stripes_.size(), false);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const std::size_t stripe = updates[i].line.value & stripe_mask_;
+    if (served[stripe]) continue;
+    served[stripe] = true;
+
+    Stripe& s = *stripes_[stripe];
+    std::unique_lock<std::mutex> lk(s.mu, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      s.lock_contended.fetch_add(1, std::memory_order_relaxed);
+      sync_deferred_groups_.fetch_add(1, std::memory_order_relaxed);
+      overflow.push_back(i);  // the group's first update index
+      continue;
+    }
+    s.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    check::LockToken token(pm_->checker(), check::LockClass::kStripe,
+                           stripe_lock_id(s), /*shared=*/false);
+    PAX_RETURN_IF_ERROR(sync_group(s, stripe, i));
+  }
+
+  // Pass 2: drain the overflow ring with blocking acquires (the contention
+  // was already counted at defer time).
+  for (std::size_t head = 0; head < overflow.size(); ++head) {
+    const std::size_t i = overflow[head];
+    const std::size_t stripe = updates[i].line.value & stripe_mask_;
+    Stripe& s = *stripes_[stripe];
+    std::unique_lock<std::mutex> lk(s.mu);
+    s.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+    check::LockToken token(pm_->checker(), check::LockClass::kStripe,
+                           stripe_lock_id(s), /*shared=*/false);
+    PAX_RETURN_IF_ERROR(sync_group(s, stripe, i));
   }
   return Status::ok();
 }
@@ -215,7 +257,11 @@ Status PaxDevice::write_intent(LineIndex line) {
   // into the device at seal time.
   const LineData old_data = device_view(s, line);
   std::uint64_t end;
-  {
+  if (loggers_[active_bank_]->ring_enabled()) {
+    auto appended = loggers_[active_bank_]->ring_append(epoch_, line, old_data);
+    if (!appended.ok()) return appended.status();
+    end = appended.value();
+  } else {
     auto log_lock = lock_log();
     log_append_acquisitions_.fetch_add(1, std::memory_order_relaxed);
     auto appended = loggers_[active_bank_]->log_line(epoch_, line, old_data);
@@ -305,7 +351,12 @@ Status PaxDevice::mem_write(LineIndex line, const LineData& data) {
     // epoch-boundary value (the incoming data is not yet applied).
     const LineData old_data = device_view(s, line);
     std::uint64_t end;
-    {
+    if (loggers_[active_bank_]->ring_enabled()) {
+      auto appended =
+          loggers_[active_bank_]->ring_append(epoch_, line, old_data);
+      if (!appended.ok()) return appended.status();
+      end = appended.value();
+    } else {
       auto log_lock = lock_log();
       log_append_acquisitions_.fetch_add(1, std::memory_order_relaxed);
       auto appended =
@@ -669,11 +720,14 @@ std::uint64_t PaxDevice::log_bytes_in_use() const {
 UndoLoggerStats PaxDevice::log_stats() const {
   auto log_lock = lock_log();
   UndoLoggerStats total = loggers_[0]->stats();
-  const UndoLoggerStats& other = loggers_[1]->stats();
+  const UndoLoggerStats other = loggers_[1]->stats();
   total.records += other.records;
   total.bytes_staged += other.bytes_staged;
   total.flushes += other.flushes;
   total.group_appends += other.group_appends;
+  total.ring_appends += other.ring_appends;
+  total.ring_full_stalls += other.ring_full_stalls;
+  total.ring_aborts += other.ring_aborts;
   return total;
 }
 
@@ -703,6 +757,12 @@ DeviceStats PaxDevice::stats() const {
       batch_synced_lines_.load(std::memory_order_relaxed);
   total.log_append_acquisitions =
       log_append_acquisitions_.load(std::memory_order_relaxed);
+  total.log_ring_appends =
+      loggers_[0]->ring_appends() + loggers_[1]->ring_appends();
+  total.log_ring_stalls =
+      loggers_[0]->ring_full_stalls() + loggers_[1]->ring_full_stalls();
+  total.sync_deferred_groups =
+      sync_deferred_groups_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -123,6 +123,11 @@ struct DeviceConfig {
   /// Fan out only when the epoch modified at least this many lines; tiny
   /// epochs aren't worth the thread hand-off.
   std::size_t persist_fanout_min_lines = 64;
+  /// > 0 enables the lock-free undo-append ring (that many slots per log
+  /// bank, rounded up to a power of two): hot-path appends reserve
+  /// pre-framed ring slots with a fetch_add ticket instead of taking the
+  /// log mutex; the flusher drains the ring. 0 = mutex append path.
+  std::size_t log_ring_slots = 0;
 
   static DeviceConfig defaults() { return DeviceConfig{}; }
 };
@@ -162,6 +167,10 @@ struct DeviceStats {
   std::uint64_t batch_syncs = 0;          // sync_lines() invocations
   std::uint64_t batch_synced_lines = 0;   // lines carried by those batches
   std::uint64_t log_append_acquisitions = 0;  // log-mutex holds for appends
+  std::uint64_t log_ring_appends = 0;     // records staged via the ring
+  std::uint64_t log_ring_stalls = 0;      // ring-full producer waits
+  std::uint64_t sync_deferred_groups = 0; // sync_lines try-lock misses that
+                                          // went to the overflow ring
 };
 
 class PaxDevice {
@@ -199,11 +208,16 @@ class PaxDevice {
                   std::span<LineData> out);
 
   /// Batched host sync: write_intent + writeback_line fused, amortized
-  /// across a batch. Updates are grouped by stripe; each group takes its
-  /// stripe mutex once, undo-logs all of its first-touch lines under a
-  /// single log-mutex acquisition (one framing pass, one backing store —
-  /// UndoLogger::log_lines), then buffers every update's data for
-  /// write-back. Equivalent, line for line, to calling write_intent(line)
+  /// across a batch. Updates are grouped by stripe; groups are served
+  /// try-lock-first (a contended stripe is deferred to a per-call overflow
+  /// ring and retried after every free stripe has been served, so workers
+  /// don't park behind a peer mid-batch). Each group takes its stripe
+  /// mutex once, undo-logs all of its first-touch lines under a single
+  /// log-mutex acquisition (one framing pass, one backing store —
+  /// UndoLogger::log_lines) — or, with log_ring_slots > 0, via the
+  /// lock-free append ring with no log-mutex acquisition at all — then
+  /// buffers every update's data for write-back. Equivalent, line for
+  /// line, to calling write_intent(line)
   /// followed by writeback_line(line, data) for each update, including all
   /// stats except the per-call counters. kOutOfSpace fails a whole stripe
   /// group atomically (no partial group is logged or buffered); groups
@@ -508,6 +522,7 @@ class PaxDevice {
   std::atomic<std::uint64_t> batch_syncs_{0};
   std::atomic<std::uint64_t> batch_synced_lines_{0};
   std::atomic<std::uint64_t> log_append_acquisitions_{0};
+  std::atomic<std::uint64_t> sync_deferred_groups_{0};
 };
 
 }  // namespace pax::device

@@ -122,8 +122,11 @@ Result<std::unique_ptr<PaxRuntime>> PaxRuntime::build(
   if (!report.ok()) return report.status();
   rt->recovery_report_ = report.value();
 
-  rt->device_ =
-      std::make_unique<device::PaxDevice>(&*rt->pool_, options.device);
+  device::DeviceConfig dev_cfg = options.device;
+  if (options.log_ring_slots > 0) {
+    dev_cfg.log_ring_slots = options.log_ring_slots;
+  }
+  rt->device_ = std::make_unique<device::PaxDevice>(&*rt->pool_, dev_cfg);
 
   // Map the vPM region: an explicit hint wins (replication failover),
   // otherwise reuse the base any earlier mapping of this device had.
@@ -164,12 +167,24 @@ Result<std::unique_ptr<PaxRuntime>> PaxRuntime::build(
     SyncTunerConfig tc;
     tc.pinned_batch_lines = options.adaptive_pin_batch_lines;
     tc.pinned_workers = options.adaptive_pin_workers;
+    tc.ewma_alpha = options.adaptive_ewma_alpha;
+    tc.hysteresis = options.adaptive_hysteresis;
     rt->tuner_.emplace(tc);
     // The pool must be able to serve whatever the tuner may ask for.
     max_parallelism = std::max(max_parallelism, tc.max_workers);
   }
   if (max_parallelism > 1) {
     rt->diff_pool_ = std::make_unique<common::ThreadPool>(max_parallelism - 1);
+  }
+
+  rt->pipeline_depth_ = options.pipeline_depth;
+  if (rt->pipeline_depth_ > 0) {
+    // The pipeline numbers epochs itself (drain_one checks the device
+    // agrees); both cursors start at the recovered commit point.
+    rt->pipe_committed_ = rt->pool_->committed_epoch();
+    rt->pipe_next_epoch_ = rt->pipe_committed_ + 1;
+    rt->drain_thread_ =
+        std::thread([rt_ptr = rt.get()] { rt_ptr->drain_worker_loop(); });
   }
 
   if (options.start_flusher_thread) {
@@ -206,9 +221,18 @@ PaxRuntime::~PaxRuntime() {
     flusher_cv_.notify_all();
     flusher_.join();
   }
+  if (drain_thread_.joinable()) {
+    {
+      std::lock_guard lock(pipe_mu_);
+      stop_drain_ = true;
+    }
+    pipe_work_cv_.notify_all();
+    drain_thread_.join();
+  }
   if (region_) unregister_heap(region_->base());
   // Deliberately no flush/persist: destruction without persist() behaves
-  // like a crash, which is what the snapshot contract promises.
+  // like a crash, which is what the snapshot contract promises — queued
+  // pipeline snapshots whose drain never ran are discarded the same way.
 }
 
 Status PaxRuntime::sync_pages(const std::vector<PageIndex>& pages) {
@@ -485,6 +509,14 @@ void PaxRuntime::sync_step() {
   std::lock_guard lock(sync_mu_);
   const check::LockToken sync_token = sync_lock_token();
   ++stats_.sync_steps;
+  if (pipeline_depth_ > 0) {
+    // While snapshots are outstanding the drain worker owns the device
+    // epoch path: syncing the live (N+1) dirty pages here would push their
+    // content into the device before epoch N seals. New snapshots can't be
+    // enqueued while we hold sync_mu_, so this check can't go stale.
+    std::lock_guard plock(pipe_mu_);
+    if (!pipe_queue_.empty() || pipe_inflight_) return;
+  }
   // Pages stay writable and dirty until persist() re-protects them, so any
   // store racing this diff is re-examined later; see runtime.hpp.
   Status s = sync_pages(region_->dirty_pages());
@@ -506,6 +538,7 @@ void PaxRuntime::sync_step() {
 Result<Epoch> PaxRuntime::persist_async() {
   std::lock_guard lock(sync_mu_);
   const check::LockToken sync_token = sync_lock_token();
+  if (pipeline_depth_ > 0) return persist_async_pipelined();
   if (device_->has_sealed_epoch()) {
     // Epochs commit in order: finish the previous one first.
     auto committed = device_->commit_sealed();
@@ -529,6 +562,20 @@ Result<Epoch> PaxRuntime::persist_async() {
 Result<Epoch> PaxRuntime::complete_persist() {
   std::lock_guard lock(sync_mu_);
   const check::LockToken sync_token = sync_lock_token();
+  if (pipeline_depth_ > 0) {
+    Epoch target = 0;
+    {
+      std::lock_guard plock(pipe_mu_);
+      if (pipe_queue_.empty() && !pipe_inflight_) {
+        if (!pipe_error_.is_ok()) return pipe_error_;
+        return pool_->committed_epoch();
+      }
+      // Epochs commit in order, so the queue head is always the successor
+      // of the last pipeline commit.
+      target = pipe_committed_ + 1;
+    }
+    return wait_for_pipeline_epoch(target);
+  }
   return device_->commit_sealed();
 }
 
@@ -536,6 +583,11 @@ Result<Epoch> PaxRuntime::persist() {
   std::lock_guard lock(sync_mu_);
   const check::LockToken sync_token = sync_lock_token();
   ++stats_.persists;
+  if (pipeline_depth_ > 0) {
+    auto sealed = persist_async_pipelined();
+    if (!sealed.ok()) return sealed.status();
+    return wait_for_pipeline_epoch(sealed.value());
+  }
 
   const std::vector<PageIndex> dirty = region_->dirty_pages();
   PAX_RETURN_IF_ERROR(sync_pages(dirty));
@@ -552,6 +604,239 @@ Result<Epoch> PaxRuntime::persist() {
 
   PAX_RETURN_IF_ERROR(region_->protect_pages(dirty));
   return committed;
+}
+
+Result<Epoch> PaxRuntime::persist_async_pipelined() {
+  {
+    std::unique_lock plock(pipe_mu_);
+    if (!pipe_error_.is_ok()) return pipe_error_;
+    if (pipe_queue_.size() + (pipe_inflight_ ? 1 : 0) >= pipeline_depth_) {
+      ++pipe_stats_.backpressure_waits;
+      pipe_cv_.wait(plock, [this] {
+        return !pipe_error_.is_ok() ||
+               pipe_queue_.size() + (pipe_inflight_ ? 1 : 0) <
+                   pipeline_depth_;
+      });
+      if (!pipe_error_.is_ok()) return pipe_error_;
+    }
+  }
+
+  // Swap the dirty set into the sealed-epoch snapshot. The §3.5 quiescence
+  // contract holds for the duration of this call, so plain copies are
+  // race-free; mutation of the next epoch resumes once the pages below are
+  // re-protected and we return.
+  //
+  // Digests advance to the snapshot here, not after the drain: the device
+  // WILL hold the snapshot once the job commits, and the next epoch's
+  // want-computation must compare against it — deferring would let a line
+  // rewritten to its pre-snapshot value slip past the digest check (the
+  // candidate bit only covers the page's first faulting line). A failed
+  // drain invalidates the affected pages' digests wholesale instead. No
+  // kDigestApply events are emitted: that rule models the single-buffered
+  // path, where a digest may not outrun its in-flight batch.
+  const std::vector<PageIndex> dirty = region_->dirty_pages();
+  PipelineJob job;
+  job.pages.reserve(dirty.size());
+  std::vector<std::uint64_t> page_lines;
+  page_lines.reserve(dirty.size());
+  for (PageIndex page : dirty) {
+    PipelinePageSnap snap;
+    snap.page = page;
+    snap.bytes = std::make_unique<std::byte[]>(kPageSize);
+    std::memcpy(snap.bytes.get(), region_->page_span(page).data(),
+                kPageSize);
+    if (track_lines_ && region_->line_digests_valid(page)) {
+      std::uint64_t want = region_->candidate_lines(page);
+      for (std::size_t l = 0; l < kLinesPerPage; ++l) {
+        const std::uint32_t crc =
+            crc32c(snap.bytes.get() + l * kCacheLineSize, kCacheLineSize);
+        if (crc != region_->line_digest(page, l)) {
+          want |= std::uint64_t{1} << l;
+          region_->set_line_digest(page, l, crc);
+        }
+      }
+      snap.want = want;
+    } else {
+      snap.want = ~std::uint64_t{0};
+      if (track_lines_) {
+        for (std::size_t l = 0; l < kLinesPerPage; ++l) {
+          region_->set_line_digest(
+              page, l,
+              crc32c(snap.bytes.get() + l * kCacheLineSize,
+                     kCacheLineSize));
+        }
+        region_->mark_line_digests_valid(page);
+        ++sync_stats_.digest_rebuilds;
+      }
+    }
+    page_lines.push_back(region_line_to_pool_line(page, 0).value);
+    job.pages.push_back(std::move(snap));
+  }
+  PAX_RETURN_IF_ERROR(region_->protect_pages(dirty));
+
+  // Only this (sync_mu_-serialized) producer advances the epoch cursor.
+  job.epoch = pipe_next_epoch_++;
+  const Epoch sealed = job.epoch;
+  // The checker must see the snapshot before any of the drain's pushes;
+  // the queue handoff below orders the emissions.
+  if (auto* chk = pm_->checker()) chk->on_pipeline_seal(sealed, page_lines);
+
+  {
+    std::lock_guard plock(pipe_mu_);
+    ++pipe_stats_.async_persists;
+    pipe_stats_.pages_snapshotted += job.pages.size();
+    pipe_queue_.push_back(std::move(job));
+    const std::uint64_t occupancy =
+        pipe_queue_.size() + (pipe_inflight_ ? 1 : 0);
+    pipe_stats_.queue_occupancy_sum += occupancy;
+    pipe_stats_.queue_occupancy_max =
+        std::max(pipe_stats_.queue_occupancy_max, occupancy);
+  }
+  pipe_work_cv_.notify_one();
+  return sealed;
+}
+
+Result<Epoch> PaxRuntime::wait_for_pipeline_epoch(Epoch epoch) {
+  std::unique_lock plock(pipe_mu_);
+  pipe_cv_.wait(plock, [this, epoch] {
+    return !pipe_error_.is_ok() || pipe_committed_ >= epoch;
+  });
+  if (pipe_committed_ >= epoch) return epoch;
+  return pipe_error_;
+}
+
+void PaxRuntime::drain_worker_loop() {
+  std::unique_lock plock(pipe_mu_);
+  for (;;) {
+    pipe_work_cv_.wait(plock, [this] {
+      return stop_drain_ || (!pipe_queue_.empty() && pipe_error_.is_ok());
+    });
+    // Stopping abandons queued snapshots: destruction without their commit
+    // behaves like a crash, exactly like the flusher's shutdown.
+    if (stop_drain_) return;
+    PipelineJob job = std::move(pipe_queue_.front());
+    pipe_queue_.pop_front();
+    pipe_inflight_ = true;
+    plock.unlock();
+    const Status st = drain_one(job);
+    plock.lock();
+    pipe_inflight_ = false;
+    if (st.is_ok()) {
+      pipe_committed_ = job.epoch;
+      ++pipe_stats_.jobs_drained;
+    } else if (pipe_error_.is_ok()) {
+      pipe_error_ = st;
+    }
+    pipe_cv_.notify_all();
+  }
+}
+
+Status PaxRuntime::drain_one(const PipelineJob& job) {
+  auto* chk = pm_->checker();
+  RuntimeStats delta;
+  SyncStats sdelta;
+  Status status = Status::ok();
+
+  const std::size_t batch_lines = std::max<std::size_t>(1, sync_batch_lines_);
+  std::vector<device::LineUpdate> batch;
+  batch.reserve(batch_lines);
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::ok();
+    ++delta.device_calls;
+    ++delta.sync_batches;
+    Status st = device_->sync_lines(batch);
+    batch.clear();
+    if (!st.is_ok()) {
+      if (chk != nullptr) chk->on_sync_batch_fail();
+      return st;
+    }
+    if (chk != nullptr) chk->on_sync_batch_ok();
+    return Status::ok();
+  };
+
+  std::array<LineIndex, kLinesPerPage> cand;
+  std::array<std::size_t, kLinesPerPage> slot;
+  std::array<LineData, kLinesPerPage> shadow;
+  for (const PipelinePageSnap& snap : job.pages) {
+    ++delta.pages_diffed;
+    ++sdelta.pages_scanned;
+    std::size_t n = 0;
+    for (std::size_t l = 0; l < kLinesPerPage; ++l) {
+      if ((snap.want >> l) & 1) {
+        cand[n] = region_line_to_pool_line(snap.page, l);
+        slot[n] = l;
+        ++n;
+      }
+    }
+    sdelta.lines_skipped += kLinesPerPage - n;
+    if (n == 0) continue;
+    ++delta.device_calls;
+    device_->peek_lines(std::span(cand.data(), n),
+                        std::span(shadow.data(), n));
+    for (std::size_t i = 0; i < n && status.is_ok(); ++i) {
+      ++delta.lines_diff_checked;
+      ++sdelta.lines_diffed;
+      const LineData cur = LineData::from_bytes(
+          {snap.bytes.get() + slot[i] * kCacheLineSize, kCacheLineSize});
+      if (cur == shadow[i]) continue;
+      ++delta.lines_dirty_found;
+      ++sdelta.lines_synced;
+      if (chk != nullptr) chk->on_sync_push(cand[i].value);
+      batch.push_back({cand[i], cur});
+      if (batch.size() >= batch_lines) status = flush();
+    }
+    if (!status.is_ok()) break;
+  }
+  if (status.is_ok()) status = flush();
+
+  if (status.is_ok()) {
+    // Seal pulls the epoch-boundary image from the SNAPSHOT: the live
+    // region already carries epoch N+1. Every line the device logged this
+    // epoch was pushed from this job, so the fallback is defensive only.
+    std::unordered_map<std::uint64_t, const PipelinePageSnap*> by_page;
+    by_page.reserve(job.pages.size());
+    for (const PipelinePageSnap& snap : job.pages) {
+      by_page.emplace(snap.page.value, &snap);
+    }
+    auto pull = [this, &by_page](LineIndex line) -> std::optional<LineData> {
+      const PoolOffset off = line.byte_offset() - pool_->data_offset();
+      const auto it = by_page.find(off / kPageSize);
+      if (it != by_page.end()) {
+        return LineData::from_bytes(
+            {it->second->bytes.get() + off % kPageSize, kCacheLineSize});
+      }
+      return LineData::from_bytes({region_->base() + off, kCacheLineSize});
+    };
+    auto sealed = device_->seal_epoch(pull);
+    if (!sealed.ok()) {
+      status = sealed.status();
+    } else {
+      PAX_CHECK_MSG(sealed.value() == job.epoch,
+                    "pipeline epoch numbering diverged from the device");
+      auto committed = device_->commit_sealed();
+      if (!committed.ok()) status = committed.status();
+    }
+  }
+
+  if (!status.is_ok()) {
+    // Snapshot-time digests describe content the device may not hold now;
+    // drop the job's pages back to the full-compare path.
+    for (const PipelinePageSnap& snap : job.pages) {
+      region_->invalidate_line_digests(snap.page);
+    }
+  }
+
+  std::lock_guard plock(pipe_mu_);
+  pipe_rt_delta_.pages_diffed += delta.pages_diffed;
+  pipe_rt_delta_.lines_diff_checked += delta.lines_diff_checked;
+  pipe_rt_delta_.lines_dirty_found += delta.lines_dirty_found;
+  pipe_rt_delta_.device_calls += delta.device_calls;
+  pipe_rt_delta_.sync_batches += delta.sync_batches;
+  pipe_sync_delta_.pages_scanned += sdelta.pages_scanned;
+  pipe_sync_delta_.lines_diffed += sdelta.lines_diffed;
+  pipe_sync_delta_.lines_skipped += sdelta.lines_skipped;
+  pipe_sync_delta_.lines_synced += sdelta.lines_synced;
+  return status;
 }
 
 void PaxRuntime::read_snapshot(PoolOffset region_offset,
@@ -586,13 +871,37 @@ void PaxRuntime::read_snapshot(PoolOffset region_offset,
 RuntimeStats PaxRuntime::stats() const {
   std::lock_guard lock(sync_mu_);
   const check::LockToken sync_token = sync_lock_token();
-  return stats_;
+  RuntimeStats out = stats_;
+  if (pipeline_depth_ > 0) {
+    // Fold in the drain worker's contribution (it never touches stats_
+    // directly — sync_mu_ is off-limits to it).
+    std::lock_guard plock(pipe_mu_);
+    out.pages_diffed += pipe_rt_delta_.pages_diffed;
+    out.lines_diff_checked += pipe_rt_delta_.lines_diff_checked;
+    out.lines_dirty_found += pipe_rt_delta_.lines_dirty_found;
+    out.device_calls += pipe_rt_delta_.device_calls;
+    out.sync_batches += pipe_rt_delta_.sync_batches;
+  }
+  return out;
 }
 
 SyncStats PaxRuntime::sync_stats() const {
   std::lock_guard lock(sync_mu_);
   const check::LockToken sync_token = sync_lock_token();
-  return sync_stats_;
+  SyncStats out = sync_stats_;
+  if (pipeline_depth_ > 0) {
+    std::lock_guard plock(pipe_mu_);
+    out.pages_scanned += pipe_sync_delta_.pages_scanned;
+    out.lines_diffed += pipe_sync_delta_.lines_diffed;
+    out.lines_skipped += pipe_sync_delta_.lines_skipped;
+    out.lines_synced += pipe_sync_delta_.lines_synced;
+  }
+  return out;
+}
+
+PipelineStats PaxRuntime::pipeline_stats() const {
+  std::lock_guard plock(pipe_mu_);
+  return pipe_stats_;
 }
 
 }  // namespace pax::libpax

@@ -26,11 +26,13 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "pax/check/checker.hpp"
 #include "pax/common/status.hpp"
@@ -86,6 +88,26 @@ struct RuntimeOptions {
   bool adaptive_sync = false;
   std::size_t adaptive_pin_batch_lines = 0;  // 0 = adapt batch size
   unsigned adaptive_pin_workers = 0;         // 0 = adapt worker count
+  /// EWMA smoothing factor for the tuner's density/contention signals
+  /// (SyncTunerConfig::ewma_alpha): 1.0 = raw samples, lower values damp
+  /// epoch-to-epoch oscillation on alternating dense/sparse workloads.
+  double adaptive_ewma_alpha = 1.0;
+  /// Relative hysteresis band for tuner decisions
+  /// (SyncTunerConfig::hysteresis): 0 = every derivation is adopted.
+  double adaptive_hysteresis = 0.0;
+  /// Pipelined epochs: persist_async() swaps the dirty set into an
+  /// O(dirty-pages) snapshot, re-arms page protection, and returns
+  /// immediately; a background drain worker runs diff → sync_lines → seal →
+  /// commit per queued snapshot, overlapping persist(N) with mutation of
+  /// N+1. The value bounds the drain queue (snapshots enqueued or in
+  /// flight); persist_async back-pressures only when it is full. 0 keeps
+  /// the non-pipelined behavior above, bit for bit.
+  std::size_t pipeline_depth = 0;
+  /// Lock-free undo-append ring (device.log_ring_slots passthrough): > 0
+  /// switches each log bank's hot-path appends from the log mutex to a
+  /// bounded MPMC ring of this many pre-framed slots (rounded up to a power
+  /// of two). 0 keeps the mutex append path.
+  std::size_t log_ring_slots = 0;
 
   /// `base` with every source of scheduling nondeterminism pinned: no
   /// flusher thread, single-threaded diff and device persist workers, and
@@ -132,6 +154,20 @@ struct SyncStats {
   unsigned last_diff_workers = 0;
 };
 
+/// Epoch-pipeline observability (all zero unless pipeline_depth > 0).
+struct PipelineStats {
+  std::uint64_t async_persists = 0;   // snapshots enqueued
+  std::uint64_t jobs_drained = 0;     // snapshots fully committed
+  std::uint64_t pages_snapshotted = 0;
+  /// persist_async calls that blocked because the drain queue was full.
+  std::uint64_t backpressure_waits = 0;
+  /// Drain-queue occupancy (queued + in flight, including the new
+  /// snapshot) sampled at each enqueue: sum for the mean, and the
+  /// high-water mark.
+  std::uint64_t queue_occupancy_sum = 0;
+  std::uint64_t queue_occupancy_max = 0;
+};
+
 class PaxRuntime {
  public:
   /// Opens (creating or recovering) a pool file of `pool_size` bytes.
@@ -172,7 +208,9 @@ class PaxRuntime {
   std::size_t vpm_size() const { return region_->size(); }
 
   /// Commits everything modified since the last persist() as one atomic
-  /// snapshot (§3.3). Call only while no thread is mutating vPM.
+  /// snapshot (§3.3). Call only while no thread is mutating vPM. With
+  /// pipeline_depth > 0 this is persist_async() + a wait for that epoch's
+  /// drain to commit (earlier queued epochs commit first, in order).
   Result<Epoch> persist();
 
   /// Non-blocking persist (the paper's §6 extension): captures the epoch's
@@ -180,11 +218,24 @@ class PaxRuntime {
   /// sealed epoch number without waiting for any durable work. The commit
   /// completes on the next sync_step() (the background flusher does this),
   /// complete_persist(), or persist(). Until then the sealed epoch is NOT
-  /// yet crash-durable. Same quiescence contract as persist().
+  /// yet crash-durable. Same quiescence contract as persist() — but only
+  /// for the duration of the call: mutation of the next epoch may resume
+  /// the moment it returns.
+  ///
+  /// With pipeline_depth > 0 the call does no device work at all: it swaps
+  /// the dirty set (page snapshot + candidate bitmaps + digests) into a
+  /// sealed-epoch snapshot in O(dirty pages), re-arms write protection, and
+  /// hands the snapshot to the background drain worker, which runs the
+  /// diff → sync_lines → undo-durable → seal → commit sequence while the
+  /// application mutates epoch N+1. Blocks only when pipeline_depth
+  /// snapshots are already outstanding (back-pressure), or to surface a
+  /// sticky drain error.
   Result<Epoch> persist_async();
 
   /// Completes a pending non-blocking persist; returns the now-committed
-  /// epoch (or the last committed epoch if nothing was pending).
+  /// epoch (or the last committed epoch if nothing was pending). With
+  /// pipeline_depth > 0 this waits for the OLDEST outstanding snapshot's
+  /// commit (one queue head, not the whole queue).
   Result<Epoch> complete_persist();
 
   /// Snapshot-isolated read: copies [offset, offset+out.size()) of the vPM
@@ -214,6 +265,7 @@ class PaxRuntime {
   }
   RuntimeStats stats() const;
   SyncStats sync_stats() const;
+  PipelineStats pipeline_stats() const;
 
  private:
   PaxRuntime() = default;
@@ -242,6 +294,37 @@ class PaxRuntime {
   /// otherwise the full page shadow is fetched and the digests (re)seeded.
   Status sync_pages_batched(const std::vector<PageIndex>& pages,
                             std::size_t batch_lines, unsigned workers);
+
+  // --- Epoch pipeline (pipeline_depth > 0) --------------------------------
+  //
+  // Double-buffered dirty sets: persist_async snapshots the active dirty
+  // set (page bytes, want-bitmaps, digests advanced to the snapshot) into a
+  // PipelineJob and re-arms protection; the region's live bitmaps then
+  // track epoch N+1 while the drain worker replays the snapshot against the
+  // device. Lock order: sync_mu_ (app side) > pipe_mu_ (queue state); the
+  // drain worker takes ONLY pipe_mu_, so an app thread may block on the
+  // pipeline CVs while holding sync_mu_ without deadlocking it.
+
+  struct PipelinePageSnap {
+    PageIndex page{0};
+    /// Lines to examine against the device shadow: candidate bits plus
+    /// snapshot-vs-digest mismatches (all lines when digests were invalid).
+    std::uint64_t want = 0;
+    std::unique_ptr<std::byte[]> bytes;  // kPageSize copy, quiesced
+  };
+  struct PipelineJob {
+    Epoch epoch = 0;
+    std::vector<PipelinePageSnap> pages;
+  };
+
+  /// persist_async body once sync_mu_ is held and pipelining is on.
+  Result<Epoch> persist_async_pipelined();
+  /// Waits (pipe_mu_ CVs) until `epoch` committed or the pipeline failed.
+  Result<Epoch> wait_for_pipeline_epoch(Epoch epoch);
+  void drain_worker_loop();
+  /// Diff snapshot vs device shadow, push, seal (pulling from the
+  /// snapshot), commit. Runs on the drain worker; takes no runtime locks.
+  Status drain_one(const PipelineJob& job);
 
   /// PaxCheck discipline event for sync_mu_ (construct right after locking
   /// it). The id distinguishes runtimes sharing one checker.
@@ -289,6 +372,24 @@ class PaxRuntime {
   std::uint64_t tuner_window_lines_ = 0;
   std::uint64_t tuner_window_lock_acq_ = 0;
   std::uint64_t tuner_window_lock_con_ = 0;
+
+  // Epoch pipeline. All fields below pipe_mu_ are guarded by it; the drain
+  // worker never takes sync_mu_ (see the lock-order note above).
+  std::size_t pipeline_depth_ = 0;
+  mutable std::mutex pipe_mu_;
+  std::condition_variable pipe_cv_;       // producers + commit waiters
+  std::condition_variable pipe_work_cv_;  // wakes the drain worker
+  std::deque<PipelineJob> pipe_queue_;
+  bool pipe_inflight_ = false;     // worker holds a popped job
+  Epoch pipe_next_epoch_ = 0;      // epoch the next snapshot will seal
+  Epoch pipe_committed_ = 0;       // last epoch committed via the pipeline
+  Status pipe_error_ = Status::ok();  // sticky first drain failure
+  PipelineStats pipe_stats_;
+  // Drain-side stat deltas, folded into stats()/sync_stats() on read.
+  RuntimeStats pipe_rt_delta_;
+  SyncStats pipe_sync_delta_;
+  std::thread drain_thread_;
+  bool stop_drain_ = false;  // under pipe_mu_
 
   std::thread flusher_;
   std::atomic<bool> stop_flusher_{false};

@@ -23,15 +23,32 @@ SyncTuner::SyncTuner(const SyncTunerConfig& config) : config_(config) {
   PAX_CHECK_MSG(config_.max_workers >= 1, "SyncTuner needs >= 1 worker");
   PAX_CHECK_MSG(config_.contention_low <= config_.contention_high,
                 "SyncTuner contention thresholds inverted");
+  PAX_CHECK_MSG(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+                "SyncTuner ewma_alpha must be in (0, 1]");
+  PAX_CHECK_MSG(config_.hysteresis >= 0.0,
+                "SyncTuner hysteresis must be >= 0");
 }
 
-SyncDecision SyncTuner::decide(const SyncObservation& obs) const {
+SyncDecision SyncTuner::decide(const SyncObservation& obs) {
   SyncDecision d;
 
   // Expected dirty-line volume this epoch: the dirty-set size is exact; the
   // density is last epoch's measurement (>= 1 line per dirty page by
-  // construction — a page cannot be dirty without a store).
-  const double density = std::max(1.0, obs.lines_per_page);
+  // construction — a page cannot be dirty without a store). Density and
+  // contention are trailing rates, so they are the signals worth smoothing;
+  // dirty_pages is exact for THIS epoch and passes through unfiltered.
+  const double raw_density = std::max(1.0, obs.lines_per_page);
+  const double raw_contention = std::clamp(obs.stripe_contention, 0.0, 1.0);
+  if (!have_state_) {
+    ewma_density_ = raw_density;
+    ewma_contention_ = raw_contention;
+  } else {
+    ewma_density_ = config_.ewma_alpha * raw_density +
+                    (1.0 - config_.ewma_alpha) * ewma_density_;
+    ewma_contention_ = config_.ewma_alpha * raw_contention +
+                       (1.0 - config_.ewma_alpha) * ewma_contention_;
+  }
+  const double density = ewma_density_;
   const double expected_lines =
       static_cast<double>(obs.dirty_pages) * density;
 
@@ -58,7 +75,7 @@ SyncDecision SyncTuner::decide(const SyncObservation& obs) const {
     const std::size_t by_pages = obs.dirty_pages / 32;
     unsigned w = static_cast<unsigned>(std::clamp<std::size_t>(
         by_pages, 1, config_.max_workers));
-    const double c = std::clamp(obs.stripe_contention, 0.0, 1.0);
+    const double c = ewma_contention_;
     if (c > config_.contention_low) {
       const double span =
           std::max(1e-9, config_.contention_high - config_.contention_low);
@@ -69,6 +86,29 @@ SyncDecision SyncTuner::decide(const SyncObservation& obs) const {
     }
     d.workers = w;
   }
+
+  // Hysteresis: hold the previous decision unless the fresh derivation
+  // escapes the relative band around it. Applied per unpinned knob (a pin
+  // already freezes its knob outright).
+  if (have_state_ && config_.hysteresis > 0.0) {
+    if (config_.pinned_batch_lines == 0 && last_.batch_lines != 0) {
+      const double delta = std::fabs(static_cast<double>(d.batch_lines) -
+                                     static_cast<double>(last_.batch_lines));
+      if (delta <= config_.hysteresis *
+                       static_cast<double>(last_.batch_lines)) {
+        d.batch_lines = last_.batch_lines;
+      }
+    }
+    if (config_.pinned_workers == 0 && last_.workers != 0) {
+      const double delta = std::fabs(static_cast<double>(d.workers) -
+                                     static_cast<double>(last_.workers));
+      if (delta <= config_.hysteresis * static_cast<double>(last_.workers)) {
+        d.workers = last_.workers;
+      }
+    }
+  }
+  have_state_ = true;
+  last_ = d;
   return d;
 }
 

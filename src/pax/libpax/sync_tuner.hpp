@@ -19,9 +19,14 @@
 //     reports stripe contention — extra diff threads that serialize on
 //     stripe mutexes burn CPU without moving lines.
 //
-// decide() is a pure function of its observation: deterministic, trivially
-// unit-testable (monotonicity in each signal is part of the contract), and
-// free of feedback state beyond what the caller chooses to feed it. Static
+// With the default config, decide() behaves as a pure function of its
+// observation: deterministic, trivially unit-testable (monotonicity in each
+// signal is part of the contract). Two opt-in feedback mechanisms damp
+// workloads whose signals alternate epoch to epoch (a dense epoch followed
+// by a sparse one would otherwise flap the batch size between its extremes
+// every persist): `ewma_alpha` low-pass-filters the density and contention
+// signals across calls, and `hysteresis` keeps the previous decision until
+// the newly derived knob moves outside a relative band around it. Static
 // knobs remain overrides: a pinned value is returned verbatim and only the
 // unpinned knob adapts.
 #pragma once
@@ -47,6 +52,19 @@ struct SyncTunerConfig {
   double contention_low = 0.02;
   /// Ratio at (and beyond) which the fan-out collapses to a single worker.
   double contention_high = 0.5;
+  /// EWMA smoothing factor for the density and contention signals:
+  /// smoothed = alpha * observed + (1 - alpha) * previous. 1.0 (default)
+  /// disables smoothing — every decision sees the raw sample. Lower values
+  /// damp one-epoch spikes so alternating dense/sparse epochs converge on a
+  /// stable knob instead of oscillating. dirty_pages is never smoothed: it
+  /// is exact for the epoch being synced, not a trailing estimate.
+  double ewma_alpha = 1.0;
+  /// Relative hysteresis band around the previous decision: an unpinned
+  /// knob only moves when the newly derived value differs from the last
+  /// returned one by MORE than hysteresis * last (0 = disabled, 0.5 = the
+  /// knob must change by over ±50% to move). Suppresses flapping across a
+  /// power-of-two boundary that smoothing alone cannot remove.
+  double hysteresis = 0.0;
 };
 
 /// One epoch's observed signals. lines_per_page and stripe_contention are
@@ -74,11 +92,19 @@ class SyncTuner {
   ///     lines_per_page, clamped to [min_batch_lines, max_batch_lines];
   ///   * workers is monotone non-decreasing in dirty_pages and monotone
   ///     non-increasing in stripe_contention, in [1, max_workers];
-  ///   * a pinned knob is returned verbatim.
-  SyncDecision decide(const SyncObservation& obs) const;
+  ///   * a pinned knob is returned verbatim;
+  ///   * with ewma_alpha = 1.0 and hysteresis = 0 (the defaults) the result
+  ///     depends only on `obs`, never on earlier calls.
+  SyncDecision decide(const SyncObservation& obs);
 
  private:
   SyncTunerConfig config_;
+
+  // Feedback state, inert under the default config.
+  bool have_state_ = false;
+  double ewma_density_ = 0.0;
+  double ewma_contention_ = 0.0;
+  SyncDecision last_{};
 };
 
 }  // namespace pax::libpax

@@ -15,7 +15,24 @@ namespace {
 
 // Fixed mapping hint so persistent raw pointers survive restarts. Regions
 // are placed sequentially from here (multiple pools in one process).
+//
+// TSan's x86-64 address layout reserves 0x0100'0000'0000-0x2000'0000'0000
+// for shadow memory and its interposed mmap rejects mappings outside the
+// app ranges, so TSan builds place regions in TSan's low app range
+// (0x1000-0x0080'0000'0000) instead. Pointer stability across restarts
+// holds within each build flavor, which is all the tests need.
+#if defined(__SANITIZE_THREAD__)
+#define PAX_VPM_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PAX_VPM_UNDER_TSAN 1
+#endif
+#endif
+#ifdef PAX_VPM_UNDER_TSAN
+constexpr std::uintptr_t kVpmBaseHint = 0x0040'0000'0000ULL;
+#else
 constexpr std::uintptr_t kVpmBaseHint = 0x2000'0000'0000ULL;
+#endif
 
 // Registry of live regions consulted by the global SIGSEGV handler.
 // Fixed-size atomic slots: the handler can read it lock-free at any moment

@@ -118,6 +118,15 @@ class VpmRegion {
   void mark_line_digests_valid(PageIndex page) {
     digests_valid_[page.value].store(1, std::memory_order_release);
   }
+  /// Drops the page back to the full-compare path (its next diff reseeds
+  /// every digest). The pipelined runtime calls this when a drain job fails
+  /// after snapshot-time digests were already advanced: invalidating is
+  /// always safe — it only costs one full-page compare.
+  void invalidate_line_digests(PageIndex page) {
+    if (track_lines_) {
+      digests_valid_[page.value].store(0, std::memory_order_release);
+    }
+  }
 
   /// Candidate-line bitmap: bit l set means line l must be memcmp'd against
   /// the device shadow regardless of its digest (set by the fault handler

@@ -85,6 +85,14 @@ struct ModelParams {
   /// commit overlaps with subsequent ops (consuming PM bandwidth async).
   bool pax_async_persist = false;
   double pax_seal_cost_ns = 2000;          // seal: pulls + bank switch
+  /// Pipelined epochs (takes precedence over pax_async_persist): the
+  /// boundary op pays only the O(dirty-pages) dirty-set swap; a single
+  /// background drain worker serializes the full persists, and the boundary
+  /// op stalls only when the bounded drain queue is full (back-pressure).
+  /// Mirrors RuntimeOptions::pipeline_depth in the host runtime.
+  bool pax_pipelined_epochs = false;
+  unsigned pax_pipeline_depth = 1;    // snapshots queued or in flight
+  double pax_swap_cost_ns = 400;      // dirty-set swap + page re-protection
 
   // Page-WAL baseline.
   double pagewal_trap_ns = 1500.0;       // write-protection fault (§1)

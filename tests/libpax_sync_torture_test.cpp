@@ -109,9 +109,10 @@ std::vector<std::byte> run_and_recover(pmem::PmemDevice* pm,
   return image;
 }
 
-// The three sync-path configurations whose recoveries must be bit-identical:
-// the pre-batching per-line path, the PR 2 batched path, and the PR 3
-// line-tracked + adaptive path.
+// The four sync-path configurations whose recoveries must be bit-identical:
+// the pre-batching per-line path, the batched path, the line-tracked +
+// adaptive path, and the pipelined-epoch path (snapshot drains racing the
+// resumed mutators, undo appends through the lock-free ring).
 RuntimeOptions legacy_config() {
   RuntimeOptions o;
   o.start_flusher_thread = true;
@@ -137,17 +138,27 @@ RuntimeOptions tracked_config() {
   return o;
 }
 
+RuntimeOptions pipelined_config() {
+  RuntimeOptions o = tracked_config();
+  o.pipeline_depth = 2;
+  o.log_ring_slots = 128;
+  return o;
+}
+
 void run_all_configs_and_compare(const pmem::CrashConfig& crash,
                                  const char* mode) {
   auto pm_a = pmem::PmemDevice::create_in_memory(kPool);
   auto pm_b = pmem::PmemDevice::create_in_memory(kPool);
   auto pm_c = pmem::PmemDevice::create_in_memory(kPool);
+  auto pm_d = pmem::PmemDevice::create_in_memory(kPool);
   const std::vector<std::byte> legacy_image =
       run_and_recover(pm_a.get(), legacy_config(), crash);
   const std::vector<std::byte> batched_image =
       run_and_recover(pm_b.get(), batched_config(), crash);
   const std::vector<std::byte> tracked_image =
       run_and_recover(pm_c.get(), tracked_config(), crash);
+  const std::vector<std::byte> pipelined_image =
+      run_and_recover(pm_d.get(), pipelined_config(), crash);
 
   // Every slab byte holds the final round's pattern; the 0xEE garbage died
   // (dropped outright, or rolled back off its undo record if it survived).
@@ -162,6 +173,7 @@ void run_all_configs_and_compare(const pmem::CrashConfig& crash,
   // And all sync paths recovered identical state.
   EXPECT_EQ(legacy_image, batched_image) << mode;
   EXPECT_EQ(legacy_image, tracked_image) << mode;
+  EXPECT_EQ(legacy_image, pipelined_image) << mode;
 }
 
 TEST(HostSyncTortureTest, RacingFlusherRecoversLastPersistedRound) {

@@ -194,6 +194,30 @@ TEST_F(ThroughputShape, PageWalTrapsHurtSparseWorkloads) {
   EXPECT_GT(pax / pagewal, 2.0);
 }
 
+TEST_F(ThroughputShape, PipelinedEpochsBeatBlockingPersistAt32Cores) {
+  // The pipelined-epoch extrapolation the runtime cannot measure on one
+  // core: at 32 threads with frequent persists, overlapping persist(N)
+  // with mutation of N+1 must outperform blocking persists and come close
+  // to (or beat) the §6 seal-only async mode, while staying deterministic.
+  ModelParams p = params;
+  p.pax_persist_interval_ops = 256;  // make the boundary cost visible
+  const double blocking = simulate_mops(SystemKind::kPaxCxl, 32, p);
+  ModelParams piped = p;
+  piped.pax_pipelined_epochs = true;
+  piped.pax_pipeline_depth = 2;
+  const double pipelined = simulate_mops(SystemKind::kPaxCxl, 32, piped);
+  EXPECT_GT(pipelined, blocking * 1.05);
+
+  // Deeper queues can only help (monotone in depth, up to saturation).
+  ModelParams deep = piped;
+  deep.pax_pipeline_depth = 8;
+  EXPECT_GE(simulate_mops(SystemKind::kPaxCxl, 32, deep),
+            pipelined * 0.999);
+
+  // Determinism (the drain queue must not introduce any).
+  EXPECT_EQ(pipelined, simulate_mops(SystemKind::kPaxCxl, 32, piped));
+}
+
 TEST_F(ThroughputShape, DeterministicAcrossRuns) {
   const double a = simulate_mops(SystemKind::kPmdk, 16, params);
   const double b = simulate_mops(SystemKind::kPmdk, 16, params);

@@ -87,6 +87,60 @@ TEST(SyncTunerTest, PinnedKnobsReturnedVerbatim) {
             workers_pinned.decide(obs(65536, 64.0, 0.0)).batch_lines);
 }
 
+TEST(SyncTunerTest, SmoothingStopsAlternatingDensityOscillation) {
+  // A workload that alternates dense and sparse epochs at a fixed dirty-set
+  // size. Raw, the tuner flaps the batch size between its extremes every
+  // call; with EWMA smoothing plus hysteresis it must settle after a short
+  // warm-up and never move again.
+  constexpr std::size_t kPages = 512;
+  constexpr int kRounds = 40;
+  constexpr int kWarmup = 8;
+  const auto density_at = [](int i) { return (i % 2 == 0) ? 64.0 : 1.0; };
+
+  SyncTuner raw;  // defaults: alpha 1.0, hysteresis 0 — stateless
+  std::size_t raw_changes = 0;
+  std::size_t raw_prev = raw.decide(obs(kPages, density_at(0), 0.0)).batch_lines;
+  for (int i = 1; i < kRounds; ++i) {
+    const std::size_t b = raw.decide(obs(kPages, density_at(i), 0.0)).batch_lines;
+    if (b != raw_prev) ++raw_changes;
+    raw_prev = b;
+  }
+  EXPECT_GT(raw_changes, 30u);  // flaps essentially every epoch
+
+  SyncTunerConfig cfg;
+  cfg.ewma_alpha = 0.1;
+  cfg.hysteresis = 1.0;
+  SyncTuner smoothed(cfg);
+  std::size_t changes = 0;
+  std::size_t prev = 0;
+  unsigned wprev = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    const SyncDecision d = smoothed.decide(obs(kPages, density_at(i), 0.0));
+    if (i > kWarmup && (d.batch_lines != prev || d.workers != wprev)) {
+      ++changes;
+    }
+    prev = d.batch_lines;
+    wprev = d.workers;
+  }
+  EXPECT_EQ(changes, 0u);
+}
+
+TEST(SyncTunerTest, DefaultConfigStaysStateless) {
+  // Interleave wildly different observations through ONE default tuner and
+  // check each answer matches a fresh tuner's: the feedback state must be
+  // inert unless explicitly enabled.
+  SyncTuner shared;
+  for (int i = 0; i < 6; ++i) {
+    const SyncObservation o =
+        (i % 2 == 0) ? obs(1u << 18, 64.0, 0.0) : obs(4, 1.0, 0.9);
+    SyncTuner fresh;
+    const SyncDecision a = shared.decide(o);
+    const SyncDecision b = fresh.decide(o);
+    EXPECT_EQ(a.batch_lines, b.batch_lines) << "round " << i;
+    EXPECT_EQ(a.workers, b.workers) << "round " << i;
+  }
+}
+
 TEST(SyncTunerTest, DensityFloorsAtOneLinePerPage) {
   // A dirty page implies at least one dirty line; a zero/garbage density
   // observation must not drive the batch below what dirty_pages alone

@@ -18,12 +18,14 @@
 //                             over a recorded event stream (e.g. a crash-
 //                             exploration artifact); exit 1 on any violation
 //   paxctl explore [pages] [epochs] [--every N] [--max-points N] [--seed S]
-//                  [--artifacts DIR]   enumerate crash points of a
-//                             deterministic libpax workload: crash after
-//                             every N-th device event under drop_all /
+//                  [--artifacts DIR] [--pipelined]   enumerate crash points
+//                             of a deterministic libpax workload: crash
+//                             after every N-th device event under drop_all /
 //                             random / torn, recover, and audit each
 //                             recovery (PaxCheck + snapshot equivalence);
-//                             exit 1 on any finding
+//                             --pipelined runs the workload with the epoch
+//                             pipeline + undo-append ring active; exit 1 on
+//                             any finding
 //
 // Works on any pool produced by libpax, the pagewal baseline, or the
 // device-level API (they share the pool format).
@@ -56,7 +58,8 @@ int usage() {
                "       paxctl check [pages] [epochs]\n"
                "       paxctl check --replay <file.paxevt>\n"
                "       paxctl explore [pages] [epochs] [--every N] "
-               "[--max-points N] [--seed S] [--artifacts DIR]\n");
+               "[--max-points N] [--seed S] [--artifacts DIR] "
+               "[--pipelined]\n");
   return 2;
 }
 
@@ -399,17 +402,25 @@ int cmd_replay(const std::string& path) {
 
 int cmd_explore(std::size_t pages, int epochs, std::uint64_t every,
                 std::uint64_t max_points, std::uint64_t seed,
-                const std::string& artifact_dir) {
+                const std::string& artifact_dir, bool pipelined) {
   // The demo workload crash exploration enumerates: a full libpax stack
   // (attach, page mutation, blocking persists, crash-semantics teardown)
   // pinned deterministic so every re-execution counts the same events.
-  const auto workload = [pages, epochs](
+  // --pipelined runs it with the epoch pipeline (and the undo-append ring)
+  // active: persist() still waits for its own epoch, so the workload thread
+  // quiesces while the drain worker runs alone — the event sequence stays
+  // deterministic with the drain thread live at every crash point.
+  const auto workload = [pages, epochs, pipelined](
                             pmem::PmemDevice& dev,
                             check::CrashOracle& oracle) -> Status {
     libpax::RuntimeOptions opts;
     opts.log_size = 256 << 10;
     opts.track_lines = true;
     opts.vpm_base_hint = 0x7d00'0000'0000ULL;  // byte-identical snapshots
+    if (pipelined) {
+      opts.pipeline_depth = 1;
+      opts.log_ring_slots = 64;
+    }
     opts = libpax::RuntimeOptions::deterministic(opts);
     auto rt = libpax::PaxRuntime::attach(&dev, opts);
     if (!rt.ok()) return rt.status();
@@ -491,11 +502,14 @@ int main(int argc, char** argv) {
     int epochs = 3;
     std::uint64_t every = 1, max_points = 0, seed = 1;
     std::string artifacts;
+    bool pipelined = false;
     int positional = 0;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--every" && i + 1 < argc) {
         every = std::strtoull(argv[++i], nullptr, 0);
+      } else if (arg == "--pipelined") {
+        pipelined = true;
       } else if (arg == "--max-points" && i + 1 < argc) {
         max_points = std::strtoull(argv[++i], nullptr, 0);
       } else if (arg == "--seed" && i + 1 < argc) {
@@ -512,7 +526,8 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    return cmd_explore(pages, epochs, every, max_points, seed, artifacts);
+    return cmd_explore(pages, epochs, every, max_points, seed, artifacts,
+                       pipelined);
   }
   if (argc < 3) return usage();
 
