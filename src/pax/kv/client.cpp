@@ -1,0 +1,135 @@
+#include "pax/kv/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pax::kv {
+
+Result<KvClient> KvClient::connect(const std::string& host,
+                                   std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return io_error("socket failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return invalid_argument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return io_error(std::string("connect failed: ") + std::strerror(err));
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return KvClient(fd);
+}
+
+KvClient::~KvClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+KvClient::KvClient(KvClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      sendbuf_(std::move(other.sendbuf_)),
+      parser_(std::move(other.parser_)) {}
+
+KvClient& KvClient::operator=(KvClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    sendbuf_ = std::move(other.sendbuf_);
+    parser_ = std::move(other.parser_);
+  }
+  return *this;
+}
+
+void KvClient::send_get(std::string_view key) {
+  append_request(sendbuf_, OpCode::kGet, key);
+}
+
+void KvClient::send_put(std::string_view key, std::string_view value) {
+  append_request(sendbuf_, OpCode::kPut, key, value);
+}
+
+void KvClient::send_del(std::string_view key) {
+  append_request(sendbuf_, OpCode::kDel, key);
+}
+
+void KvClient::send_stats() {
+  append_request(sendbuf_, OpCode::kStats, {});
+}
+
+Status KvClient::flush() {
+  std::size_t off = 0;
+  while (off < sendbuf_.size()) {
+    const ssize_t n = send(fd_, sendbuf_.data() + off, sendbuf_.size() - off,
+                           MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error(std::string("send failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  sendbuf_.clear();
+  return Status::ok();
+}
+
+Result<OwnedResponse> KvClient::recv_response() {
+  for (;;) {
+    auto resp = parser_.next_response();
+    if (!resp.ok()) return resp.status();
+    if (resp.value().has_value()) {
+      OwnedResponse out;
+      out.status = resp.value()->status;
+      out.value.assign(resp.value()->value.data(),
+                       resp.value()->value.size());
+      return out;
+    }
+    std::byte buf[64 << 10];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return io_error("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error(std::string("recv failed: ") + std::strerror(errno));
+    }
+    parser_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Result<OwnedResponse> KvClient::roundtrip() {
+  PAX_RETURN_IF_ERROR(flush());
+  return recv_response();
+}
+
+Result<OwnedResponse> KvClient::get(std::string_view key) {
+  send_get(key);
+  return roundtrip();
+}
+
+Result<OwnedResponse> KvClient::put(std::string_view key,
+                                    std::string_view value) {
+  send_put(key, value);
+  return roundtrip();
+}
+
+Result<OwnedResponse> KvClient::del(std::string_view key) {
+  send_del(key);
+  return roundtrip();
+}
+
+Result<OwnedResponse> KvClient::stats() {
+  send_stats();
+  return roundtrip();
+}
+
+}  // namespace pax::kv

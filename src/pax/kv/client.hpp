@@ -1,0 +1,73 @@
+// KvClient — a small blocking client for the PaxKV wire protocol.
+//
+// Two usage styles:
+//
+//   * Synchronous: get()/put()/del()/stats() — send one request, flush,
+//     block for the response. What tests and simple tools want.
+//   * Pipelined: send_*() appends frames to an internal buffer; flush()
+//     writes them out in one syscall burst; recv_response() blocks for the
+//     next response in order. The load generator keeps `depth` requests in
+//     flight per connection this way — the server's in-flight window does
+//     the rest.
+//
+// Not thread safe: one KvClient per thread (connections are cheap).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pax/common/status.hpp"
+#include "pax/kv/protocol.hpp"
+
+namespace pax::kv {
+
+/// A response with owned storage (FrameParser views die on the next feed).
+struct OwnedResponse {
+  RespStatus status = RespStatus::kError;
+  std::string value;
+};
+
+class KvClient {
+ public:
+  static Result<KvClient> connect(const std::string& host,
+                                  std::uint16_t port);
+  ~KvClient();
+
+  KvClient(KvClient&& other) noexcept;
+  KvClient& operator=(KvClient&& other) noexcept;
+  KvClient(const KvClient&) = delete;
+  KvClient& operator=(const KvClient&) = delete;
+
+  // --- Pipelined interface ------------------------------------------------
+
+  /// Append a request frame to the send buffer (no I/O).
+  void send_get(std::string_view key);
+  void send_put(std::string_view key, std::string_view value);
+  void send_del(std::string_view key);
+  void send_stats();
+
+  /// Write the buffered frames to the socket.
+  Status flush();
+
+  /// Block until the next in-order response arrives.
+  Result<OwnedResponse> recv_response();
+
+  // --- Synchronous convenience --------------------------------------------
+
+  Result<OwnedResponse> get(std::string_view key);
+  Result<OwnedResponse> put(std::string_view key, std::string_view value);
+  Result<OwnedResponse> del(std::string_view key);
+  Result<OwnedResponse> stats();
+
+ private:
+  explicit KvClient(int fd) : fd_(fd) {}
+
+  Result<OwnedResponse> roundtrip();
+
+  int fd_ = -1;
+  std::vector<std::byte> sendbuf_;
+  FrameParser parser_;
+};
+
+}  // namespace pax::kv

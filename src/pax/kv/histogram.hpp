@@ -1,0 +1,87 @@
+// LatencyHistogram — HDR-style log-linear latency histogram.
+//
+// Fixed 2048-bucket layout: values below 32 ns get exact buckets; above
+// that, each power-of-two range is split into 32 linear sub-buckets (5
+// significant bits), bounding relative quantization error at ~3% across
+// the full ns..minutes range. Recording is O(1) with no allocation, so
+// load-generator threads record on the request path and merge per-thread
+// histograms afterwards (tools/paxkv_loadgen.cpp, bench/abl_paxkv.cpp).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace pax::kv {
+
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t ns) {
+    ++buckets_[bucket_for(ns)];
+    ++count_;
+    sum_ns_ += ns;
+    max_ns_ = std::max(max_ns_, ns);
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ns_ += other.sum_ns_;
+    max_ns_ = std::max(max_ns_, other.max_ns_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_ns() const { return max_ns_; }
+  double mean_ns() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_ns_) /
+                                   static_cast<double>(count_);
+  }
+
+  /// Value (ns, bucket midpoint) at quantile `q` in [0, 1]; the recorded
+  /// maximum for q >= 1. 0 when empty.
+  std::uint64_t percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q >= 1.0) return max_ns_;
+    if (q < 0.0) q = 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return bucket_value(i);
+    }
+    return max_ns_;
+  }
+
+ private:
+  static constexpr std::size_t kSubBits = 5;  // 32 sub-buckets per octave
+  static constexpr std::size_t kSub = 1u << kSubBits;
+  static constexpr std::size_t kBuckets = 2048;
+
+  static std::size_t bucket_for(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBits;  // msb >= 5 here
+    const auto sub = static_cast<std::size_t>((v >> shift) & (kSub - 1));
+    const std::size_t idx = kSub + (msb - kSubBits) * kSub + sub;
+    return std::min(idx, kBuckets - 1);
+  }
+
+  static std::uint64_t bucket_value(std::size_t idx) {
+    if (idx < kSub) return idx;
+    const std::size_t octave = (idx - kSub) / kSub;
+    const std::uint64_t sub = (idx - kSub) % kSub;
+    const std::uint64_t lower = (kSub + sub) << octave;
+    return lower + ((1ull << octave) >> 1);  // midpoint of the sub-bucket
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace pax::kv

@@ -1,0 +1,147 @@
+#include "pax/kv/protocol.hpp"
+
+#include <algorithm>
+
+namespace pax::kv {
+
+namespace {
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint16_t get_u16(const std::byte* p) {
+  return static_cast<std::uint16_t>(std::to_integer<std::uint16_t>(p[0]) |
+                                    (std::to_integer<std::uint16_t>(p[1])
+                                     << 8));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | std::to_integer<std::uint32_t>(p[i]);
+  }
+  return v;
+}
+
+void put_bytes(std::vector<std::byte>& out, std::string_view s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+}  // namespace
+
+void append_request(std::vector<std::byte>& out, OpCode op,
+                    std::string_view key, std::string_view value) {
+  const std::uint32_t body =
+      static_cast<std::uint32_t>(kBodyHeaderBytes + key.size() + value.size());
+  put_u32(out, body);
+  out.push_back(static_cast<std::byte>(op));
+  out.push_back(std::byte{0});  // flags
+  put_u16(out, static_cast<std::uint16_t>(key.size()));
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  put_bytes(out, key);
+  put_bytes(out, value);
+}
+
+void append_response(std::vector<std::byte>& out, RespStatus status,
+                     std::string_view value) {
+  const std::uint32_t body =
+      static_cast<std::uint32_t>(kBodyHeaderBytes + value.size());
+  put_u32(out, body);
+  out.push_back(static_cast<std::byte>(status));
+  out.push_back(std::byte{0});  // flags
+  put_u16(out, 0);              // reserved
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  put_bytes(out, value);
+}
+
+void FrameParser::feed(const std::byte* data, std::size_t len) {
+  // Compact the consumed prefix before appending: buffered() bytes move at
+  // most once per feed, and returned views are documented to die here.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Result<std::optional<std::string_view>> FrameParser::next_body() {
+  if (buf_.size() - pos_ < kFrameHeaderBytes) {
+    return std::optional<std::string_view>{};
+  }
+  const std::uint32_t body_len = get_u32(buf_.data() + pos_);
+  if (body_len < kBodyHeaderBytes || body_len > kMaxBodyLen) {
+    return corruption("frame body length out of range");
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + body_len) {
+    return std::optional<std::string_view>{};
+  }
+  const auto* body =
+      reinterpret_cast<const char*>(buf_.data() + pos_ + kFrameHeaderBytes);
+  pos_ += kFrameHeaderBytes + body_len;
+  return std::optional<std::string_view>(std::string_view(body, body_len));
+}
+
+Result<std::optional<Request>> FrameParser::next_request() {
+  auto body = next_body();
+  if (!body.ok()) return body.status();
+  if (!body.value().has_value()) return std::optional<Request>{};
+  const std::string_view b = *body.value();
+
+  const auto* p = reinterpret_cast<const std::byte*>(b.data());
+  Request req;
+  const std::uint8_t op = std::to_integer<std::uint8_t>(p[0]);
+  if (op < static_cast<std::uint8_t>(OpCode::kGet) ||
+      op > static_cast<std::uint8_t>(OpCode::kStats)) {
+    return corruption("unknown opcode");
+  }
+  req.op = static_cast<OpCode>(op);
+  const std::uint16_t key_len = get_u16(p + 2);
+  const std::uint32_t val_len = get_u32(p + 4);
+  if (key_len > kMaxKeyLen || val_len > kMaxValLen ||
+      kBodyHeaderBytes + key_len + val_len != b.size()) {
+    return corruption("request lengths disagree with frame size");
+  }
+  if (req.op == OpCode::kPut) {
+    if (key_len == 0) return corruption("PUT without a key");
+  } else if (val_len != 0) {
+    return corruption("value on a non-PUT request");
+  }
+  if ((req.op == OpCode::kGet || req.op == OpCode::kDel) && key_len == 0) {
+    return corruption("GET/DEL without a key");
+  }
+  req.key = b.substr(kBodyHeaderBytes, key_len);
+  req.value = b.substr(kBodyHeaderBytes + key_len, val_len);
+  return std::optional<Request>(req);
+}
+
+Result<std::optional<Response>> FrameParser::next_response() {
+  auto body = next_body();
+  if (!body.ok()) return body.status();
+  if (!body.value().has_value()) return std::optional<Response>{};
+  const std::string_view b = *body.value();
+
+  const auto* p = reinterpret_cast<const std::byte*>(b.data());
+  Response resp;
+  const std::uint8_t status = std::to_integer<std::uint8_t>(p[0]);
+  if (status > static_cast<std::uint8_t>(RespStatus::kBadRequest)) {
+    return corruption("unknown response status");
+  }
+  resp.status = static_cast<RespStatus>(status);
+  const std::uint32_t val_len = get_u32(p + 4);
+  if (kBodyHeaderBytes + val_len != b.size()) {
+    return corruption("response lengths disagree with frame size");
+  }
+  resp.value = b.substr(kBodyHeaderBytes, val_len);
+  return std::optional<Response>(resp);
+}
+
+}  // namespace pax::kv

@@ -1,0 +1,106 @@
+// PaxKV wire protocol — length-prefixed binary frames.
+//
+// Every message is one frame: a 4-byte little-endian body length followed
+// by the body. Request and response bodies share an 8-byte fixed header so
+// a parser can validate a frame from the first 12 bytes:
+//
+//   Request body:   u8 op | u8 flags | u16 key_len | u32 val_len
+//                   | key bytes | val bytes
+//   Response body:  u8 status | u8 flags | u16 reserved | u32 val_len
+//                   | val bytes
+//
+// Ops: GET(1) DEL(3) carry a key only; PUT(2) carries key + value;
+// STATS(4) carries neither and answers with a JSON document in the value.
+// Responses are returned strictly in request order per connection, so a
+// client pipelines by writing N frames and reading N frames — no request
+// ids on the wire (docs/PROTOCOL.md, "PaxKV wire format").
+//
+// FrameParser is the server-side incremental decoder: feed() raw socket
+// bytes, then drain next() until it reports no complete frame. Returned
+// views alias the parser's buffer and stay valid until the next feed().
+// Malformed input (oversized frame, bad op, lengths that disagree) is a
+// kCorruption status — the connection is beyond resynchronization and must
+// be closed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "pax/common/status.hpp"
+
+namespace pax::kv {
+
+enum class OpCode : std::uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kDel = 3,
+  kStats = 4,
+};
+
+enum class RespStatus : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kError = 2,
+  kBadRequest = 3,
+};
+
+/// Frame-size discipline (enforced on both ends).
+inline constexpr std::size_t kFrameHeaderBytes = 4;  // the body-length word
+inline constexpr std::size_t kBodyHeaderBytes = 8;
+inline constexpr std::size_t kMaxKeyLen = 4096;
+inline constexpr std::size_t kMaxValLen = 1 << 20;
+inline constexpr std::size_t kMaxBodyLen =
+    kBodyHeaderBytes + kMaxKeyLen + kMaxValLen;
+
+struct Request {
+  OpCode op = OpCode::kGet;
+  std::string_view key;
+  std::string_view value;  // PUT only
+};
+
+struct Response {
+  RespStatus status = RespStatus::kOk;
+  std::string_view value;  // GET hit / STATS payload
+};
+
+/// Appends one encoded request frame to `out`.
+void append_request(std::vector<std::byte>& out, OpCode op,
+                    std::string_view key, std::string_view value = {});
+
+/// Appends one encoded response frame to `out`.
+void append_response(std::vector<std::byte>& out, RespStatus status,
+                     std::string_view value = {});
+
+/// Incremental frame decoder (one per connection). Parameterized over the
+/// body decoder so the same buffering logic serves requests (server) and
+/// responses (client).
+class FrameParser {
+ public:
+  /// Appends raw bytes from the socket. Invalidates views returned by
+  /// earlier next_*() calls.
+  void feed(const std::byte* data, std::size_t len);
+
+  /// Decodes the next complete request frame, if one is buffered.
+  /// nullopt = need more bytes; error status = unrecoverable framing.
+  Result<std::optional<Request>> next_request();
+
+  /// Decodes the next complete response frame, if one is buffered.
+  Result<std::optional<Response>> next_response();
+
+  /// Bytes buffered but not yet consumed by a next_*() call.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  /// Frames the next body: validates the length word, returns a view of
+  /// the body and consumes it. nullopt = incomplete.
+  Result<std::optional<std::string_view>> next_body();
+
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted on feed()
+};
+
+}  // namespace pax::kv

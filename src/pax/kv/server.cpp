@@ -1,0 +1,657 @@
+#include "pax/kv/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "pax/common/check.hpp"
+#include "pax/common/log.hpp"
+
+namespace pax::kv {
+
+namespace {
+
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeId = 1;
+
+const char* commit_mode_name(KvServerOptions::CommitMode mode) {
+  switch (mode) {
+    case KvServerOptions::CommitMode::kGroup:
+      return "group";
+    case KvServerOptions::CommitMode::kIndependent:
+      return "independent";
+    case KvServerOptions::CommitMode::kVolatile:
+      return "volatile";
+  }
+  return "?";
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<KvServer>> KvServer::start(
+    const KvServerOptions& options) {
+  auto server = std::unique_ptr<KvServer>(new KvServer());
+  server->options_ = options;
+
+  auto store = KvStore::create_in_memory(options.store);
+  if (!store.ok()) return store.status();
+  server->store_ = std::move(store).value();
+
+  PAX_RETURN_IF_ERROR(server->setup_listener(options));
+
+  server->epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (server->epoll_fd_ < 0) return io_error("epoll_create1 failed");
+  server->wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (server->wake_fd_ < 0) return io_error("eventfd failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  if (epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, server->listen_fd_, &ev) <
+      0) {
+    return io_error("epoll_ctl(listen) failed");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  if (epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, server->wake_fd_, &ev) < 0) {
+    return io_error("epoll_ctl(wake) failed");
+  }
+
+  const std::size_t shards = server->store_->shard_count();
+  server->workers_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    server->workers_.push_back(std::make_unique<ShardWorker>());
+  }
+  for (std::size_t i = 0; i < shards; ++i) {
+    server->workers_[i]->thread =
+        std::thread([srv = server.get(), i] { srv->worker_loop(i); });
+  }
+  if (options.commit_mode == KvServerOptions::CommitMode::kGroup) {
+    server->co_thread_ =
+        std::thread([srv = server.get()] { srv->coordinator_loop(); });
+  }
+  server->loop_thread_ =
+      std::thread([srv = server.get()] { srv->event_loop(); });
+
+  PAX_LOG_INFO("paxkv serving on %s:%u (%zu shards, %s commit)",
+               options.bind_address.c_str(), server->port_, shards,
+               commit_mode_name(options.commit_mode));
+  return server;
+}
+
+Status KvServer::setup_listener(const KvServerOptions& options) {
+  listen_fd_ =
+      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return io_error("socket failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return invalid_argument("bad bind address: " + options.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return io_error(std::string("bind failed: ") + std::strerror(errno));
+  }
+  if (listen(listen_fd_, 128) < 0) return io_error("listen failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    return io_error("getsockname failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::ok();
+}
+
+KvServer::~KvServer() { stop(); }
+
+void KvServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+
+  // Workers first: no new write acks get parked after they exit.
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // Coordinator flushes any still-parked acks in a final wave, then exits.
+  if (co_thread_.joinable()) {
+    {
+      std::lock_guard lock(co_mu_);
+      co_stop_ = true;
+    }
+    co_cv_.notify_all();
+    co_thread_.join();
+  }
+  stop_.store(true, std::memory_order_release);
+  wake_loop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  conns_.clear();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+}
+
+void KvServer::wake_loop() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void KvServer::event_loop() {
+  std::array<epoll_event, 64> events;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n =
+        epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                   /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      PAX_LOG_ERROR("epoll_wait: %s", std::strerror(errno));
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t id = events[static_cast<std::size_t>(i)].data.u64;
+      const std::uint32_t ev = events[static_cast<std::size_t>(i)].events;
+      if (id == kListenerId) {
+        accept_ready();
+        continue;
+      }
+      if (id == kWakeId) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        drain_completions();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Conn& conn = *it->second;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(id);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0) conn_writable(conn);
+      if ((ev & EPOLLIN) != 0) conn_readable(conn);
+    }
+  }
+}
+
+void KvServer::accept_ready() {
+  for (;;) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: try again on next tick
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = conn->id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(conn->id, std::move(conn));
+    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void KvServer::conn_readable(Conn& conn) {
+  const std::uint64_t id = conn.id;
+  std::byte buf[64 << 10];
+  for (;;) {
+    if (conn.paused_read) return;  // in-flight cap reached mid-loop
+    const ssize_t n = recv(conn.fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      close_conn(id);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_conn(id);
+      return;
+    }
+    bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                        std::memory_order_relaxed);
+    conn.parser.feed(buf, static_cast<std::size_t>(n));
+    for (;;) {
+      auto req = conn.parser.next_request();
+      if (!req.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        close_conn(id);
+        return;
+      }
+      if (!req.value().has_value()) break;
+      handle_request(conn, *req.value());
+    }
+    if (conn.inflight.size() >= options_.max_inflight_per_conn &&
+        !conn.paused_read) {
+      conn.paused_read = true;
+      update_epoll(conn);
+    }
+  }
+}
+
+void KvServer::handle_request(Conn& conn, const Request& req) {
+  const std::uint64_t seq = conn.next_seq++;
+  conn.inflight.emplace_back();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (req.op == OpCode::kStats) {
+    stats_requests_.fetch_add(1, std::memory_order_relaxed);
+    Pending& slot = conn.inflight.back();
+    append_response(slot.resp, RespStatus::kOk, stats_json());
+    slot.ready = true;
+    flush_conn(conn);
+    return;
+  }
+
+  Op op;
+  op.conn_id = conn.id;
+  op.seq = seq;
+  op.op = req.op;
+  op.key.assign(req.key);
+  op.value.assign(req.value);
+
+  ShardWorker& worker = *workers_[store_->shard_for(req.key)];
+  {
+    std::lock_guard lock(worker.mu);
+    worker.queue.push_back(std::move(op));
+  }
+  worker.cv.notify_one();
+}
+
+void KvServer::conn_writable(Conn& conn) { flush_conn(conn); }
+
+void KvServer::flush_conn(Conn& conn) {
+  // Move the ready prefix of the in-flight window into the output buffer —
+  // responses leave in request order, whatever order shards finished in.
+  while (!conn.inflight.empty() && conn.inflight.front().ready) {
+    Pending& front = conn.inflight.front();
+    conn.out.insert(conn.out.end(), front.resp.begin(), front.resp.end());
+    conn.inflight.pop_front();
+    ++conn.base_seq;
+  }
+
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = send(conn.fd, conn.out.data() + conn.out_off,
+                           conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(conn.id);
+      return;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+    bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                         std::memory_order_relaxed);
+  }
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  }
+
+  const bool want_write = conn.out_off < conn.out.size();
+  const bool pause = conn.inflight.size() >= options_.max_inflight_per_conn;
+  if (want_write != conn.want_write || pause != conn.paused_read) {
+    conn.want_write = want_write;
+    conn.paused_read = pause;
+    update_epoll(conn);
+  }
+}
+
+void KvServer::update_epoll(Conn& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLRDHUP;
+  if (!conn.paused_read) ev.events |= EPOLLIN;
+  if (conn.want_write) ev.events |= EPOLLOUT;
+  ev.data.u64 = conn.id;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void KvServer::close_conn(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second->fd);
+  conns_.erase(it);
+  conns_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void KvServer::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard lock(comp_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) continue;  // connection died with ops in flight
+    Conn& conn = *it->second;
+    const std::uint64_t idx = c.seq - conn.base_seq;
+    PAX_CHECK_MSG(idx < conn.inflight.size(),
+                  "completion outside the in-flight window");
+    Pending& slot = conn.inflight[static_cast<std::size_t>(idx)];
+    slot.resp = std::move(c.resp);
+    slot.ready = true;
+  }
+  // One flush pass per drained connection set (flushing per completion
+  // would re-walk the deque needlessly; ready-prefix flushing is cheap).
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    if (!conn->inflight.empty() && conn->inflight.front().ready) {
+      flush_conn(*conn);
+    }
+  }
+}
+
+void KvServer::complete(Completion completion) {
+  {
+    std::lock_guard lock(comp_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  wake_loop();
+}
+
+void KvServer::worker_loop(std::size_t shard) {
+  ShardWorker& worker = *workers_[shard];
+  const bool independent =
+      options_.commit_mode == KvServerOptions::CommitMode::kIndependent;
+  const bool group =
+      options_.commit_mode == KvServerOptions::CommitMode::kGroup;
+
+  std::unique_lock lock(worker.mu);
+  for (;;) {
+    worker.cv.wait(lock,
+                   [&worker] { return worker.stop || !worker.queue.empty(); });
+    if (worker.queue.empty()) {
+      if (worker.stop) return;
+      continue;
+    }
+    std::deque<Op> batch;
+    batch.swap(worker.queue);
+    lock.unlock();
+
+    std::vector<Completion> deferred;
+    std::vector<Completion> immediate;
+    for (const Op& op : batch) {
+      execute_op(shard, op, group || independent ? &deferred : nullptr);
+      // execute_op appends to `deferred` only for acked writes in durable
+      // modes; everything else lands on the completion queue right here.
+      (void)immediate;
+    }
+
+    if (!deferred.empty()) {
+      if (independent) {
+        // Per-shard commit: this shard alone, one log-flush round per
+        // worker batch. The group-commit baseline.
+        auto committed = store_->group().commit_one(shard);
+        if (!committed.ok()) {
+          for (Completion& c : deferred) {
+            c.resp.clear();
+            append_response(c.resp, RespStatus::kError);
+          }
+        }
+        {
+          std::lock_guard clock(comp_mu_);
+          for (Completion& c : deferred) {
+            completions_.push_back(std::move(c));
+          }
+        }
+        wake_loop();
+      } else {
+        // Group mode: park the acks with the coordinator; the next wave
+        // releases them.
+        std::lock_guard glock(co_mu_);
+        for (Completion& c : deferred) {
+          parked_writes_.push_back(std::move(c));
+        }
+        co_cv_.notify_one();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void KvServer::execute_op(std::size_t shard, const Op& op,
+                          std::vector<Completion>* deferred_writes) {
+  (void)shard;
+  Completion c;
+  c.conn_id = op.conn_id;
+  c.seq = op.seq;
+  bool durable_write = false;
+
+  switch (op.op) {
+    case OpCode::kGet: {
+      gets_.fetch_add(1, std::memory_order_relaxed);
+      std::string value;
+      if (store_->get(op.key, &value)) {
+        get_hits_.fetch_add(1, std::memory_order_relaxed);
+        append_response(c.resp, RespStatus::kOk, value);
+      } else {
+        append_response(c.resp, RespStatus::kNotFound);
+      }
+      break;
+    }
+    case OpCode::kPut: {
+      puts_.fetch_add(1, std::memory_order_relaxed);
+      store_->put(op.key, op.value);
+      append_response(c.resp, RespStatus::kOk);
+      durable_write = true;
+      break;
+    }
+    case OpCode::kDel: {
+      dels_.fetch_add(1, std::memory_order_relaxed);
+      const bool removed = store_->erase(op.key);
+      append_response(c.resp,
+                      removed ? RespStatus::kOk : RespStatus::kNotFound);
+      // A miss mutated nothing — nothing to make durable before the ack.
+      durable_write = removed;
+      break;
+    }
+    case OpCode::kStats:
+      // Handled on the event loop; a shard worker never sees it.
+      append_response(c.resp, RespStatus::kBadRequest);
+      break;
+  }
+
+  if (durable_write && deferred_writes != nullptr) {
+    deferred_writes->push_back(std::move(c));
+  } else {
+    complete(std::move(c));
+  }
+}
+
+void KvServer::coordinator_loop() {
+  std::unique_lock lock(co_mu_);
+  for (;;) {
+    if (parked_writes_.empty()) {
+      co_cv_.wait(lock,
+                  [this] { return co_stop_ || !parked_writes_.empty(); });
+    } else {
+      // Cadence: fire when the pending-ack threshold is reached, or after
+      // group_interval with any ack parked — whichever comes first.
+      co_cv_.wait_for(lock, options_.group_interval, [this] {
+        return co_stop_ || parked_writes_.size() >= options_.group_max_ops;
+      });
+    }
+    if (parked_writes_.empty()) {
+      if (co_stop_) return;
+      continue;
+    }
+    std::vector<Completion> batch;
+    batch.swap(parked_writes_);
+    lock.unlock();
+
+    // One wave covers every shard these acks touched (and any other shard
+    // dirtied meanwhile): a single cross-shard log-flush round.
+    auto wave = store_->group().commit_wave();
+    if (!wave.ok()) {
+      for (Completion& c : batch) {
+        c.resp.clear();
+        append_response(c.resp, RespStatus::kError);
+      }
+    }
+    {
+      std::lock_guard clock(comp_mu_);
+      for (Completion& c : batch) completions_.push_back(std::move(c));
+    }
+    wake_loop();
+
+    lock.lock();
+    if (co_stop_ && parked_writes_.empty()) return;
+  }
+}
+
+KvServerStats KvServer::stats() const {
+  KvServerStats s;
+  s.conns_accepted = conns_accepted_.load(std::memory_order_relaxed);
+  s.conns_closed = conns_closed_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.gets = gets_.load(std::memory_order_relaxed);
+  s.get_hits = get_hits_.load(std::memory_order_relaxed);
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.dels = dels_.load(std::memory_order_relaxed);
+  s.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string KvServer::stats_json() const {
+  const KvServerStats s = stats();
+  const libpax::GroupCommitStats g = store_->group().stats();
+  const std::uint64_t flushes = store_->total_log_flushes();
+  const std::uint64_t acked = g.wave_ops + g.independent_ops;
+
+  std::string out;
+  out.reserve(2048);
+  out += "{\n";
+  appendf(out, "  \"commit_mode\": \"%s\",\n",
+          commit_mode_name(options_.commit_mode));
+  appendf(out, "  \"shards\": %zu,\n", store_->shard_count());
+  appendf(out, "  \"log_flushes_total\": %llu,\n",
+          static_cast<unsigned long long>(flushes));
+  appendf(out, "  \"acked_write_ops\": %llu,\n",
+          static_cast<unsigned long long>(acked));
+  appendf(out, "  \"log_flushes_per_acked_op\": %.6f,\n",
+          acked == 0 ? 0.0
+                     : static_cast<double>(flushes) /
+                           static_cast<double>(acked));
+  appendf(out,
+          "  \"server\": {\"conns_accepted\": %llu, \"conns_closed\": %llu, "
+          "\"requests\": %llu, \"gets\": %llu, \"get_hits\": %llu, "
+          "\"puts\": %llu, \"dels\": %llu, \"stats_requests\": %llu, "
+          "\"protocol_errors\": %llu, \"bytes_in\": %llu, "
+          "\"bytes_out\": %llu},\n",
+          static_cast<unsigned long long>(s.conns_accepted),
+          static_cast<unsigned long long>(s.conns_closed),
+          static_cast<unsigned long long>(s.requests),
+          static_cast<unsigned long long>(s.gets),
+          static_cast<unsigned long long>(s.get_hits),
+          static_cast<unsigned long long>(s.puts),
+          static_cast<unsigned long long>(s.dels),
+          static_cast<unsigned long long>(s.stats_requests),
+          static_cast<unsigned long long>(s.protocol_errors),
+          static_cast<unsigned long long>(s.bytes_in),
+          static_cast<unsigned long long>(s.bytes_out));
+  appendf(out,
+          "  \"group_commit\": {\"waves\": %llu, \"empty_waves\": %llu, "
+          "\"wave_shard_seals\": %llu, \"wave_ops\": %llu, "
+          "\"max_wave_shards\": %llu, \"max_wave_ops\": %llu, "
+          "\"independent_commits\": %llu, \"independent_ops\": %llu},\n",
+          static_cast<unsigned long long>(g.waves),
+          static_cast<unsigned long long>(g.empty_waves),
+          static_cast<unsigned long long>(g.wave_shard_seals),
+          static_cast<unsigned long long>(g.wave_ops),
+          static_cast<unsigned long long>(g.max_wave_shards),
+          static_cast<unsigned long long>(g.max_wave_ops),
+          static_cast<unsigned long long>(g.independent_commits),
+          static_cast<unsigned long long>(g.independent_ops));
+  out += "  \"shard_stats\": [\n";
+  for (std::size_t i = 0; i < store_->shard_count(); ++i) {
+    auto& rt = const_cast<KvStore*>(store_.get())->shard_runtime(i);
+    const libpax::RuntimeStats r = rt.stats();
+    const libpax::SyncStats sync = rt.sync_stats();
+    const libpax::PipelineStats pipe = rt.pipeline_stats();
+    const device::UndoLoggerStats log = rt.device().log_stats();
+    appendf(out,
+            "    {\"shard\": %zu, \"committed_epoch\": %llu, "
+            "\"persists\": %llu, \"pages_diffed\": %llu, "
+            "\"device_calls\": %llu, \"sync_batches\": %llu,\n",
+            i, static_cast<unsigned long long>(rt.committed_epoch()),
+            static_cast<unsigned long long>(r.persists),
+            static_cast<unsigned long long>(r.pages_diffed),
+            static_cast<unsigned long long>(r.device_calls),
+            static_cast<unsigned long long>(r.sync_batches));
+    appendf(out,
+            "     \"sync\": {\"pages_scanned\": %llu, \"lines_diffed\": "
+            "%llu, \"lines_skipped\": %llu, \"lines_synced\": %llu, "
+            "\"tuner_decisions\": %llu, \"last_batch_lines\": %zu, "
+            "\"last_diff_workers\": %u},\n",
+            static_cast<unsigned long long>(sync.pages_scanned),
+            static_cast<unsigned long long>(sync.lines_diffed),
+            static_cast<unsigned long long>(sync.lines_skipped),
+            static_cast<unsigned long long>(sync.lines_synced),
+            static_cast<unsigned long long>(sync.tuner_decisions),
+            sync.last_batch_lines, sync.last_diff_workers);
+    appendf(out,
+            "     \"pipeline\": {\"async_persists\": %llu, "
+            "\"jobs_drained\": %llu, \"backpressure_waits\": %llu},\n",
+            static_cast<unsigned long long>(pipe.async_persists),
+            static_cast<unsigned long long>(pipe.jobs_drained),
+            static_cast<unsigned long long>(pipe.backpressure_waits));
+    appendf(out,
+            "     \"log\": {\"flushes\": %llu, \"records\": %llu, "
+            "\"ring_appends\": %llu, \"ring_full_stalls\": %llu}}%s\n",
+            static_cast<unsigned long long>(log.flushes),
+            static_cast<unsigned long long>(log.records),
+            static_cast<unsigned long long>(log.ring_appends),
+            static_cast<unsigned long long>(log.ring_full_stalls),
+            i + 1 < store_->shard_count() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace pax::kv

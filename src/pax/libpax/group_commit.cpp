@@ -1,0 +1,147 @@
+#include "pax/libpax/group_commit.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "pax/common/check.hpp"
+#include "pax/libpax/runtime.hpp"
+
+namespace pax::libpax {
+
+EpochGroupCommit::EpochGroupCommit(std::vector<Participant> participants)
+    : participants_(std::move(participants)),
+      dirty_ops_(participants_.size(), 0),
+      shard_mu_(participants_.size()) {
+  PAX_CHECK_MSG(!participants_.empty(),
+                "group commit needs at least one participant");
+  for (auto& p : participants_) {
+    PAX_CHECK_MSG(p.runtime != nullptr, "participant without a runtime");
+    if (!p.seal) {
+      p.seal = [rt = p.runtime] { return rt->persist_async(); };
+    }
+  }
+}
+
+void EpochGroupCommit::mark_dirty(std::size_t index, std::uint64_t ops) {
+  PAX_CHECK_MSG(index < participants_.size(),
+                "participant index out of range");
+  std::lock_guard lock(mu_);
+  dirty_ops_[index] += ops;
+  pending_ops_ += ops;
+}
+
+std::uint64_t EpochGroupCommit::pending_ops() const {
+  std::lock_guard lock(mu_);
+  return pending_ops_;
+}
+
+Result<EpochGroupCommit::WaveResult> EpochGroupCommit::commit_wave() {
+  std::lock_guard wave(wave_mu_);
+
+  // Atomic cut: everything dirty now rides this wave; marks arriving while
+  // the wave runs accumulate for the next one.
+  std::vector<std::uint64_t> taken(participants_.size(), 0);
+  std::uint64_t wave_ops = 0;
+  {
+    std::lock_guard lock(mu_);
+    taken.swap(dirty_ops_);
+    dirty_ops_.assign(participants_.size(), 0);
+    for (std::uint64_t n : taken) wave_ops += n;
+    pending_ops_ -= wave_ops;
+  }
+
+  WaveResult result;
+  result.epochs.assign(participants_.size(), 0);
+  result.ops = wave_ops;
+  if (wave_ops == 0) {
+    std::lock_guard lock(mu_);
+    ++stats_.empty_waves;
+    return result;
+  }
+
+  // Phase 1 — seal every dirty shard. persist_async is the cheap half:
+  // snapshot swap + protection re-arm; the durable work drains on each
+  // runtime's pipeline worker concurrently with the others.
+  Status first_error = Status::ok();
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    if (taken[i] == 0) continue;
+    auto sealed = participants_[i].seal();
+    if (!sealed.ok()) {
+      if (first_error.is_ok()) first_error = sealed.status();
+      continue;
+    }
+    result.epochs[i] = sealed.value();
+    ++result.shards;
+  }
+
+  // Phase 2 — one wait per sealed shard; total wall time is the max drain,
+  // not the sum.
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    if (result.epochs[i] == 0) continue;
+    auto committed =
+        participants_[i].runtime->wait_persisted(result.epochs[i]);
+    if (!committed.ok() && first_error.is_ok()) {
+      first_error = committed.status();
+    }
+  }
+
+  if (!first_error.is_ok()) {
+    // The wave did not cover its ops; put them back so callers can retry
+    // (or surface the sticky runtime error again).
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < participants_.size(); ++i) {
+      dirty_ops_[i] += taken[i];
+    }
+    pending_ops_ += wave_ops;
+    return first_error;
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.waves;
+    result.wave = stats_.waves;
+    stats_.wave_shard_seals += result.shards;
+    stats_.wave_ops += wave_ops;
+    stats_.max_wave_shards = std::max(stats_.max_wave_shards, result.shards);
+    stats_.max_wave_ops = std::max(stats_.max_wave_ops, wave_ops);
+  }
+  return result;
+}
+
+Result<Epoch> EpochGroupCommit::commit_one(std::size_t index) {
+  PAX_CHECK_MSG(index < participants_.size(),
+                "participant index out of range");
+  std::lock_guard shard_lock(shard_mu_[index]);
+
+  std::uint64_t taken = 0;
+  {
+    std::lock_guard lock(mu_);
+    taken = dirty_ops_[index];
+    dirty_ops_[index] = 0;
+    pending_ops_ -= taken;
+  }
+
+  auto sealed = participants_[index].seal();
+  if (sealed.ok()) {
+    auto committed =
+        participants_[index].runtime->wait_persisted(sealed.value());
+    if (!committed.ok()) sealed = committed.status();
+  }
+
+  std::lock_guard lock(mu_);
+  if (!sealed.ok()) {
+    dirty_ops_[index] += taken;
+    pending_ops_ += taken;
+    return sealed.status();
+  }
+  ++stats_.independent_commits;
+  stats_.independent_ops += taken;
+  return sealed;
+}
+
+GroupCommitStats EpochGroupCommit::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace pax::libpax

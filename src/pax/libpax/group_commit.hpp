@@ -1,0 +1,118 @@
+// EpochGroupCommit — cross-runtime epoch group commit.
+//
+// A serving frontend that shards its keyspace across N independent
+// PaxRuntimes (one pool, one undo log, one epoch sequence each) pays one
+// device-mediated commit per shard per durability point. Committing each
+// shard the moment it has pending writes multiplies log flushes by the
+// shard count; the classic fix is group commit: accumulate dirty shards,
+// then issue ONE commit wave covering all of them, so a single log-flush
+// round amortizes across every write that joined the wave.
+//
+// The coordinator leans on the PR 6 epoch pipeline to keep the wave off
+// the request path: commit_wave() seals one epoch per dirty shard with
+// persist_async() — an O(dirty-pages) snapshot swap per shard — and only
+// then waits for the sealed epochs' durability (wait_persisted). The
+// drains of all participating shards overlap each other AND ongoing
+// request processing; the wave's wall time is max(shard drains), not the
+// sum, and mutators never stall behind it.
+//
+// Two commit policies share the bookkeeping so frontends can switch (and
+// benches can compare) without re-plumbing:
+//
+//   * commit_wave()  — group commit: seal every dirty shard, wait for all.
+//   * commit_one(i)  — per-shard independent commit: seal and wait shard i
+//                      alone (the baseline group commit is measured
+//                      against; see bench/abl_paxkv.cpp).
+//
+// Threading: mark_dirty() is called by request workers concurrently;
+// commit_wave()/commit_one() may be called from any thread (waves are
+// serialized against each other by wave_mu_). Writes marked while a wave
+// is in flight simply join the next wave — the swap under mu_ makes the
+// cut atomic. QUIESCENCE is the participant's job: the seal callable must
+// enforce the §3.5 contract for its own shard (e.g. ShardedMap::
+// persist_async takes every shard-map lock for the duration of the swap).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "pax/common/status.hpp"
+#include "pax/common/types.hpp"
+
+namespace pax::libpax {
+
+class PaxRuntime;
+
+struct GroupCommitStats {
+  std::uint64_t waves = 0;        // commit_wave calls that sealed >= 1 shard
+  std::uint64_t empty_waves = 0;  // commit_wave calls with nothing dirty
+  std::uint64_t wave_shard_seals = 0;  // persist_async calls across waves
+  std::uint64_t wave_ops = 0;          // writes covered by a wave
+  std::uint64_t max_wave_shards = 0;   // widest wave
+  std::uint64_t max_wave_ops = 0;      // most writes one wave covered
+  std::uint64_t independent_commits = 0;  // commit_one seals
+  std::uint64_t independent_ops = 0;      // writes covered by commit_one
+};
+
+class EpochGroupCommit {
+ public:
+  /// One shard. `seal` runs that shard's persist_async under the shard's
+  /// own quiescence discipline and returns the sealed epoch; when empty it
+  /// defaults to runtime->persist_async() (bare runtime, no container
+  /// locks). `runtime` is what the coordinator waits on.
+  struct Participant {
+    PaxRuntime* runtime = nullptr;
+    std::function<Result<Epoch>()> seal;
+  };
+
+  explicit EpochGroupCommit(std::vector<Participant> participants);
+
+  std::size_t participant_count() const { return participants_.size(); }
+
+  /// Notes `ops` completed writes on shard `index`; the shard joins the
+  /// next wave (or its next commit_one). Thread safe.
+  void mark_dirty(std::size_t index, std::uint64_t ops = 1);
+
+  /// Writes marked dirty and not yet covered by any commit. Thread safe.
+  std::uint64_t pending_ops() const;
+
+  struct WaveResult {
+    std::uint64_t wave = 0;  // 1-based wave number; 0 = nothing was dirty
+    std::uint64_t shards = 0;  // participants sealed by this wave
+    std::uint64_t ops = 0;     // writes the wave covered
+    /// Sealed epoch per participant; 0 where the shard sat the wave out.
+    std::vector<Epoch> epochs;
+  };
+
+  /// Group commit: atomically takes the dirty set, seals every dirty
+  /// shard (their pipeline drains overlap), then waits until every sealed
+  /// epoch is durable. On error the uncovered ops are re-marked dirty so a
+  /// later wave retries them; the first error is returned.
+  Result<WaveResult> commit_wave();
+
+  /// Independent per-shard commit of shard `index` (covers only its own
+  /// pending ops): seal + wait, one log-flush round for this shard alone.
+  /// Commits of DIFFERENT shards run concurrently (per-shard serialization
+  /// only); a frontend must pick one policy — racing commit_one against
+  /// commit_wave on the same participant would double-seal its epoch.
+  Result<Epoch> commit_one(std::size_t index);
+
+  GroupCommitStats stats() const;
+
+ private:
+  std::vector<Participant> participants_;
+
+  mutable std::mutex mu_;  // dirty set + stats
+  std::vector<std::uint64_t> dirty_ops_;
+  std::uint64_t pending_ops_ = 0;
+  GroupCommitStats stats_;
+
+  std::mutex wave_mu_;  // serializes whole waves; taken before mu_
+  /// Per-shard serialization for commit_one (independent mode): shards
+  /// commit concurrently with each other, never with themselves.
+  std::vector<std::mutex> shard_mu_;
+};
+
+}  // namespace pax::libpax

@@ -579,6 +579,21 @@ Result<Epoch> PaxRuntime::complete_persist() {
   return device_->commit_sealed();
 }
 
+Result<Epoch> PaxRuntime::wait_persisted(Epoch epoch) {
+  if (pipeline_depth_ > 0) {
+    // pipe_mu_ only: waiting must not exclude other shards' persist_async
+    // issuers (or the drain worker) from making progress.
+    return wait_for_pipeline_epoch(epoch);
+  }
+  if (committed_epoch() >= epoch) return epoch;
+  auto committed = complete_persist();
+  if (!committed.ok()) return committed.status();
+  if (committed.value() < epoch) {
+    return failed_precondition("wait_persisted: epoch was never sealed");
+  }
+  return epoch;
+}
+
 Result<Epoch> PaxRuntime::persist() {
   std::lock_guard lock(sync_mu_);
   const check::LockToken sync_token = sync_lock_token();

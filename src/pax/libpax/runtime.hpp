@@ -238,6 +238,16 @@ class PaxRuntime {
   /// commit (one queue head, not the whole queue).
   Result<Epoch> complete_persist();
 
+  /// Blocks until `epoch` (a value previously returned by persist_async())
+  /// is durably committed, surfacing any sticky drain error. The group-
+  /// commit hook: a coordinator seals one epoch per shard runtime with
+  /// persist_async(), lets the drains overlap, then waits on each sealed
+  /// epoch here (group_commit.hpp). With pipeline_depth > 0 this parks on
+  /// the pipeline CVs only — it is safe concurrently with persist_async()
+  /// calls from other threads; otherwise it completes the sealed epoch
+  /// like complete_persist().
+  Result<Epoch> wait_persisted(Epoch epoch);
+
   /// Snapshot-isolated read: copies [offset, offset+out.size()) of the vPM
   /// region *as of the last committed epoch*, concurrently with writers —
   /// mutations since the last persist are invisible, whether the device

@@ -23,18 +23,19 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "pax/libpax/persistent.hpp"
 
 namespace pax::libpax {
 
-template <typename K, typename V, typename Hash = std::hash<K>>
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
 class ShardedMap {
  public:
-  using ShardMap =
-      std::unordered_map<K, V, Hash, std::equal_to<K>,
-                         PaxStlAllocator<std::pair<const K, V>>>;
+  using ShardMap = std::unordered_map<K, V, Hash, Eq,
+                                      PaxStlAllocator<std::pair<const K, V>>>;
 
   /// Opens (or recovers) a sharded map with `shard_count` shards in
   /// `runtime`'s pool. The shard count is fixed at creation and validated
@@ -62,6 +63,15 @@ class ShardedMap {
     shard.map->insert_or_assign(key, value);
   }
 
+  /// Move-in variant: for allocator-carrying K/V (pool-backed strings),
+  /// the caller constructs the values once with the pool allocator and the
+  /// map adopts them without a second persistent-heap allocation.
+  void put(K&& key, V&& value) {
+    Shard shard = shard_for(key);
+    std::lock_guard lock(*shard.mutex);
+    shard.map->insert_or_assign(std::move(key), std::move(value));
+  }
+
   /// Thread safe point lookup.
   std::optional<V> get(const K& key) const {
     Shard shard = shard_for(key);
@@ -71,11 +81,33 @@ class ShardedMap {
     return it->second;
   }
 
-  /// Removes `key`; returns true if it was present. Thread safe.
-  bool erase(const K& key) {
+  /// Removes `key`; returns true if it was present. Thread safe. Accepts
+  /// any key-like type when Hash and Eq are transparent (find + iterator
+  /// erase — C++20 has no heterogeneous unordered erase).
+  template <typename KeyLike = K>
+  bool erase(const KeyLike& key) {
     Shard shard = shard_for(key);
     std::lock_guard lock(*shard.mutex);
-    return shard.map->erase(key) > 0;
+    auto it = shard.map->find(key);
+    if (it == shard.map->end()) return false;
+    shard.map->erase(it);
+    return true;
+  }
+
+  /// Heterogeneous point read without materializing a K: looks `key` up
+  /// (any type Hash/Eq accept transparently — e.g. std::string_view probing
+  /// pool-allocated string keys) and invokes `fn(const V&)` under the shard
+  /// lock. Returns false when absent. The whole point for pool-backed key
+  /// types: constructing a temporary K would allocate in (and so dirty)
+  /// the persistent heap on a pure read path.
+  template <typename KeyLike, typename Fn>
+  bool with(const KeyLike& key, Fn&& fn) const {
+    Shard shard = shard_for(key);
+    std::lock_guard lock(*shard.mutex);
+    auto it = shard.map->find(key);
+    if (it == shard.map->end()) return false;
+    std::forward<Fn>(fn)(it->second);
+    return true;
   }
 
   /// Total entries across shards (takes all locks; O(shards)).
@@ -149,7 +181,8 @@ class ShardedMap {
         recovered_(root_handle_.recovered()),
         mutexes_(std::make_unique<std::mutex[]>(root_->shard_count)) {}
 
-  Shard shard_for(const K& key) const {
+  template <typename KeyLike>
+  Shard shard_for(const KeyLike& key) const {
     const std::size_t idx = Hash{}(key) % root_->shard_count;
     return {&root_->shards[idx], &mutexes_[idx]};
   }

@@ -1,0 +1,241 @@
+// PaxKV wire protocol: encode/decode round trips, incremental parsing,
+// framing validation, and the latency histogram's quantile accuracy.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pax/kv/histogram.hpp"
+#include "pax/kv/protocol.hpp"
+
+namespace pax::kv {
+namespace {
+
+std::vector<std::byte> encode_request(OpCode op, std::string_view key,
+                                      std::string_view value = {}) {
+  std::vector<std::byte> out;
+  append_request(out, op, key, value);
+  return out;
+}
+
+TEST(KvProtocol, RequestRoundTrip) {
+  auto bytes = encode_request(OpCode::kPut, "hello", "world");
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  auto req = parser.next_request();
+  ASSERT_TRUE(req.ok()) << req.status().to_string();
+  ASSERT_TRUE(req.value().has_value());
+  EXPECT_EQ(req.value()->op, OpCode::kPut);
+  EXPECT_EQ(req.value()->key, "hello");
+  EXPECT_EQ(req.value()->value, "world");
+  EXPECT_EQ(parser.buffered(), 0u);
+
+  auto more = parser.next_request();
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(more.value().has_value());
+}
+
+TEST(KvProtocol, ResponseRoundTrip) {
+  std::vector<std::byte> bytes;
+  append_response(bytes, RespStatus::kOk, "payload");
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  auto resp = parser.next_response();
+  ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+  ASSERT_TRUE(resp.value().has_value());
+  EXPECT_EQ(resp.value()->status, RespStatus::kOk);
+  EXPECT_EQ(resp.value()->value, "payload");
+}
+
+TEST(KvProtocol, ByteAtATimeFeed) {
+  auto bytes = encode_request(OpCode::kGet, "incremental-key");
+  FrameParser parser;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto req = parser.next_request();
+    ASSERT_TRUE(req.ok());
+    EXPECT_FALSE(req.value().has_value()) << "frame completed early at " << i;
+    parser.feed(&bytes[i], 1);
+  }
+  auto req = parser.next_request();
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(req.value().has_value());
+  EXPECT_EQ(req.value()->op, OpCode::kGet);
+  EXPECT_EQ(req.value()->key, "incremental-key");
+}
+
+TEST(KvProtocol, PipelinedFramesInOneBuffer) {
+  std::vector<std::byte> bytes;
+  append_request(bytes, OpCode::kPut, "k1", "v1");
+  append_request(bytes, OpCode::kGet, "k2");
+  append_request(bytes, OpCode::kDel, "k3");
+  append_request(bytes, OpCode::kStats, {});
+
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  const OpCode want_op[] = {OpCode::kPut, OpCode::kGet, OpCode::kDel,
+                            OpCode::kStats};
+  const std::string_view want_key[] = {"k1", "k2", "k3", ""};
+  for (int i = 0; i < 4; ++i) {
+    auto req = parser.next_request();
+    ASSERT_TRUE(req.ok());
+    ASSERT_TRUE(req.value().has_value()) << "frame " << i;
+    EXPECT_EQ(req.value()->op, want_op[i]);
+    EXPECT_EQ(req.value()->key, want_key[i]);
+  }
+  EXPECT_FALSE(parser.next_request().value().has_value());
+}
+
+TEST(KvProtocol, EmptyValuePutAndEmptyGetHit) {
+  auto bytes = encode_request(OpCode::kPut, "k", "");
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  auto req = parser.next_request();
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(req.value().has_value());
+  EXPECT_EQ(req.value()->value, "");
+
+  std::vector<std::byte> resp_bytes;
+  append_response(resp_bytes, RespStatus::kOk, "");
+  FrameParser rparser;
+  rparser.feed(resp_bytes.data(), resp_bytes.size());
+  auto resp = rparser.next_response();
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp.value().has_value());
+  EXPECT_EQ(resp.value()->value, "");
+}
+
+TEST(KvProtocol, MaxSizedKeyAndValue) {
+  const std::string key(kMaxKeyLen, 'k');
+  const std::string value(kMaxValLen, 'v');
+  auto bytes = encode_request(OpCode::kPut, key, value);
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  auto req = parser.next_request();
+  ASSERT_TRUE(req.ok());
+  ASSERT_TRUE(req.value().has_value());
+  EXPECT_EQ(req.value()->key.size(), kMaxKeyLen);
+  EXPECT_EQ(req.value()->value.size(), kMaxValLen);
+}
+
+// --- Malformed input: every case must surface kCorruption, not UB ----------
+
+std::vector<std::byte> frame_with_body(const std::vector<std::uint8_t>& body) {
+  std::vector<std::byte> out;
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((len >> (8 * i)) & 0xff));
+  }
+  for (std::uint8_t b : body) out.push_back(static_cast<std::byte>(b));
+  return out;
+}
+
+TEST(KvProtocol, OversizedFrameRejected) {
+  std::vector<std::byte> out;
+  const std::uint32_t len = kMaxBodyLen + 1;
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((len >> (8 * i)) & 0xff));
+  }
+  FrameParser parser;
+  parser.feed(out.data(), out.size());
+  auto req = parser.next_request();
+  EXPECT_FALSE(req.ok());
+  EXPECT_EQ(req.status().code(), StatusCode::kCorruption);
+}
+
+TEST(KvProtocol, UndersizedBodyRejected) {
+  auto bytes = frame_with_body({1, 0, 0});  // 3-byte body < 8-byte header
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(parser.next_request().ok());
+}
+
+TEST(KvProtocol, BadOpcodeRejected) {
+  // op=9, flags=0, key_len=1, val_len=0, one key byte.
+  auto bytes = frame_with_body({9, 0, 1, 0, 0, 0, 0, 0, 'k'});
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(parser.next_request().ok());
+}
+
+TEST(KvProtocol, LengthMismatchRejected) {
+  // Claims key_len=5 but carries only 1 byte past the header.
+  auto bytes = frame_with_body({1, 0, 5, 0, 0, 0, 0, 0, 'k'});
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(parser.next_request().ok());
+}
+
+TEST(KvProtocol, ValueOnGetRejected) {
+  // GET with val_len=1: only PUT carries a value.
+  auto bytes = frame_with_body({1, 0, 1, 0, 1, 0, 0, 0, 'k', 'v'});
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(parser.next_request().ok());
+}
+
+TEST(KvProtocol, EmptyKeyOnPutRejected) {
+  auto bytes = frame_with_body({2, 0, 0, 0, 1, 0, 0, 0, 'v'});
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(parser.next_request().ok());
+}
+
+TEST(KvProtocol, BadResponseStatusRejected) {
+  auto bytes = frame_with_body({200, 0, 0, 0, 0, 0, 0, 0});
+  FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(parser.next_response().ok());
+}
+
+// --- LatencyHistogram ------------------------------------------------------
+
+TEST(KvHistogram, ExactBelow32) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 31u);
+}
+
+TEST(KvHistogram, QuantilesWithinRelativeError) {
+  LatencyHistogram h;
+  // 1..100000 ns uniformly: p50 ≈ 50000, p99 ≈ 99000, p999 ≈ 99900.
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  const double cases[][2] = {
+      {0.50, 50000.0}, {0.99, 99000.0}, {0.999, 99900.0}};
+  for (const auto& c : cases) {
+    const double got = static_cast<double>(h.percentile(c[0]));
+    EXPECT_NEAR(got, c[1], c[1] * 0.04)
+        << "q=" << c[0];  // 5-bit sub-buckets bound error at ~3%
+  }
+  EXPECT_EQ(h.max_ns(), 100000u);
+  EXPECT_NEAR(h.mean_ns(), 50000.5, 1.0);
+}
+
+TEST(KvHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    ((v % 2 == 0) ? a : b).record(v * 17);
+    combined.record(v * 17);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max_ns(), combined.max_ns());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q)) << q;
+  }
+}
+
+TEST(KvHistogram, LargeValuesSaturateLastBucket) {
+  LatencyHistogram h;
+  h.record(~0ull);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_ns(), ~0ull);
+  EXPECT_GT(h.percentile(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace pax::kv
