@@ -207,7 +207,7 @@ void KvServer::event_loop() {
         close_conn(id);
         continue;
       }
-      if ((ev & EPOLLOUT) != 0) conn_writable(conn);
+      if ((ev & EPOLLOUT) != 0 && !conn_writable(conn)) continue;
       if ((ev & EPOLLIN) != 0) conn_readable(conn);
     }
   }
@@ -217,7 +217,20 @@ void KvServer::accept_ready() {
   for (;;) {
     const int fd = accept4(listen_fd_, nullptr, nullptr,
                            SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or transient error: try again on next tick
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;  // per-connection hiccup: keep draining the backlog
+      }
+      // Persistent failure (EMFILE/ENFILE/ENOMEM/...): the level-triggered
+      // listener would make epoll_wait spin at 100% CPU. Deregister it;
+      // close_conn re-arms once a connection frees an fd.
+      PAX_LOG_ERROR("accept4: %s; pausing accepts", std::strerror(errno));
+      if (epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr) == 0) {
+        accepts_paused_ = true;
+      }
+      return;
+    }
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
@@ -263,7 +276,9 @@ void KvServer::conn_readable(Conn& conn) {
         return;
       }
       if (!req.value().has_value()) break;
-      handle_request(conn, *req.value());
+      // A STATS request flushes inline and may close the connection on a
+      // send() error — stop immediately rather than touch a freed Conn.
+      if (!handle_request(conn, *req.value())) return;
     }
     if (conn.inflight.size() >= options_.max_inflight_per_conn &&
         !conn.paused_read) {
@@ -273,7 +288,7 @@ void KvServer::conn_readable(Conn& conn) {
   }
 }
 
-void KvServer::handle_request(Conn& conn, const Request& req) {
+bool KvServer::handle_request(Conn& conn, const Request& req) {
   const std::uint64_t seq = conn.next_seq++;
   conn.inflight.emplace_back();
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -283,8 +298,7 @@ void KvServer::handle_request(Conn& conn, const Request& req) {
     Pending& slot = conn.inflight.back();
     append_response(slot.resp, RespStatus::kOk, stats_json());
     slot.ready = true;
-    flush_conn(conn);
-    return;
+    return flush_conn(conn);
   }
 
   Op op;
@@ -300,11 +314,12 @@ void KvServer::handle_request(Conn& conn, const Request& req) {
     worker.queue.push_back(std::move(op));
   }
   worker.cv.notify_one();
+  return true;
 }
 
-void KvServer::conn_writable(Conn& conn) { flush_conn(conn); }
+bool KvServer::conn_writable(Conn& conn) { return flush_conn(conn); }
 
-void KvServer::flush_conn(Conn& conn) {
+bool KvServer::flush_conn(Conn& conn) {
   // Move the ready prefix of the in-flight window into the output buffer —
   // responses leave in request order, whatever order shards finished in.
   while (!conn.inflight.empty() && conn.inflight.front().ready) {
@@ -320,7 +335,7 @@ void KvServer::flush_conn(Conn& conn) {
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       close_conn(conn.id);
-      return;
+      return false;
     }
     conn.out_off += static_cast<std::size_t>(n);
     bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
@@ -338,6 +353,7 @@ void KvServer::flush_conn(Conn& conn) {
     conn.paused_read = pause;
     update_epoll(conn);
   }
+  return true;
 }
 
 void KvServer::update_epoll(Conn& conn) {
@@ -355,6 +371,15 @@ void KvServer::close_conn(std::uint64_t conn_id) {
   ::close(it->second->fd);
   conns_.erase(it);
   conns_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (accepts_paused_) {
+    // An fd just freed up; resume accepting.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerId;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+      accepts_paused_ = false;
+    }
+  }
 }
 
 void KvServer::drain_completions() {
@@ -376,11 +401,18 @@ void KvServer::drain_completions() {
   }
   // One flush pass per drained connection set (flushing per completion
   // would re-walk the deque needlessly; ready-prefix flushing is cheap).
+  // flush_conn may close_conn (erase from conns_), so collect the ids
+  // first and re-look each one up rather than iterate conns_ directly.
+  std::vector<std::uint64_t> to_flush;
+  to_flush.reserve(conns_.size());
   for (auto& [id, conn] : conns_) {
-    (void)id;
     if (!conn->inflight.empty() && conn->inflight.front().ready) {
-      flush_conn(*conn);
+      to_flush.push_back(id);
     }
+  }
+  for (const std::uint64_t id : to_flush) {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) flush_conn(*it->second);
   }
 }
 

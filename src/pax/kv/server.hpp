@@ -175,10 +175,12 @@ class KvServer {
   Status setup_listener(const KvServerOptions& options);
   void event_loop();
   void accept_ready();
+  // The three calls below may close (and so destroy) the connection; they
+  // return false when they did, and the caller must not touch `conn` again.
   void conn_readable(Conn& conn);
-  void conn_writable(Conn& conn);
-  void handle_request(Conn& conn, const Request& req);
-  void flush_conn(Conn& conn);
+  bool conn_writable(Conn& conn);
+  bool handle_request(Conn& conn, const Request& req);
+  bool flush_conn(Conn& conn);
   void update_epoll(Conn& conn);
   void close_conn(std::uint64_t conn_id);
   void drain_completions();
@@ -207,6 +209,7 @@ class KvServer {
   // Event-loop-owned state (no lock: only loop_thread_ touches it).
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
   std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+  bool accepts_paused_ = false;     // listener deregistered (fd exhaustion)
 
   std::vector<std::unique_ptr<ShardWorker>> workers_;
 

@@ -99,8 +99,13 @@ void KvStore::put(std::string_view key, std::string_view value) {
   const std::size_t idx = shard_for(key);
   Shard& shard = *shards_[idx];
   libpax::PaxStlAllocator<char> alloc(&shard.runtime->heap());
-  shard.map->put(PString(key.begin(), key.end(), alloc),
-                 PString(value.begin(), value.end(), alloc));
+  // emplace() constructs the pool-backed strings under the slice lock, so
+  // the persistent-heap allocation is covered by the quiescence a group-
+  // commit seal establishes via lock_all() — a wave can never snapshot the
+  // heap mid-allocation.
+  shard.map->emplace(
+      key, [&] { return PString(key.begin(), key.end(), alloc); },
+      [&] { return PString(value.begin(), value.end(), alloc); });
   group_->mark_dirty(idx);
 }
 

@@ -66,10 +66,36 @@ class ShardedMap {
   /// Move-in variant: for allocator-carrying K/V (pool-backed strings),
   /// the caller constructs the values once with the pool allocator and the
   /// map adopts them without a second persistent-heap allocation.
+  ///
+  /// NOTE: the caller's K/V construction happens before the shard lock, so
+  /// any persistent-heap allocation it performs is NOT covered by the
+  /// quiescence persist()/persist_async() establish via lock_all() — a
+  /// concurrent seal could snapshot mid-allocation. When K or V allocate
+  /// from the pool, use emplace() instead.
   void put(K&& key, V&& value) {
     Shard shard = shard_for(key);
     std::lock_guard lock(*shard.mutex);
     shard.map->insert_or_assign(std::move(key), std::move(value));
+  }
+
+  /// Insert-or-assign where K and V are built INSIDE the locked region:
+  /// `probe` (any type Hash/Eq accept transparently) selects the shard and
+  /// the slot; `make_key`/`make_value` run only under the shard lock.
+  /// This is the §3.5-safe write path for allocator-aware K/V — their
+  /// persistent-heap allocations happen while the shard is quiesced
+  /// against lock_all(), so a commit seal can never observe a half-built
+  /// allocation. `make_key` is not invoked when the key already exists.
+  template <typename KeyLike, typename MakeK, typename MakeV>
+  void emplace(const KeyLike& probe, MakeK&& make_key, MakeV&& make_value) {
+    Shard shard = shard_for(probe);
+    std::lock_guard lock(*shard.mutex);
+    auto it = shard.map->find(probe);
+    if (it != shard.map->end()) {
+      it->second = std::forward<MakeV>(make_value)();
+    } else {
+      shard.map->emplace(std::forward<MakeK>(make_key)(),
+                         std::forward<MakeV>(make_value)());
+    }
   }
 
   /// Thread safe point lookup.
