@@ -6,9 +6,15 @@ Validates two inputs:
   * BENCH_paxkv.json (written by bench/abl_paxkv) — the in-process
     ablation. Enforces, per shard count >= 2, that cross-shard epoch group
     commit issues FEWER log flushes per acknowledged write op than
-    per-shard independent commit, that group mode actually committed in
-    waves, and that every row's percentiles are sane
-    (0 < p50 <= p99 <= p999) with nonzero throughput.
+    per-shard independent commit (comparing only baseline rows:
+    loop_threads == 1 on the epoll backend), that group mode actually
+    committed in waves, that every row's percentiles are sane
+    (0 < p50 <= p99 <= p999) with nonzero throughput, that N-loop
+    throughput stays within tolerance of 1-loop throughput per backend
+    (multi-loop plumbing must not cost real throughput; on single-core CI
+    runners extra loops cannot win, so the gate is a floor, not a >=),
+    and that the DES calibration's predicted-vs-measured error on the
+    unseen closed-loop configuration is within band.
   * Optionally, loadgen reports (paxkv-loadgen --json) passed as extra
     arguments — the loopback smoke against the real binary. Enforces zero
     op errors, nonzero throughput, sane percentiles, and (for group-mode
@@ -19,6 +25,18 @@ Usage: check_paxkv.py [BENCH_paxkv.json] [loadgen1.json loadgen2.json ...]
 
 import json
 import sys
+
+# N-loop throughput must be at least this fraction of 1-loop throughput
+# (same backend, same config). On a multi-core host N loops should win
+# outright; on the single-core CI runner the best achievable is parity
+# minus scheduling noise, hence a floor rather than a strict >=.
+LOOP_SCALING_FLOOR = 0.70
+
+# Predicted-vs-measured bands for the gated unseen closed-loop config.
+# Throughput is the primary claim (the DES exists to predict capacity);
+# tail percentiles on an oversubscribed 1-CPU runner carry scheduling
+# noise the server model cannot see, so they get a wider band.
+CALIBRATION_MAX_ERR = {"throughput": 0.35, "p50": 0.50, "p95": 0.50, "p99": 0.50}
 
 
 def sane_latency(p50, p99, p999, label, failures):
@@ -34,10 +52,19 @@ def check_bench(path, failures):
         bench = json.load(f)
 
     rows = bench["rows"]
-    closed = [r for r in rows if r["loop"] == "closed"]
+    # Mode comparison uses only baseline rows (1 epoll loop): loop-scaling
+    # rows repeat the group config at other loop counts/backends and must
+    # not shadow the ablation pair.
+    closed = [
+        r
+        for r in rows
+        if r["loop"] == "closed"
+        and r.get("loop_threads", 1) == 1
+        and r.get("backend", "epoll") == "epoll"
+    ]
     by_shards = {}
     for r in closed:
-        by_shards.setdefault(r["shards"], {})[r["mode"]] = r
+        by_shards.setdefault(r["shards"], {}).setdefault(r["mode"], r)
 
     compared = 0
     for shards, modes in sorted(by_shards.items()):
@@ -60,13 +87,74 @@ def check_bench(path, failures):
         failures.append(f"{path}: no group-vs-independent pair at >=2 shards")
 
     for r in rows:
-        label = f"{path} row {r['mode']}/{r['loop']}/{r['shards']}sh"
+        label = (
+            f"{path} row {r['mode']}/{r['loop']}/{r['shards']}sh/"
+            f"{r.get('backend', 'epoll')}x{r.get('loop_threads', 1)}"
+        )
         if r["ops"] == 0 or r["throughput_ops_s"] <= 0:
             failures.append(f"{label}: no throughput")
         sane_latency(r["p50_ns"], r["p99_ns"], r["p999_ns"], label, failures)
         if r["acked_write_ops"] == 0:
             failures.append(f"{label}: no acknowledged writes")
+
+    check_loop_scaling(path, bench, failures)
+    check_calibration(path, bench, failures)
     return compared
+
+
+def check_loop_scaling(path, bench, failures):
+    """N-loop throughput >= LOOP_SCALING_FLOOR x 1-loop, per backend."""
+    best = {}  # (backend, loop_threads) -> max throughput
+    for r in bench["rows"]:
+        if r["loop"] != "closed" or r["mode"] != "group":
+            continue
+        key = (r.get("backend", "epoll"), r.get("loop_threads", 1))
+        best[key] = max(best.get(key, 0.0), r["throughput_ops_s"])
+
+    backends = {b for b, _ in best}
+    if bench.get("io_uring_supported") and "io_uring" not in backends:
+        failures.append(
+            f"{path}: io_uring supported but no io_uring rows present"
+        )
+
+    scaled = 0
+    for backend in sorted(backends):
+        base = best.get((backend, 1))
+        multi = [
+            (n, tput) for (b, n), tput in best.items() if b == backend and n > 1
+        ]
+        if base is None or not multi:
+            continue
+        for n, tput in sorted(multi):
+            if tput < LOOP_SCALING_FLOOR * base:
+                failures.append(
+                    f"{path}: {backend} {n}-loop throughput {tput:.0f} < "
+                    f"{LOOP_SCALING_FLOOR:.2f} x 1-loop {base:.0f}"
+                )
+            scaled += 1
+    if scaled == 0:
+        failures.append(f"{path}: no loop-scaling pair (1 vs N loops) found")
+
+
+def check_calibration(path, bench, failures):
+    """The DES prediction for the unseen config must land in band."""
+    cal = bench.get("calibration")
+    if cal is None:
+        failures.append(f"{path}: no calibration object")
+        return
+    fitted = cal["fitted"]
+    if not fitted["service_us"] > 0:
+        failures.append(f"{path}: calibration fitted service_us <= 0")
+    if fitted["base_rtt_us"] < 0:
+        failures.append(f"{path}: calibration fitted base_rtt_us < 0")
+    for metric, band in CALIBRATION_MAX_ERR.items():
+        err = cal["error"][metric]
+        if err > band:
+            failures.append(
+                f"{path}: calibration {metric} error {err:.1%} exceeds "
+                f"the {band:.0%} band (predicted "
+                f"{cal['predicted']}, measured {cal['measured']})"
+            )
 
 
 def check_loadgen(path, failures):

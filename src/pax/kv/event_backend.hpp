@@ -1,0 +1,114 @@
+// EventBackend — the per-event-loop I/O engine behind KvServer.
+//
+// Each event loop owns exactly one backend instance, its SO_REUSEPORT
+// listener, its wake eventfd, and its connections. The backend hides HOW
+// socket I/O happens (epoll readiness + direct syscalls, or io_uring
+// SQE/CQE batches) behind a uniform completion-style contract, so the
+// server's connection state machine — frame parsing, in-flight ordering,
+// commit modes — is written once and behaves byte-identically under both
+// backends (tests/kv_server_test.cpp runs the full matrix).
+//
+// The contract:
+//
+//   * arm_recv()/arm_send() each request exactly ONE completion (kRecv /
+//     kSend) carrying the byte count or -errno. At most one of each may be
+//     outstanding per connection; buffers must stay valid (and unmoved)
+//     until the completion is delivered.
+//   * kAccepted delivers a new, non-blocking connection socket; the caller
+//     then add_conn()s it under a caller-chosen id. On fd exhaustion the
+//     backend pauses accepting and emits kAcceptPaused once; the caller
+//     re-arms with resume_accepts() when an fd frees up.
+//   * kWake is delivered when the wake eventfd was written (cross-thread
+//     nudge); the backend drains the eventfd counter itself.
+//   * kHangup reports peer disconnect noticed outside a recv (epoll
+//     EPOLLHUP/EPOLLERR); io_uring surfaces the same condition as a
+//     kRecv/kSend completion with result <= 0.
+//   * remove_conn() cancels outstanding ops and closes the fd. If it
+//     returns false, in-kernel ops are still draining: keep the
+//     connection's buffers alive until the backend delivers kClosed for
+//     that id (io_uring owns pointers into them until then). A true
+//     return means fully quiesced (epoll always returns true).
+//
+// wait() blocks up to timeout_ms for events, delivering at most
+// out.size() of them (the rest stay queued). io_uring batches every armed
+// SQE into a single io_uring_submit_and_wait per wait() call.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "pax/common/status.hpp"
+
+namespace pax::kv {
+
+struct BackendEvent {
+  enum class Kind : std::uint8_t {
+    kAccepted,     // fd = new connection socket
+    kRecv,         // conn_id, result = bytes (0 = EOF) or -errno
+    kSend,         // conn_id, result = bytes or -errno
+    kWake,         // wake eventfd was written
+    kHangup,       // conn_id: peer hung up / socket error
+    kClosed,       // conn_id: remove_conn() finished draining
+    kAcceptPaused  // accepting paused (fd exhaustion) until resume_accepts
+  };
+  Kind kind = Kind::kWake;
+  std::uint64_t conn_id = 0;
+  int fd = -1;
+  ssize_t result = 0;
+};
+
+class EventBackend {
+ public:
+  virtual ~EventBackend() = default;
+
+  /// Registers the (already listening, SO_REUSEPORT) listener socket and
+  /// the wake eventfd; starts accepting. Both fds stay owned by the
+  /// caller and must outlive the backend.
+  virtual Status init(int listen_fd, int wake_fd) = 0;
+
+  /// Registers a connection socket under `conn_id` (caller-unique, >= 2).
+  virtual Status add_conn(std::uint64_t conn_id, int fd) = 0;
+
+  /// Cancels outstanding ops and closes `fd`. Returns true when fully
+  /// quiesced; false = wait for kClosed before dropping buffers.
+  virtual bool remove_conn(std::uint64_t conn_id, int fd) = 0;
+
+  /// Requests one receive into [buf, buf+len) → one kRecv completion.
+  virtual void arm_recv(std::uint64_t conn_id, int fd, void* buf,
+                        std::size_t len) = 0;
+
+  /// Requests one send of [buf, buf+len) → one kSend completion (partial
+  /// writes allowed; the caller re-arms with the remainder).
+  virtual void arm_send(std::uint64_t conn_id, int fd, const void* buf,
+                        std::size_t len) = 0;
+
+  /// Re-arms accepting after kAcceptPaused.
+  virtual void resume_accepts() = 0;
+
+  /// Blocks up to timeout_ms; fills `out` with ready events. Returns the
+  /// number delivered (0 = timeout or EINTR).
+  virtual std::size_t wait(std::span<BackendEvent> out, int timeout_ms) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// The readiness-based default: level-triggered epoll, direct
+/// recv/send/accept4 syscalls performed at readiness time.
+std::unique_ptr<EventBackend> make_epoll_backend();
+
+/// The io_uring submission path (multishot accept, recv/send SQE batches,
+/// one submit_and_wait per wait()). Returns nullptr when the build has no
+/// io_uring support (PAX_WITH_LIBURING=OFF / no headers) or the running
+/// kernel cannot provide the required ops.
+std::unique_ptr<EventBackend> make_io_uring_backend();
+
+/// True when make_io_uring_backend() would succeed on this kernel: probes
+/// ring setup plus the RECV/SEND/ACCEPT/ASYNC_CANCEL/READ opcodes once
+/// and caches the verdict.
+bool io_uring_available();
+
+}  // namespace pax::kv

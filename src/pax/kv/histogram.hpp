@@ -1,24 +1,39 @@
 // LatencyHistogram — HDR-style log-linear latency histogram.
 //
-// Fixed 2048-bucket layout: values below 32 ns get exact buckets; above
+// Fixed log-linear layout: values below 32 ns get exact buckets; above
 // that, each power-of-two range is split into 32 linear sub-buckets (5
-// significant bits), bounding relative quantization error at ~3% across
-// the full ns..minutes range. Recording is O(1) with no allocation, so
-// load-generator threads record on the request path and merge per-thread
-// histograms afterwards (tools/paxkv_loadgen.cpp, bench/abl_paxkv.cpp).
+// significant bits), bounding relative quantization error at ~3% up to
+// the trackable ceiling (2^42 - 1 ns ≈ 73 minutes). Values above the
+// ceiling land in an explicit overflow bucket that remembers its own
+// minimum, so a tail quantile falling there reports a true lower bound
+// (">= overflow_min") instead of silently clamping into the last regular
+// bucket; the exact maximum is always tracked separately. Recording is
+// O(1) with no allocation, so load-generator threads record on the
+// request path and merge per-thread histograms afterwards
+// (tools/paxkv_loadgen.cpp, bench/abl_paxkv.cpp).
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <limits>
 
 namespace pax::kv {
 
 class LatencyHistogram {
  public:
+  /// Largest value the regular buckets resolve; above this, the overflow
+  /// bucket takes over.
+  static constexpr std::uint64_t kTrackableMaxNs = (1ull << 42) - 1;
+
   void record(std::uint64_t ns) {
-    ++buckets_[bucket_for(ns)];
+    if (ns > kTrackableMaxNs) {
+      ++overflow_count_;
+      overflow_min_ns_ = std::min(overflow_min_ns_, ns);
+    } else {
+      ++buckets_[bucket_for(ns)];
+    }
     ++count_;
     sum_ns_ += ns;
     max_ns_ = std::max(max_ns_, ns);
@@ -31,17 +46,28 @@ class LatencyHistogram {
     count_ += other.count_;
     sum_ns_ += other.sum_ns_;
     max_ns_ = std::max(max_ns_, other.max_ns_);
+    overflow_count_ += other.overflow_count_;
+    overflow_min_ns_ = std::min(overflow_min_ns_, other.overflow_min_ns_);
   }
 
   std::uint64_t count() const { return count_; }
   std::uint64_t max_ns() const { return max_ns_; }
+
+  /// Samples above kTrackableMaxNs, and the smallest of them (0 if none).
+  std::uint64_t overflow_count() const { return overflow_count_; }
+  std::uint64_t overflow_min_ns() const {
+    return overflow_count_ == 0 ? 0 : overflow_min_ns_;
+  }
+
   double mean_ns() const {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_ns_) /
                                    static_cast<double>(count_);
   }
 
   /// Value (ns, bucket midpoint) at quantile `q` in [0, 1]; the recorded
-  /// maximum for q >= 1. 0 when empty.
+  /// maximum for q >= 1. A rank landing in the overflow bucket reports the
+  /// smallest overflowed sample — a ">= that value" lower bound, never an
+  /// understated clamp. 0 when empty.
   std::uint64_t percentile(double q) const {
     if (count_ == 0) return 0;
     if (q >= 1.0) return max_ns_;
@@ -53,21 +79,22 @@ class LatencyHistogram {
       seen += buckets_[i];
       if (seen > rank) return bucket_value(i);
     }
-    return max_ns_;
+    return overflow_min_ns();  // rank is among the overflowed samples
   }
 
  private:
   static constexpr std::size_t kSubBits = 5;  // 32 sub-buckets per octave
   static constexpr std::size_t kSub = 1u << kSubBits;
-  static constexpr std::size_t kBuckets = 2048;
+  static constexpr unsigned kMaxMsb = 41;  // msb of kTrackableMaxNs
+  static constexpr std::size_t kBuckets =
+      kSub + (kMaxMsb - kSubBits + 1) * kSub;
 
   static std::size_t bucket_for(std::uint64_t v) {
     if (v < kSub) return static_cast<std::size_t>(v);
     const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
-    const unsigned shift = msb - kSubBits;  // msb >= 5 here
+    const unsigned shift = msb - kSubBits;  // msb in [5, kMaxMsb] here
     const auto sub = static_cast<std::size_t>((v >> shift) & (kSub - 1));
-    const std::size_t idx = kSub + (msb - kSubBits) * kSub + sub;
-    return std::min(idx, kBuckets - 1);
+    return kSub + (msb - kSubBits) * kSub + sub;
   }
 
   static std::uint64_t bucket_value(std::size_t idx) {
@@ -82,6 +109,8 @@ class LatencyHistogram {
   std::uint64_t count_ = 0;
   std::uint64_t sum_ns_ = 0;
   std::uint64_t max_ns_ = 0;
+  std::uint64_t overflow_count_ = 0;
+  std::uint64_t overflow_min_ns_ = std::numeric_limits<std::uint64_t>::max();
 };
 
 }  // namespace pax::kv

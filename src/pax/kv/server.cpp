@@ -3,7 +3,8 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <sys/epoll.h>
+#include <pthread.h>
+#include <sched.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -18,13 +19,13 @@
 
 #include "pax/common/check.hpp"
 #include "pax/common/log.hpp"
+#include "pax/kv/event_backend.hpp"
 
 namespace pax::kv {
 
 namespace {
 
-constexpr std::uint64_t kListenerId = 0;
-constexpr std::uint64_t kWakeId = 1;
+constexpr std::size_t kRecvBufBytes = 16 << 10;
 
 const char* commit_mode_name(KvServerOptions::CommitMode mode) {
   switch (mode) {
@@ -47,36 +48,40 @@ void appendf(std::string& out, const char* fmt, ...) {
   if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
 }
 
+void pin_thread_to(unsigned cpu) {
+  const long ncpu = sysconf(_SC_NPROCESSORS_ONLN);
+  if (ncpu <= 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % static_cast<unsigned>(ncpu), &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+std::unique_ptr<EventBackend> make_backend(KvServerOptions::Backend kind) {
+  switch (kind) {
+    case KvServerOptions::Backend::kEpoll:
+      return make_epoll_backend();
+    case KvServerOptions::Backend::kIoUring:
+      return make_io_uring_backend();
+  }
+  return nullptr;
+}
+
 }  // namespace
+
+bool KvServer::io_uring_supported() { return io_uring_available(); }
 
 Result<std::unique_ptr<KvServer>> KvServer::start(
     const KvServerOptions& options) {
   auto server = std::unique_ptr<KvServer>(new KvServer());
   server->options_ = options;
+  if (server->options_.loop_threads == 0) server->options_.loop_threads = 1;
 
   auto store = KvStore::create_in_memory(options.store);
   if (!store.ok()) return store.status();
   server->store_ = std::move(store).value();
 
-  PAX_RETURN_IF_ERROR(server->setup_listener(options));
-
-  server->epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
-  if (server->epoll_fd_ < 0) return io_error("epoll_create1 failed");
-  server->wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (server->wake_fd_ < 0) return io_error("eventfd failed");
-
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenerId;
-  if (epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, server->listen_fd_, &ev) <
-      0) {
-    return io_error("epoll_ctl(listen) failed");
-  }
-  ev.events = EPOLLIN;
-  ev.data.u64 = kWakeId;
-  if (epoll_ctl(server->epoll_fd_, EPOLL_CTL_ADD, server->wake_fd_, &ev) < 0) {
-    return io_error("epoll_ctl(wake) failed");
-  }
+  PAX_RETURN_IF_ERROR(server->setup_listeners(server->options_));
 
   const std::size_t shards = server->store_->shard_count();
   server->workers_.reserve(shards);
@@ -91,41 +96,69 @@ Result<std::unique_ptr<KvServer>> KvServer::start(
     server->co_thread_ =
         std::thread([srv = server.get()] { srv->coordinator_loop(); });
   }
-  server->loop_thread_ =
-      std::thread([srv = server.get()] { srv->event_loop(); });
+  for (auto& loop : server->loops_) {
+    loop->thread = std::thread(
+        [srv = server.get(), lp = loop.get()] { srv->event_loop(*lp); });
+  }
 
-  PAX_LOG_INFO("paxkv serving on %s:%u (%zu shards, %s commit)",
+  PAX_LOG_INFO("paxkv serving on %s:%u (%zu shards, %s commit, %zu %s loops)",
                options.bind_address.c_str(), server->port_, shards,
-               commit_mode_name(options.commit_mode));
+               commit_mode_name(options.commit_mode), server->loops_.size(),
+               server->loops_[0]->backend->name());
   return server;
 }
 
-Status KvServer::setup_listener(const KvServerOptions& options) {
-  listen_fd_ =
-      socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return io_error("socket failed");
-  const int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
+Status KvServer::setup_listeners(const KvServerOptions& options) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
   if (inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
     return invalid_argument("bad bind address: " + options.bind_address);
   }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    return io_error(std::string("bind failed: ") + std::strerror(errno));
-  }
-  if (listen(listen_fd_, 128) < 0) return io_error("listen failed");
 
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
-      0) {
-    return io_error("getsockname failed");
+  loops_.reserve(options.loop_threads);
+  for (std::size_t i = 0; i < options.loop_threads; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->index = i;
+
+    loop->listen_fd =
+        socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (loop->listen_fd < 0) return io_error("socket failed");
+    const int one = 1;
+    setsockopt(loop->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    // SO_REUSEPORT on every listener: the kernel hashes incoming
+    // connections across the loops' accept queues.
+    setsockopt(loop->listen_fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+
+    // Loop 0 may bind port 0 (ephemeral); the rest bind the resolved port.
+    addr.sin_port = htons(i == 0 ? options.port : port_);
+    if (bind(loop->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+      return io_error(std::string("bind failed: ") + std::strerror(errno));
+    }
+    if (listen(loop->listen_fd, 128) < 0) return io_error("listen failed");
+    if (i == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (getsockname(loop->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &len) < 0) {
+        return io_error("getsockname failed");
+      }
+      port_ = ntohs(bound.sin_port);
+    }
+
+    loop->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->wake_fd < 0) return io_error("eventfd failed");
+
+    loop->backend = make_backend(options.backend);
+    if (loop->backend == nullptr) {
+      return failed_precondition(
+          "io_uring backend unavailable (build without PAX_WITH_LIBURING "
+          "or kernel lacks required ops)");
+    }
+    PAX_RETURN_IF_ERROR(loop->backend->init(loop->listen_fd, loop->wake_fd));
+    backend_name_ = loop->backend->name();
+    loops_.push_back(std::move(loop));
   }
-  port_ = ntohs(bound.sin_port);
   return Status::ok();
 }
 
@@ -156,139 +189,149 @@ void KvServer::stop() {
     co_thread_.join();
   }
   stop_.store(true, std::memory_order_release);
-  wake_loop();
-  if (loop_thread_.joinable()) loop_thread_.join();
-
-  for (auto& [id, conn] : conns_) {
-    (void)id;
-    if (conn->fd >= 0) ::close(conn->fd);
+  for (auto& loop : loops_) wake_loop(*loop);
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
   }
-  conns_.clear();
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+  for (auto& loop : loops_) shutdown_loop(*loop);
+  loops_.clear();
 }
 
-void KvServer::wake_loop() {
+void KvServer::shutdown_loop(EventLoop& loop) {
+  // Close every live connection through the backend so in-kernel I/O
+  // (io_uring SQEs holding pointers into conn buffers) quiesces before the
+  // Conns are destroyed. The loop thread has exited; single-threaded now.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(loop.conns.size());
+  for (auto& [id, conn] : loop.conns) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    auto it = loop.conns.find(id);
+    if (it == loop.conns.end()) continue;
+    std::unique_ptr<Conn> conn = std::move(it->second);
+    loop.conns.erase(it);
+    if (!loop.backend->remove_conn(id, conn->fd)) {
+      loop.dying.emplace(id, std::move(conn));
+    }
+  }
+  std::array<BackendEvent, 64> events;
+  for (int spin = 0; !loop.dying.empty() && spin < 200; ++spin) {
+    const std::size_t n = loop.backend->wait(events, /*timeout_ms=*/10);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (events[i].kind == BackendEvent::Kind::kClosed) {
+        loop.dying.erase(events[i].conn_id);
+      }
+    }
+  }
+  if (!loop.dying.empty()) {
+    PAX_LOG_ERROR("loop %zu: %zu connections failed to quiesce",
+                  loop.index, loop.dying.size());
+    for (auto& [id, conn] : loop.dying) conn.release();  // leak, don't UAF
+    loop.dying.clear();
+  }
+  loop.backend.reset();
+  if (loop.wake_fd >= 0) ::close(loop.wake_fd);
+  if (loop.listen_fd >= 0) ::close(loop.listen_fd);
+  loop.wake_fd = loop.listen_fd = -1;
+}
+
+void KvServer::wake_loop(EventLoop& loop) {
   const std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  [[maybe_unused]] ssize_t n = ::write(loop.wake_fd, &one, sizeof(one));
 }
 
-void KvServer::event_loop() {
-  std::array<epoll_event, 64> events;
+void KvServer::event_loop(EventLoop& loop) {
+  if (options_.pin_loops) {
+    pin_thread_to(static_cast<unsigned>(loop.index));
+  }
+  std::array<BackendEvent, 64> events;
   while (!stop_.load(std::memory_order_acquire)) {
-    const int n =
-        epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
-                   /*timeout_ms=*/100);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      PAX_LOG_ERROR("epoll_wait: %s", std::strerror(errno));
-      return;
-    }
-    for (int i = 0; i < n; ++i) {
-      const std::uint64_t id = events[static_cast<std::size_t>(i)].data.u64;
-      const std::uint32_t ev = events[static_cast<std::size_t>(i)].events;
-      if (id == kListenerId) {
-        accept_ready();
-        continue;
+    const std::size_t n = loop.backend->wait(events, /*timeout_ms=*/100);
+    for (std::size_t i = 0; i < n; ++i) {
+      const BackendEvent& ev = events[i];
+      switch (ev.kind) {
+        case BackendEvent::Kind::kAccepted:
+          on_accepted(loop, ev.fd);
+          break;
+        case BackendEvent::Kind::kRecv:
+          on_recv(loop, ev.conn_id, ev.result);
+          break;
+        case BackendEvent::Kind::kSend:
+          on_send(loop, ev.conn_id, ev.result);
+          break;
+        case BackendEvent::Kind::kWake:
+          drain_completions(loop);
+          break;
+        case BackendEvent::Kind::kHangup:
+          close_conn(loop, ev.conn_id);
+          break;
+        case BackendEvent::Kind::kClosed:
+          loop.dying.erase(ev.conn_id);
+          loop.backend->resume_accepts();
+          break;
+        case BackendEvent::Kind::kAcceptPaused:
+          // close_conn → resume_accepts() re-arms once an fd frees up.
+          break;
       }
-      if (id == kWakeId) {
-        std::uint64_t drained = 0;
-        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
-        }
-        drain_completions();
-        continue;
-      }
-      auto it = conns_.find(id);
-      if (it == conns_.end()) continue;
-      Conn& conn = *it->second;
-      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
-        close_conn(id);
-        continue;
-      }
-      if ((ev & EPOLLOUT) != 0 && !conn_writable(conn)) continue;
-      if ((ev & EPOLLIN) != 0) conn_readable(conn);
     }
   }
 }
 
-void KvServer::accept_ready() {
+void KvServer::on_accepted(EventLoop& loop, int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->id = loop.next_conn_id++;
+  conn->rbuf.resize(kRecvBufBytes);
+  if (!loop.backend->add_conn(conn->id, fd).is_ok()) {
+    ::close(fd);
+    return;
+  }
+  Conn& ref = *conn;
+  loop.conns.emplace(ref.id, std::move(conn));
+  conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+  arm_recv(loop, ref);
+}
+
+void KvServer::arm_recv(EventLoop& loop, Conn& conn) {
+  conn.recv_armed = true;
+  loop.backend->arm_recv(conn.id, conn.fd, conn.rbuf.data(),
+                         conn.rbuf.size());
+}
+
+void KvServer::on_recv(EventLoop& loop, std::uint64_t conn_id,
+                       ssize_t result) {
+  auto it = loop.conns.find(conn_id);
+  if (it == loop.conns.end()) return;
+  Conn& conn = *it->second;
+  conn.recv_armed = false;
+  if (result <= 0) {
+    close_conn(loop, conn_id);  // EOF or socket error
+    return;
+  }
+  bytes_in_.fetch_add(static_cast<std::uint64_t>(result),
+                      std::memory_order_relaxed);
+  conn.parser.feed(conn.rbuf.data(), static_cast<std::size_t>(result));
   for (;;) {
-    const int fd = accept4(listen_fd_, nullptr, nullptr,
-                           SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
-        continue;  // per-connection hiccup: keep draining the backlog
-      }
-      // Persistent failure (EMFILE/ENFILE/ENOMEM/...): the level-triggered
-      // listener would make epoll_wait spin at 100% CPU. Deregister it;
-      // close_conn re-arms once a connection frees an fd.
-      PAX_LOG_ERROR("accept4: %s; pausing accepts", std::strerror(errno));
-      if (epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr) == 0) {
-        accepts_paused_ = true;
-      }
+    auto req = conn.parser.next_request();
+    if (!req.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(loop, conn_id);
       return;
     }
-    const int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    conn->id = next_conn_id_++;
-
-    epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLRDHUP;
-    ev.data.u64 = conn->id;
-    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      ::close(fd);
-      continue;
-    }
-    conns_.emplace(conn->id, std::move(conn));
-    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (!req.value().has_value()) break;
+    if (!handle_request(loop, conn, *req.value())) return;
   }
+  if (conn.inflight.size() >= options_.max_inflight_per_conn) {
+    conn.paused_read = true;  // resume in try_flush once below the cap
+    return;
+  }
+  arm_recv(loop, conn);
 }
 
-void KvServer::conn_readable(Conn& conn) {
-  const std::uint64_t id = conn.id;
-  std::byte buf[64 << 10];
-  for (;;) {
-    if (conn.paused_read) return;  // in-flight cap reached mid-loop
-    const ssize_t n = recv(conn.fd, buf, sizeof(buf), 0);
-    if (n == 0) {
-      close_conn(id);
-      return;
-    }
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      close_conn(id);
-      return;
-    }
-    bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
-                        std::memory_order_relaxed);
-    conn.parser.feed(buf, static_cast<std::size_t>(n));
-    for (;;) {
-      auto req = conn.parser.next_request();
-      if (!req.ok()) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        close_conn(id);
-        return;
-      }
-      if (!req.value().has_value()) break;
-      // A STATS request flushes inline and may close the connection on a
-      // send() error — stop immediately rather than touch a freed Conn.
-      if (!handle_request(conn, *req.value())) return;
-    }
-    if (conn.inflight.size() >= options_.max_inflight_per_conn &&
-        !conn.paused_read) {
-      conn.paused_read = true;
-      update_epoll(conn);
-    }
-  }
-}
-
-bool KvServer::handle_request(Conn& conn, const Request& req) {
+bool KvServer::handle_request(EventLoop& loop, Conn& conn,
+                              const Request& req) {
   const std::uint64_t seq = conn.next_seq++;
   conn.inflight.emplace_back();
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -298,10 +341,12 @@ bool KvServer::handle_request(Conn& conn, const Request& req) {
     Pending& slot = conn.inflight.back();
     append_response(slot.resp, RespStatus::kOk, stats_json());
     slot.ready = true;
-    return flush_conn(conn);
+    try_flush(loop, conn);
+    return true;
   }
 
   Op op;
+  op.loop = static_cast<std::uint32_t>(loop.index);
   op.conn_id = conn.id;
   op.seq = seq;
   op.op = req.op;
@@ -317,80 +362,79 @@ bool KvServer::handle_request(Conn& conn, const Request& req) {
   return true;
 }
 
-bool KvServer::conn_writable(Conn& conn) { return flush_conn(conn); }
+void KvServer::try_flush(EventLoop& loop, Conn& conn) {
+  // While a send is armed the backend holds a pointer into conn.out — the
+  // buffer must not grow or move. Newly-ready responses wait in their
+  // in-flight slots until the send completes.
+  if (conn.send_armed) return;
 
-bool KvServer::flush_conn(Conn& conn) {
-  // Move the ready prefix of the in-flight window into the output buffer —
-  // responses leave in request order, whatever order shards finished in.
-  while (!conn.inflight.empty() && conn.inflight.front().ready) {
-    Pending& front = conn.inflight.front();
-    conn.out.insert(conn.out.end(), front.resp.begin(), front.resp.end());
-    conn.inflight.pop_front();
-    ++conn.base_seq;
-  }
-
-  while (conn.out_off < conn.out.size()) {
-    const ssize_t n = send(conn.fd, conn.out.data() + conn.out_off,
-                           conn.out.size() - conn.out_off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      close_conn(conn.id);
-      return false;
-    }
-    conn.out_off += static_cast<std::size_t>(n);
-    bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
-                         std::memory_order_relaxed);
-  }
   if (conn.out_off == conn.out.size()) {
     conn.out.clear();
     conn.out_off = 0;
-  }
-
-  const bool want_write = conn.out_off < conn.out.size();
-  const bool pause = conn.inflight.size() >= options_.max_inflight_per_conn;
-  if (want_write != conn.want_write || pause != conn.paused_read) {
-    conn.want_write = want_write;
-    conn.paused_read = pause;
-    update_epoll(conn);
-  }
-  return true;
-}
-
-void KvServer::update_epoll(Conn& conn) {
-  epoll_event ev{};
-  ev.events = EPOLLRDHUP;
-  if (!conn.paused_read) ev.events |= EPOLLIN;
-  if (conn.want_write) ev.events |= EPOLLOUT;
-  ev.data.u64 = conn.id;
-  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
-}
-
-void KvServer::close_conn(std::uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  ::close(it->second->fd);
-  conns_.erase(it);
-  conns_closed_.fetch_add(1, std::memory_order_relaxed);
-  if (accepts_paused_) {
-    // An fd just freed up; resume accepting.
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = kListenerId;
-    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
-      accepts_paused_ = false;
+    // Move the ready prefix of the in-flight window into the output
+    // buffer — responses leave in request order, whatever order shards
+    // finished in.
+    while (!conn.inflight.empty() && conn.inflight.front().ready) {
+      Pending& front = conn.inflight.front();
+      conn.out.insert(conn.out.end(), front.resp.begin(), front.resp.end());
+      conn.inflight.pop_front();
+      ++conn.base_seq;
     }
   }
+
+  if (conn.paused_read &&
+      conn.inflight.size() < options_.max_inflight_per_conn) {
+    conn.paused_read = false;
+    if (!conn.recv_armed) arm_recv(loop, conn);
+  }
+
+  if (conn.out_off < conn.out.size()) {
+    conn.send_armed = true;
+    loop.backend->arm_send(conn.id, conn.fd, conn.out.data() + conn.out_off,
+                           conn.out.size() - conn.out_off);
+  }
 }
 
-void KvServer::drain_completions() {
+void KvServer::on_send(EventLoop& loop, std::uint64_t conn_id,
+                       ssize_t result) {
+  auto it = loop.conns.find(conn_id);
+  if (it == loop.conns.end()) return;
+  Conn& conn = *it->second;
+  conn.send_armed = false;
+  if (result < 0) {
+    close_conn(loop, conn_id);
+    return;
+  }
+  bytes_out_.fetch_add(static_cast<std::uint64_t>(result),
+                       std::memory_order_relaxed);
+  conn.out_off += static_cast<std::size_t>(result);
+  try_flush(loop, conn);
+}
+
+void KvServer::close_conn(EventLoop& loop, std::uint64_t conn_id) {
+  auto it = loop.conns.find(conn_id);
+  if (it == loop.conns.end()) return;
+  std::unique_ptr<Conn> conn = std::move(it->second);
+  loop.conns.erase(it);
+  conns_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (!loop.backend->remove_conn(conn_id, conn->fd)) {
+    // In-kernel I/O still references conn's buffers; hold it until the
+    // backend delivers kClosed.
+    loop.dying.emplace(conn_id, std::move(conn));
+    return;
+  }
+  loop.backend->resume_accepts();  // an fd just freed up (no-op otherwise)
+}
+
+void KvServer::drain_completions(EventLoop& loop) {
   std::vector<Completion> batch;
   {
-    std::lock_guard lock(comp_mu_);
-    batch.swap(completions_);
+    std::lock_guard lock(loop.comp_mu);
+    batch.swap(loop.completions);
   }
   for (Completion& c : batch) {
-    auto it = conns_.find(c.conn_id);
-    if (it == conns_.end()) continue;  // connection died with ops in flight
+    auto it = loop.conns.find(c.conn_id);
+    if (it == loop.conns.end()) continue;  // connection died with ops in flight
     Conn& conn = *it->second;
     const std::uint64_t idx = c.seq - conn.base_seq;
     PAX_CHECK_MSG(idx < conn.inflight.size(),
@@ -401,30 +445,43 @@ void KvServer::drain_completions() {
   }
   // One flush pass per drained connection set (flushing per completion
   // would re-walk the deque needlessly; ready-prefix flushing is cheap).
-  // flush_conn may close_conn (erase from conns_), so collect the ids
-  // first and re-look each one up rather than iterate conns_ directly.
+  // try_flush cannot close a connection (errors surface as kSend
+  // completions), but collect ids first anyway to keep iteration simple.
   std::vector<std::uint64_t> to_flush;
-  to_flush.reserve(conns_.size());
-  for (auto& [id, conn] : conns_) {
+  to_flush.reserve(loop.conns.size());
+  for (auto& [id, conn] : loop.conns) {
     if (!conn->inflight.empty() && conn->inflight.front().ready) {
       to_flush.push_back(id);
     }
   }
   for (const std::uint64_t id : to_flush) {
-    auto it = conns_.find(id);
-    if (it != conns_.end()) flush_conn(*it->second);
+    auto it = loop.conns.find(id);
+    if (it != loop.conns.end()) try_flush(loop, *it->second);
   }
 }
 
-void KvServer::complete(Completion completion) {
-  {
-    std::lock_guard lock(comp_mu_);
-    completions_.push_back(std::move(completion));
+void KvServer::post_completions(std::vector<Completion> batch) {
+  if (batch.empty()) return;
+  // Partition by originating loop; one queue append + one wake per loop.
+  for (auto& loop : loops_) {
+    bool any = false;
+    {
+      std::lock_guard lock(loop->comp_mu);
+      for (Completion& c : batch) {
+        if (c.loop == loop->index) {
+          loop->completions.push_back(std::move(c));
+          any = true;
+        }
+      }
+    }
+    if (any) wake_loop(*loop);
   }
-  wake_loop();
 }
 
 void KvServer::worker_loop(std::size_t shard) {
+  if (options_.pin_loops) {
+    pin_thread_to(static_cast<unsigned>(options_.loop_threads + shard));
+  }
   ShardWorker& worker = *workers_[shard];
   const bool independent =
       options_.commit_mode == KvServerOptions::CommitMode::kIndependent;
@@ -443,13 +500,11 @@ void KvServer::worker_loop(std::size_t shard) {
     batch.swap(worker.queue);
     lock.unlock();
 
+    // execute_op appends to `deferred` only for acked writes in durable
+    // modes; everything else posts to its loop's completion queue inline.
     std::vector<Completion> deferred;
-    std::vector<Completion> immediate;
     for (const Op& op : batch) {
       execute_op(shard, op, group || independent ? &deferred : nullptr);
-      // execute_op appends to `deferred` only for acked writes in durable
-      // modes; everything else lands on the completion queue right here.
-      (void)immediate;
     }
 
     if (!deferred.empty()) {
@@ -463,13 +518,7 @@ void KvServer::worker_loop(std::size_t shard) {
             append_response(c.resp, RespStatus::kError);
           }
         }
-        {
-          std::lock_guard clock(comp_mu_);
-          for (Completion& c : deferred) {
-            completions_.push_back(std::move(c));
-          }
-        }
-        wake_loop();
+        post_completions(std::move(deferred));
       } else {
         // Group mode: park the acks with the coordinator; the next wave
         // releases them.
@@ -488,6 +537,7 @@ void KvServer::execute_op(std::size_t shard, const Op& op,
                           std::vector<Completion>* deferred_writes) {
   (void)shard;
   Completion c;
+  c.loop = op.loop;
   c.conn_id = op.conn_id;
   c.seq = op.seq;
   bool durable_write = false;
@@ -529,7 +579,9 @@ void KvServer::execute_op(std::size_t shard, const Op& op,
   if (durable_write && deferred_writes != nullptr) {
     deferred_writes->push_back(std::move(c));
   } else {
-    complete(std::move(c));
+    std::vector<Completion> one;
+    one.push_back(std::move(c));
+    post_completions(std::move(one));
   }
 }
 
@@ -563,16 +615,14 @@ void KvServer::coordinator_loop() {
         append_response(c.resp, RespStatus::kError);
       }
     }
-    {
-      std::lock_guard clock(comp_mu_);
-      for (Completion& c : batch) completions_.push_back(std::move(c));
-    }
-    wake_loop();
+    post_completions(std::move(batch));
 
     lock.lock();
     if (co_stop_ && parked_writes_.empty()) return;
   }
 }
+
+const char* KvServer::backend_name() const { return backend_name_; }
 
 KvServerStats KvServer::stats() const {
   KvServerStats s;
@@ -601,6 +651,8 @@ std::string KvServer::stats_json() const {
   out += "{\n";
   appendf(out, "  \"commit_mode\": \"%s\",\n",
           commit_mode_name(options_.commit_mode));
+  appendf(out, "  \"backend\": \"%s\",\n", backend_name());
+  appendf(out, "  \"loops\": %zu,\n", options_.loop_threads);
   appendf(out, "  \"shards\": %zu,\n", store_->shard_count());
   appendf(out, "  \"log_flushes_total\": %llu,\n",
           static_cast<unsigned long long>(flushes));

@@ -1,0 +1,359 @@
+// io_uring EventBackend — the submission-path counterpart of
+// epoll_backend.cpp.
+//
+// Every arm_recv/arm_send stages one SQE; wait() publishes the whole batch
+// with a single io_uring_submit_and_wait_timeout, so an iteration that
+// touches K connections costs one syscall instead of K recv/send calls
+// plus an epoll_wait. The listener runs as a multishot accept when the
+// kernel offers it (one persistent SQE feeds every incoming connection),
+// falling back to re-armed oneshot accepts on -EINVAL.
+//
+// Lifetime rule: the kernel may write into a connection's recv buffer
+// until the matching CQE retires, so remove_conn() cannot free buffers
+// synchronously. It stages IORING_OP_ASYNC_CANCEL for the connection's
+// outstanding user_data values, parks the connection in dying_, and emits
+// kClosed once its in-flight count reaches zero — only then may the
+// caller destroy the Conn (see event_backend.hpp).
+#include "pax/kv/event_backend.hpp"
+
+#ifndef PAX_HAVE_LIBURING
+#define PAX_HAVE_LIBURING 0
+#endif
+
+#if !PAX_HAVE_LIBURING
+
+namespace pax::kv {
+std::unique_ptr<EventBackend> make_io_uring_backend() { return nullptr; }
+bool io_uring_available() { return false; }
+}  // namespace pax::kv
+
+#else  // PAX_HAVE_LIBURING
+
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+#include "pax/common/log.hpp"
+#include "pax/kv/uring_shim.hpp"
+
+namespace pax::kv {
+
+namespace {
+
+// CQE user_data encoding: (conn_id << 3) | tag. Accept/wake use conn_id 0;
+// real connections start at id 2, so the spaces never collide.
+constexpr std::uint64_t kTagAccept = 0;
+constexpr std::uint64_t kTagRecv = 1;
+constexpr std::uint64_t kTagSend = 2;
+constexpr std::uint64_t kTagWake = 3;
+constexpr std::uint64_t kTagCancel = 4;
+constexpr std::uint64_t kTagMask = 7;
+
+std::uint64_t make_data(std::uint64_t conn_id, std::uint64_t tag) {
+  return (conn_id << 3) | tag;
+}
+
+constexpr unsigned kRingEntries = 512;
+
+class UringBackend final : public EventBackend {
+ public:
+  ~UringBackend() override {
+    if (ring_ok_) io_uring_queue_exit(&ring_);
+    for (auto& [id, st] : dying_) ::close(st.fd);
+    for (auto& [id, st] : conns_) ::close(st.fd);
+  }
+
+  Status init(int listen_fd, int wake_fd) override {
+    listen_fd_ = listen_fd;
+    wake_fd_ = wake_fd;
+    const int rc = io_uring_queue_init(kRingEntries, &ring_, 0);
+    if (rc != 0) {
+      return io_error(std::string("io_uring_queue_init: ") +
+                      std::strerror(-rc));
+    }
+    ring_ok_ = true;
+#ifdef IORING_ACCEPT_MULTISHOT
+    multishot_ = true;
+#endif
+    arm_wake();
+    arm_accept();
+    return Status::ok();
+  }
+
+  Status add_conn(std::uint64_t conn_id, int fd) override {
+    ConnState st;
+    st.fd = fd;
+    conns_.emplace(conn_id, st);
+    return Status::ok();
+  }
+
+  bool remove_conn(std::uint64_t conn_id, int fd) override {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) {
+      ::close(fd);
+      return true;
+    }
+    ConnState st = it->second;
+    conns_.erase(it);
+    if (st.pending == 0) {
+      ::close(fd);
+      return true;
+    }
+    // Cancel whatever is in flight; the cancelled ops' own CQEs (-ECANCELED
+    // or a late success) drive pending to zero, then we close + emit
+    // kClosed. Cancelling a user_data with nothing in flight just yields
+    // -ENOENT on the cancel CQE, which we ignore.
+    prep_cancel(make_data(conn_id, kTagRecv));
+    prep_cancel(make_data(conn_id, kTagSend));
+    dying_.emplace(conn_id, st);
+    return false;
+  }
+
+  void arm_recv(std::uint64_t conn_id, int fd, void* buf,
+                std::size_t len) override {
+    io_uring_sqe* sqe = get_sqe();
+    if (sqe == nullptr) {
+      push({BackendEvent::Kind::kRecv, conn_id, -1, -ENOMEM});
+      return;
+    }
+    io_uring_prep_recv(sqe, fd, buf, len, 0);
+    io_uring_sqe_set_data64(sqe, make_data(conn_id, kTagRecv));
+    bump_pending(conn_id);
+  }
+
+  void arm_send(std::uint64_t conn_id, int fd, const void* buf,
+                std::size_t len) override {
+    io_uring_sqe* sqe = get_sqe();
+    if (sqe == nullptr) {
+      push({BackendEvent::Kind::kSend, conn_id, -1, -ENOMEM});
+      return;
+    }
+    io_uring_prep_send(sqe, fd, buf, len, MSG_NOSIGNAL);
+    io_uring_sqe_set_data64(sqe, make_data(conn_id, kTagSend));
+    bump_pending(conn_id);
+  }
+
+  void resume_accepts() override {
+    if (!accepts_paused_) return;
+    accepts_paused_ = false;
+    arm_accept();
+  }
+
+  std::size_t wait(std::span<BackendEvent> out, int timeout_ms) override {
+    if (!ready_.empty()) timeout_ms = 0;
+    __kernel_timespec ts{};
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+    io_uring_cqe* first = nullptr;
+    const int rc =
+        io_uring_submit_and_wait_timeout(&ring_, &first, 1, &ts, nullptr);
+    if (rc < 0 && rc != -ETIME && rc != -EINTR) {
+      PAX_LOG_ERROR("io_uring_submit_and_wait_timeout: %s",
+                    std::strerror(-rc));
+    }
+    drain_cq();
+    std::size_t delivered = 0;
+    while (delivered < out.size() && !ready_.empty()) {
+      out[delivered++] = ready_.front();
+      ready_.pop_front();
+    }
+    return delivered;
+  }
+
+  const char* name() const override { return "io_uring"; }
+
+ private:
+  struct ConnState {
+    int fd = -1;
+    int pending = 0;  // outstanding recv+send SQEs (0..2)
+  };
+
+  void push(BackendEvent ev) { ready_.push_back(ev); }
+
+  io_uring_sqe* get_sqe() {
+    io_uring_sqe* sqe = io_uring_get_sqe(&ring_);
+    if (sqe != nullptr) return sqe;
+    // SQ full: flush what's staged and retry once. With a 512-entry ring
+    // and <= 2 SQEs per connection this is effectively unreachable.
+    io_uring_submit(&ring_);
+    return io_uring_get_sqe(&ring_);
+  }
+
+  void bump_pending(std::uint64_t conn_id) {
+    auto it = conns_.find(conn_id);
+    if (it != conns_.end()) ++it->second.pending;
+  }
+
+  void prep_cancel(std::uint64_t target_data) {
+    io_uring_sqe* sqe = get_sqe();
+    if (sqe == nullptr) return;  // drained via the op's natural completion
+    io_uring_prep_cancel64(sqe, target_data, 0);
+    io_uring_sqe_set_data64(sqe, kTagCancel);
+  }
+
+  void arm_wake() {
+    io_uring_sqe* sqe = get_sqe();
+    if (sqe == nullptr) return;
+    io_uring_prep_read(sqe, wake_fd_, &wake_buf_, sizeof(wake_buf_), 0);
+    io_uring_sqe_set_data64(sqe, kTagWake);
+  }
+
+  void arm_accept() {
+    if (accepts_paused_) return;
+    io_uring_sqe* sqe = get_sqe();
+    if (sqe == nullptr) return;
+#ifdef IORING_ACCEPT_MULTISHOT
+    if (multishot_) {
+      io_uring_prep_multishot_accept(sqe, listen_fd_, nullptr, nullptr,
+                                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+      io_uring_sqe_set_data64(sqe, kTagAccept);
+      return;
+    }
+#endif
+    io_uring_prep_accept(sqe, listen_fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+    io_uring_sqe_set_data64(sqe, kTagAccept);
+  }
+
+  void drain_cq() {
+    std::array<io_uring_cqe*, 64> cqes;
+    for (;;) {
+      const unsigned n =
+          io_uring_peek_batch_cqe(&ring_, cqes.data(), cqes.size());
+      if (n == 0) return;
+      for (unsigned i = 0; i < n; ++i) handle_cqe(cqes[i]);
+      io_uring_cq_advance(&ring_, n);
+    }
+  }
+
+  void handle_cqe(const io_uring_cqe* cqe) {
+    const std::uint64_t data = io_uring_cqe_get_data64(cqe);
+    const std::uint64_t tag = data & kTagMask;
+    const std::uint64_t conn_id = data >> 3;
+    const int res = cqe->res;
+    switch (tag) {
+      case kTagAccept:
+        handle_accept(cqe, res);
+        return;
+      case kTagWake:
+        arm_wake();
+        push({BackendEvent::Kind::kWake, 0, -1, 0});
+        return;
+      case kTagCancel:
+        return;  // cancel SQE's own result; the target op CQEs separately
+      case kTagRecv:
+      case kTagSend:
+        break;
+      default:
+        return;
+    }
+    if (auto dit = dying_.find(conn_id); dit != dying_.end()) {
+      if (--dit->second.pending == 0) {
+        ::close(dit->second.fd);
+        dying_.erase(dit);
+        push({BackendEvent::Kind::kClosed, conn_id, -1, 0});
+      }
+      return;
+    }
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    --it->second.pending;
+    push({tag == kTagRecv ? BackendEvent::Kind::kRecv
+                          : BackendEvent::Kind::kSend,
+          conn_id, -1, res});
+  }
+
+  void handle_accept(const io_uring_cqe* cqe, int res) {
+    bool rearm = true;
+#ifdef IORING_CQE_F_MORE
+    if (multishot_ && res >= 0) {
+      rearm = (cqe->flags & IORING_CQE_F_MORE) == 0;
+    }
+#else
+    (void)cqe;
+#endif
+    if (res >= 0) {
+      push({BackendEvent::Kind::kAccepted, 0, res, 0});
+      if (rearm) arm_accept();
+      return;
+    }
+    if (res == -EINVAL && multishot_) {
+      // Kernel has the flag in its headers but not the feature: drop to
+      // oneshot accepts for the life of this backend.
+      multishot_ = false;
+      arm_accept();
+      return;
+    }
+    if (res == -ECANCELED || res == -EINTR || res == -ECONNABORTED ||
+        res == -EPROTO) {
+      arm_accept();
+      return;
+    }
+    // EMFILE/ENFILE/ENOMEM: stop accepting until the caller frees an fd
+    // and calls resume_accepts().
+    PAX_LOG_ERROR("io_uring accept: %s; pausing accepts",
+                  std::strerror(-res));
+    accepts_paused_ = true;
+    push({BackendEvent::Kind::kAcceptPaused, 0, -1, 0});
+  }
+
+  io_uring ring_{};
+  bool ring_ok_ = false;
+  bool multishot_ = false;
+  bool accepts_paused_ = false;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint64_t wake_buf_ = 0;
+  std::unordered_map<std::uint64_t, ConnState> conns_;
+  std::unordered_map<std::uint64_t, ConnState> dying_;
+  std::deque<BackendEvent> ready_;
+};
+
+}  // namespace
+
+std::unique_ptr<EventBackend> make_io_uring_backend() {
+  if (!io_uring_available()) return nullptr;
+  return std::make_unique<UringBackend>();
+}
+
+bool io_uring_available() {
+  static const bool available = [] {
+    io_uring ring;
+    if (io_uring_queue_init(8, &ring, 0) != 0) return false;
+    bool ok = true;
+#if defined(IORING_REGISTER_PROBE) && defined(IO_URING_OP_SUPPORTED)
+    struct ProbeBuf {
+      io_uring_probe probe;
+      io_uring_probe_op ops[256];
+    };
+    ProbeBuf buf;
+    std::memset(&buf, 0, sizeof(buf));
+    const long rc = syscall(__NR_io_uring_register, ring.ring_fd,
+                            IORING_REGISTER_PROBE, &buf, 256);
+    if (rc < 0) {
+      ok = false;
+    } else {
+      for (const int op : {IORING_OP_RECV, IORING_OP_SEND, IORING_OP_ACCEPT,
+                           IORING_OP_ASYNC_CANCEL, IORING_OP_READ}) {
+        if (op >= buf.probe.ops_len ||
+            (buf.probe.ops[op].flags & IO_URING_OP_SUPPORTED) == 0) {
+          ok = false;
+        }
+      }
+    }
+#endif
+    io_uring_queue_exit(&ring);
+    return ok;
+  }();
+  return available;
+}
+
+}  // namespace pax::kv
+
+#endif  // PAX_HAVE_LIBURING

@@ -1,0 +1,312 @@
+// io_uring access layer for the PaxKV io_uring event-loop backend.
+//
+// When the build found a system liburing (PAX_URING_SYSTEM), this header
+// is just <liburing.h>. Otherwise it provides a minimal, source-compatible
+// re-implementation of the exact liburing subset uring_backend.cpp uses,
+// over the raw io_uring_setup/io_uring_enter syscalls and the standard
+// ring mmaps — so the backend builds and runs on any kernel with
+// <linux/io_uring.h> headers, no library dependency. The subset:
+//
+//   io_uring_queue_init / io_uring_queue_exit
+//   io_uring_get_sqe / io_uring_submit / io_uring_submit_and_wait_timeout
+//   io_uring_peek_batch_cqe / io_uring_cq_advance
+//   io_uring_prep_{recv,send,read,accept,multishot_accept,cancel64}
+//   io_uring_sqe_set_data64 / io_uring_cqe_get_data64
+//
+// The shim requires IORING_FEAT_EXT_ARG (kernel >= 5.11) so that a waiting
+// io_uring_enter can carry a timeout without auxiliary timeout SQEs;
+// io_uring_queue_init fails with -ENOSYS on older kernels and the backend
+// reports io_uring as unavailable (the server then refuses kIoUring and
+// tests skip).
+#pragma once
+
+#if defined(PAX_URING_SYSTEM) && PAX_URING_SYSTEM
+#include <liburing.h>
+#else
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+
+struct io_uring {
+  int ring_fd = -1;
+  unsigned features = 0;
+
+  // Submission queue.
+  unsigned* sq_khead = nullptr;
+  unsigned* sq_ktail = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned sq_ring_mask = 0;
+  unsigned sq_ring_entries = 0;
+  io_uring_sqe* sqes = nullptr;
+  unsigned sqe_tail = 0;       // local (not yet published) SQE index
+  unsigned sqe_submitted = 0;  // published-and-submitted watermark
+
+  // Completion queue.
+  unsigned* cq_khead = nullptr;
+  unsigned* cq_ktail = nullptr;
+  unsigned cq_ring_mask = 0;
+  unsigned cq_ring_entries = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  void* sq_ring_ptr = nullptr;
+  std::size_t sq_ring_sz = 0;
+  void* cq_ring_ptr = nullptr;  // == sq_ring_ptr under FEAT_SINGLE_MMAP
+  std::size_t cq_ring_sz = 0;
+  std::size_t sqes_sz = 0;
+};
+
+namespace pax::kv::uring_detail {
+
+inline int sys_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+inline int sys_enter(int fd, unsigned to_submit, unsigned min_complete,
+                     unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
+                                  min_complete, flags, arg, argsz));
+}
+
+inline unsigned load_acquire(const unsigned* p) {
+  return std::atomic_ref<const unsigned>(*p).load(
+      std::memory_order_acquire);
+}
+
+inline void store_release(unsigned* p, unsigned v) {
+  std::atomic_ref<unsigned>(*p).store(v, std::memory_order_release);
+}
+
+}  // namespace pax::kv::uring_detail
+
+inline void io_uring_queue_exit(io_uring* ring) {
+  if (ring->sqes != nullptr) munmap(ring->sqes, ring->sqes_sz);
+  if (ring->cq_ring_ptr != nullptr &&
+      ring->cq_ring_ptr != ring->sq_ring_ptr) {
+    munmap(ring->cq_ring_ptr, ring->cq_ring_sz);
+  }
+  if (ring->sq_ring_ptr != nullptr) {
+    munmap(ring->sq_ring_ptr, ring->sq_ring_sz);
+  }
+  if (ring->ring_fd >= 0) close(ring->ring_fd);
+  *ring = io_uring{};
+}
+
+inline int io_uring_queue_init(unsigned entries, io_uring* ring,
+                               unsigned flags) {
+  *ring = io_uring{};
+  io_uring_params p;
+  std::memset(&p, 0, sizeof(p));
+  p.flags = flags;
+  const int fd = pax::kv::uring_detail::sys_setup(entries, &p);
+  if (fd < 0) return -errno;
+  ring->ring_fd = fd;
+  ring->features = p.features;
+#ifdef IORING_FEAT_EXT_ARG
+  const bool have_ext_arg = (p.features & IORING_FEAT_EXT_ARG) != 0;
+#else
+  const bool have_ext_arg = false;
+#endif
+  if (!have_ext_arg) {
+    io_uring_queue_exit(ring);
+    return -ENOSYS;  // shim needs EXT_ARG timeouts (kernel >= 5.11)
+  }
+
+  ring->sq_ring_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  ring->cq_ring_sz = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && ring->cq_ring_sz > ring->sq_ring_sz) {
+    ring->sq_ring_sz = ring->cq_ring_sz;
+  }
+  ring->sq_ring_ptr =
+      mmap(nullptr, ring->sq_ring_sz, PROT_READ | PROT_WRITE,
+           MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (ring->sq_ring_ptr == MAP_FAILED) {
+    ring->sq_ring_ptr = nullptr;
+    io_uring_queue_exit(ring);
+    return -ENOMEM;
+  }
+  if (single_mmap) {
+    ring->cq_ring_ptr = ring->sq_ring_ptr;
+  } else {
+    ring->cq_ring_ptr =
+        mmap(nullptr, ring->cq_ring_sz, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (ring->cq_ring_ptr == MAP_FAILED) {
+      ring->cq_ring_ptr = nullptr;
+      io_uring_queue_exit(ring);
+      return -ENOMEM;
+    }
+  }
+  ring->sqes_sz = p.sq_entries * sizeof(io_uring_sqe);
+  ring->sqes = static_cast<io_uring_sqe*>(
+      mmap(nullptr, ring->sqes_sz, PROT_READ | PROT_WRITE,
+           MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES));
+  if (ring->sqes == MAP_FAILED) {
+    ring->sqes = nullptr;
+    io_uring_queue_exit(ring);
+    return -ENOMEM;
+  }
+
+  auto* sq = static_cast<unsigned char*>(ring->sq_ring_ptr);
+  ring->sq_khead = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+  ring->sq_ktail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  ring->sq_ring_mask =
+      *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  ring->sq_ring_entries =
+      *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_entries);
+  ring->sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+
+  auto* cq = static_cast<unsigned char*>(ring->cq_ring_ptr);
+  ring->cq_khead = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  ring->cq_ktail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  ring->cq_ring_mask =
+      *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  ring->cq_ring_entries =
+      *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_entries);
+  ring->cqes = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+
+  // Identity-fill the SQ index array once: slot i always submits sqes[i].
+  for (unsigned i = 0; i < ring->sq_ring_entries; ++i) {
+    ring->sq_array[i] = i;
+  }
+  return 0;
+}
+
+inline io_uring_sqe* io_uring_get_sqe(io_uring* ring) {
+  const unsigned head = pax::kv::uring_detail::load_acquire(ring->sq_khead);
+  if (ring->sqe_tail - head >= ring->sq_ring_entries) return nullptr;
+  io_uring_sqe* sqe = &ring->sqes[ring->sqe_tail & ring->sq_ring_mask];
+  ++ring->sqe_tail;
+  std::memset(sqe, 0, sizeof(*sqe));
+  return sqe;
+}
+
+inline int io_uring_submit(io_uring* ring) {
+  const unsigned to_submit = ring->sqe_tail - ring->sqe_submitted;
+  if (to_submit == 0) return 0;
+  pax::kv::uring_detail::store_release(ring->sq_ktail, ring->sqe_tail);
+  const int n = pax::kv::uring_detail::sys_enter(
+      ring->ring_fd, to_submit, 0, 0, nullptr, 0);
+  if (n < 0) return -errno;
+  ring->sqe_submitted += static_cast<unsigned>(n);
+  return n;
+}
+
+inline unsigned io_uring_peek_batch_cqe(io_uring* ring, io_uring_cqe** out,
+                                        unsigned count) {
+  const unsigned tail = pax::kv::uring_detail::load_acquire(ring->cq_ktail);
+  const unsigned head = *ring->cq_khead;
+  unsigned n = tail - head;
+  if (n > count) n = count;
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = &ring->cqes[(head + i) & ring->cq_ring_mask];
+  }
+  return n;
+}
+
+inline void io_uring_cq_advance(io_uring* ring, unsigned nr) {
+  if (nr == 0) return;
+  pax::kv::uring_detail::store_release(ring->cq_khead,
+                                       *ring->cq_khead + nr);
+}
+
+/// Submits pending SQEs and waits up to `ts` for `wait_nr` completions
+/// (liburing signature; `out` receives the first ready CQE or nullptr).
+/// Returns < 0 on error, including -ETIME on timeout.
+inline int io_uring_submit_and_wait_timeout(io_uring* ring,
+                                            io_uring_cqe** out,
+                                            unsigned wait_nr,
+                                            __kernel_timespec* ts,
+                                            sigset_t* /*sigmask*/) {
+  const int submitted = io_uring_submit(ring);
+  if (submitted < 0) return submitted;
+  io_uring_cqe* ready[1];
+  if (io_uring_peek_batch_cqe(ring, ready, 1) >= wait_nr) {
+    if (out != nullptr) *out = ready[0];
+    return submitted;
+  }
+  io_uring_getevents_arg arg;
+  std::memset(&arg, 0, sizeof(arg));
+  arg.ts = reinterpret_cast<std::uint64_t>(ts);
+  const int rc = pax::kv::uring_detail::sys_enter(
+      ring->ring_fd, 0, wait_nr, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+      &arg, sizeof(arg));
+  if (rc < 0 && errno != ETIME) return -errno;
+  if (out != nullptr) {
+    *out = io_uring_peek_batch_cqe(ring, ready, 1) > 0 ? ready[0] : nullptr;
+  }
+  return rc < 0 ? -ETIME : submitted;
+}
+
+// --- SQE preparation (mirrors liburing's helpers) --------------------------
+
+inline void io_uring_sqe_set_data64(io_uring_sqe* sqe, std::uint64_t data) {
+  sqe->user_data = data;
+}
+
+inline std::uint64_t io_uring_cqe_get_data64(const io_uring_cqe* cqe) {
+  return cqe->user_data;
+}
+
+inline void io_uring_prep_rw(int op, io_uring_sqe* sqe, int fd,
+                             const void* addr, unsigned len,
+                             std::uint64_t offset) {
+  sqe->opcode = static_cast<std::uint8_t>(op);
+  sqe->fd = fd;
+  sqe->off = offset;
+  sqe->addr = reinterpret_cast<std::uint64_t>(addr);
+  sqe->len = len;
+}
+
+inline void io_uring_prep_recv(io_uring_sqe* sqe, int fd, void* buf,
+                               std::size_t len, int flags) {
+  io_uring_prep_rw(IORING_OP_RECV, sqe, fd, buf,
+                   static_cast<unsigned>(len), 0);
+  sqe->msg_flags = static_cast<std::uint32_t>(flags);
+}
+
+inline void io_uring_prep_send(io_uring_sqe* sqe, int fd, const void* buf,
+                               std::size_t len, int flags) {
+  io_uring_prep_rw(IORING_OP_SEND, sqe, fd, buf,
+                   static_cast<unsigned>(len), 0);
+  sqe->msg_flags = static_cast<std::uint32_t>(flags);
+}
+
+inline void io_uring_prep_read(io_uring_sqe* sqe, int fd, void* buf,
+                               unsigned nbytes, std::uint64_t offset) {
+  io_uring_prep_rw(IORING_OP_READ, sqe, fd, buf, nbytes, offset);
+}
+
+inline void io_uring_prep_accept(io_uring_sqe* sqe, int fd,
+                                 sockaddr* addr, socklen_t* addrlen,
+                                 int flags) {
+  io_uring_prep_rw(IORING_OP_ACCEPT, sqe, fd, addr, 0,
+                   reinterpret_cast<std::uint64_t>(addrlen));
+  sqe->accept_flags = static_cast<std::uint32_t>(flags);
+}
+
+#ifdef IORING_ACCEPT_MULTISHOT
+inline void io_uring_prep_multishot_accept(io_uring_sqe* sqe, int fd,
+                                           sockaddr* addr,
+                                           socklen_t* addrlen, int flags) {
+  io_uring_prep_accept(sqe, fd, addr, addrlen, flags);
+  sqe->ioprio |= IORING_ACCEPT_MULTISHOT;
+}
+#endif
+
+inline void io_uring_prep_cancel64(io_uring_sqe* sqe,
+                                   std::uint64_t user_data, int flags) {
+  io_uring_prep_rw(IORING_OP_ASYNC_CANCEL, sqe, -1, nullptr, 0, 0);
+  sqe->addr = user_data;
+  sqe->cancel_flags = static_cast<std::uint32_t>(flags);
+}
+
+#endif  // PAX_URING_SYSTEM

@@ -229,12 +229,54 @@ TEST(KvHistogram, MergeMatchesCombinedRecording) {
   }
 }
 
-TEST(KvHistogram, LargeValuesSaturateLastBucket) {
+TEST(KvHistogram, OverflowBucketReportsLowerBoundNotClamp) {
   LatencyHistogram h;
   h.record(~0ull);
   EXPECT_EQ(h.count(), 1u);
   EXPECT_EQ(h.max_ns(), ~0ull);
-  EXPECT_GT(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.overflow_min_ns(), ~0ull);
+  // The lone sample overflowed: every quantile reports >= the smallest
+  // overflowed value, never a clamped in-range midpoint.
+  EXPECT_EQ(h.percentile(0.5), ~0ull);
+}
+
+TEST(KvHistogram, TailQuantileInOverflowIsAtLeastSmallestOverflow) {
+  LatencyHistogram h;
+  for (int i = 0; i < 990; ++i) h.record(1000);  // in-range bulk
+  const std::uint64_t big = LatencyHistogram::kTrackableMaxNs + 12345;
+  for (int i = 0; i < 10; ++i) h.record(big + i);  // top 1% overflows
+  EXPECT_EQ(h.overflow_count(), 10u);
+  EXPECT_EQ(h.overflow_min_ns(), big);
+  // p50 is untouched by the overflow; p99.5+ lands in the overflow bucket
+  // and must report the ">= big" lower bound, not ~1000.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 1000.0, 1000.0 * 0.04);
+  EXPECT_EQ(h.percentile(0.997), big);
+  EXPECT_EQ(h.percentile(1.0), big + 9);  // exact max
+}
+
+TEST(KvHistogram, BoundaryValuesStayInRegularBuckets) {
+  LatencyHistogram h;
+  h.record(LatencyHistogram::kTrackableMaxNs);      // largest trackable
+  h.record(LatencyHistogram::kTrackableMaxNs + 1);  // smallest overflow
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.overflow_min_ns(), LatencyHistogram::kTrackableMaxNs + 1);
+  // The trackable sample resolves within the log-linear ~3% error.
+  const auto p0 = static_cast<double>(h.percentile(0.0));
+  EXPECT_NEAR(p0, static_cast<double>(LatencyHistogram::kTrackableMaxNs),
+              static_cast<double>(LatencyHistogram::kTrackableMaxNs) * 0.04);
+}
+
+TEST(KvHistogram, MergePropagatesOverflowState) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(500);
+  b.record(LatencyHistogram::kTrackableMaxNs + 777);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.overflow_count(), 1u);
+  EXPECT_EQ(a.overflow_min_ns(), LatencyHistogram::kTrackableMaxNs + 777);
+  EXPECT_EQ(a.percentile(1.0), LatencyHistogram::kTrackableMaxNs + 777);
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 // KvServer over loopback: basic ops, pipelined ordering, commit modes, the
-// STATS surface, protocol-error handling, and a concurrent torture run.
-// This test rides in the TSan CI job: the torture case is the data-race
-// check for the event loop / shard worker / coordinator handoffs.
+// STATS surface, protocol-error handling, and a concurrent torture run —
+// all run parametrically over the full serving matrix
+// {epoll, io_uring} × {1, 4} event loops, so both EventBackends and the
+// multi-loop SO_REUSEPORT path must behave byte-identically (io_uring
+// cases skip gracefully when the build or kernel lacks support).
+// This test rides in the TSan CI job: the torture case at 4 loops is the
+// data-race check for the loop / shard worker / coordinator handoffs.
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
@@ -10,6 +14,7 @@
 
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "pax/kv/client.hpp"
@@ -18,21 +23,35 @@
 namespace pax::kv {
 namespace {
 
-KvServerOptions small_options(KvServerOptions::CommitMode mode) {
-  KvServerOptions options;
-  options.port = 0;  // ephemeral
-  options.commit_mode = mode;
-  options.store.shards = 2;
-  options.store.shard_pool_bytes = 8 << 20;
-  options.store.map_shards = 4;
-  return options;
-}
+using ServerParam = std::tuple<KvServerOptions::Backend, std::size_t>;
+
+class KvServerMatrix : public ::testing::TestWithParam<ServerParam> {
+ protected:
+  void SetUp() override {
+    if (std::get<0>(GetParam()) == KvServerOptions::Backend::kIoUring &&
+        !KvServer::io_uring_supported()) {
+      GTEST_SKIP() << "io_uring not supported here (build or kernel)";
+    }
+  }
+
+  KvServerOptions small_options(KvServerOptions::CommitMode mode) const {
+    KvServerOptions options;
+    options.port = 0;  // ephemeral
+    options.commit_mode = mode;
+    options.backend = std::get<0>(GetParam());
+    options.loop_threads = std::get<1>(GetParam());
+    options.store.shards = 2;
+    options.store.shard_pool_bytes = 8 << 20;
+    options.store.map_shards = 4;
+    return options;
+  }
+};
 
 Result<KvClient> connect_to(const KvServer& server) {
   return KvClient::connect("127.0.0.1", server.port());
 }
 
-TEST(KvServer, BasicOps) {
+TEST_P(KvServerMatrix, BasicOps) {
   auto server = KvServer::start(
       small_options(KvServerOptions::CommitMode::kGroup));
   ASSERT_TRUE(server.ok()) << server.status().to_string();
@@ -66,7 +85,7 @@ TEST(KvServer, BasicOps) {
   EXPECT_EQ(del_miss.value().status, RespStatus::kNotFound);
 }
 
-TEST(KvServer, OverwriteReturnsLatest) {
+TEST_P(KvServerMatrix, OverwriteReturnsLatest) {
   auto server = KvServer::start(
       small_options(KvServerOptions::CommitMode::kGroup));
   ASSERT_TRUE(server.ok());
@@ -82,7 +101,7 @@ TEST(KvServer, OverwriteReturnsLatest) {
   EXPECT_EQ(got.value().value, "v15");
 }
 
-TEST(KvServer, PipelinedResponsesArriveInRequestOrder) {
+TEST_P(KvServerMatrix, PipelinedResponsesArriveInRequestOrder) {
   auto server = KvServer::start(
       small_options(KvServerOptions::CommitMode::kGroup));
   ASSERT_TRUE(server.ok());
@@ -110,7 +129,7 @@ TEST(KvServer, PipelinedResponsesArriveInRequestOrder) {
   }
 }
 
-TEST(KvServer, IndependentAndVolatileModes) {
+TEST_P(KvServerMatrix, IndependentAndVolatileModes) {
   for (auto mode : {KvServerOptions::CommitMode::kIndependent,
                     KvServerOptions::CommitMode::kVolatile}) {
     auto server = KvServer::start(small_options(mode));
@@ -129,7 +148,7 @@ TEST(KvServer, IndependentAndVolatileModes) {
   }
 }
 
-TEST(KvServer, StatsExposesShardRuntimeAndGroupCommit) {
+TEST_P(KvServerMatrix, StatsExposesShardRuntimeAndGroupCommit) {
   auto server = KvServer::start(
       small_options(KvServerOptions::CommitMode::kGroup));
   ASSERT_TRUE(server.ok());
@@ -145,20 +164,27 @@ TEST(KvServer, StatsExposesShardRuntimeAndGroupCommit) {
   // Spot checks of the observability surface (scripts/check_paxkv.py and
   // the loadgen parse this for real).
   for (const char* needle :
-       {"\"commit_mode\": \"group\"", "\"log_flushes_total\"",
-        "\"acked_write_ops\"", "\"group_commit\"", "\"waves\"",
-        "\"shard_stats\"", "\"sync\"", "\"tuner_decisions\"",
+       {"\"commit_mode\": \"group\"", "\"backend\"", "\"loops\"",
+        "\"log_flushes_total\"", "\"acked_write_ops\"", "\"group_commit\"",
+        "\"waves\"", "\"shard_stats\"", "\"sync\"", "\"tuner_decisions\"",
         "\"last_batch_lines\"", "\"pipeline\"", "\"ring_appends\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n"
                                                     << json;
   }
+  // The serving-plane shape must reflect the parametrized configuration.
+  const std::string backend_line =
+      std::string("\"backend\": \"") + server.value()->backend_name() + "\"";
+  EXPECT_NE(json.find(backend_line), std::string::npos) << json;
+  const std::string loops_line =
+      "\"loops\": " + std::to_string(std::get<1>(GetParam()));
+  EXPECT_NE(json.find(loops_line), std::string::npos) << json;
   // 64 acked PUTs must be visible in the group-commit accounting.
   const auto pos = json.find("\"acked_write_ops\": ");
   ASSERT_NE(pos, std::string::npos);
   EXPECT_NE(json.substr(pos, 40).find("64"), std::string::npos) << json;
 }
 
-TEST(KvServer, MalformedFrameClosesConnection) {
+TEST_P(KvServerMatrix, MalformedFrameClosesConnection) {
   auto server = KvServer::start(
       small_options(KvServerOptions::CommitMode::kVolatile));
   ASSERT_TRUE(server.ok());
@@ -187,9 +213,10 @@ TEST(KvServer, MalformedFrameClosesConnection) {
 }
 
 // The TSan torture: concurrent clients hammer both shards through every
-// handoff (event loop → worker → coordinator → event loop) while STATS
-// reads the runtime counters.
-TEST(KvServer, ConcurrentTorture) {
+// handoff (event loops → worker → coordinator → event loops) while STATS
+// reads the runtime counters. At loop_threads = 4 the clients land on
+// different SO_REUSEPORT loops, exercising cross-loop completion routing.
+TEST_P(KvServerMatrix, ConcurrentTorture) {
   auto options = small_options(KvServerOptions::CommitMode::kGroup);
   options.group_max_ops = 32;
   auto server = KvServer::start(options);
@@ -238,6 +265,22 @@ TEST(KvServer, ConcurrentTorture) {
   EXPECT_EQ(stats.protocol_errors, 0u);
   server.value()->stop();  // explicit stop before destruction: idempotent
 }
+
+std::string param_name(const ::testing::TestParamInfo<ServerParam>& info) {
+  const char* backend =
+      std::get<0>(info.param) == KvServerOptions::Backend::kEpoll
+          ? "epoll"
+          : "io_uring";
+  return std::string(backend) + "_loops" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ServingMatrix, KvServerMatrix,
+    ::testing::Combine(::testing::Values(KvServerOptions::Backend::kEpoll,
+                                         KvServerOptions::Backend::kIoUring),
+                       ::testing::Values(std::size_t{1}, std::size_t{4})),
+    param_name);
 
 }  // namespace
 }  // namespace pax::kv

@@ -199,7 +199,9 @@ TEST(ShardedMapTest, ConcurrentGetsDuringPipelinedDrain) {
         while (!stop.load(std::memory_order_relaxed)) {
           const std::uint64_t k = rng.next_below(4000);
           const auto v = map.get(k);
-          if (v.has_value()) ASSERT_EQ(*v, k * 5);
+          if (v.has_value()) {
+            ASSERT_EQ(*v, k * 5);
+          }
         }
       });
     }
