@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Perf guard for PaxScope: fail CI if offline analysis gets too slow.
+
+Reads BENCH_paxscope.json (written by bench/abl_paxscope) and enforces:
+
+  * full-pipeline throughput >= 50k events/s — the analyzer must chew
+    through CI's recorded torture traces (millions of events) in seconds,
+    not minutes. The floor is ~25x below the native Release figure so the
+    guard also passes under ASan.
+  * findings == 0 on every row — the synthesized stream carries every
+    ordering edge; a finding here is an analyzer false positive and blocks.
+  * every row processed events and built HB edges (events > 0,
+    hb_edges > 0) — guards against an empty trace trivially passing.
+
+Usage: check_paxscope.py [path/to/BENCH_paxscope.json]
+"""
+
+import json
+import sys
+
+MIN_FULL_EVENTS_PER_S = 50_000
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_paxscope.json"
+    with open(path) as f:
+        bench = json.load(f)
+
+    failures = []
+
+    full_rows = [r for r in bench["rows"] if r["config"] == "full"]
+    if not full_rows:
+        failures.append("no 'full' row in the report")
+    else:
+        rate = full_rows[0]["events_per_s"]
+        if rate < MIN_FULL_EVENTS_PER_S:
+            failures.append(
+                f"full-pipeline analysis ran at {rate:.0f} events/s "
+                f"(floor {MIN_FULL_EVENTS_PER_S})"
+            )
+
+    for r in bench["rows"]:
+        if r["findings"] != 0:
+            failures.append(
+                f"row config={r['config']} reported {r['findings']} "
+                f"finding(s) on the clean stream"
+            )
+        if r["events"] == 0 or r["hb_edges"] == 0:
+            failures.append(
+                f"row config={r['config']} processed no events/edges"
+            )
+
+    if failures:
+        print(f"{path}: paxscope guard FAILED")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+
+    rate = full_rows[0]["events_per_s"]
+    print(
+        f"{path}: paxscope guard ok "
+        f"(full pipeline {rate:.0f} events/s >= {MIN_FULL_EVENTS_PER_S}, "
+        f"0 findings, {len(bench['rows'])} rows live)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

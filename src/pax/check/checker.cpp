@@ -25,13 +25,11 @@ std::size_t round_pow2(std::size_t v) {
   return p;
 }
 
-std::string describe_lock(LockClass cls, std::uint64_t id) {
-  std::string out = lock_class_name(cls);
-  if (cls == LockClass::kStripe) out += " " + std::to_string(id);
-  return out;
-}
-
 }  // namespace
+
+std::string describe_lock(LockClass cls, std::uint64_t id) {
+  return std::string(lock_class_name(cls)) + " #" + std::to_string(id);
+}
 
 const char* event_type_name(EventType t) {
   switch (t) {
@@ -54,6 +52,10 @@ const char* event_type_name(EventType t) {
     case EventType::kLockRelease: return "LOCK_REL";
     case EventType::kPipelineSeal: return "PIPE_SEAL";
     case EventType::kPipelinePage: return "PIPE_PAGE";
+    case EventType::kTaskDispatch: return "TASK_DISPATCH";
+    case EventType::kTaskBegin: return "TASK_BEGIN";
+    case EventType::kTaskEnd: return "TASK_END";
+    case EventType::kTaskJoin: return "TASK_JOIN";
   }
   return "?";
 }
@@ -362,12 +364,14 @@ void Checker::process_lock_acquire(const Event& e) {
     const auto held_cls = static_cast<LockClass>(held.a);
     if (held_cls == cls && held.b == e.b) {
       add_violation(Rule::kLockSelfDeadlock, e, key,
-                    "thread re-acquired " + describe_lock(cls, e.b) +
-                        " it already holds");
+                    describe_lock(cls, e.b) + " re-acquired while " +
+                        describe_lock(held_cls, held.b) +
+                        " (seq " + std::to_string(held.seq) +
+                        ") is still held by the same thread");
     } else if (held_cls == cls && cls == LockClass::kStripe) {
       add_violation(Rule::kDoubleStripeLock, e, key,
-                    "stripe " + std::to_string(e.b) +
-                        " acquired while stripe " + std::to_string(held.b) +
+                    describe_lock(cls, e.b) + " acquired while " +
+                        describe_lock(held_cls, held.b) +
                         " is held (at most one stripe at a time)");
     } else if (static_cast<int>(held_cls) > static_cast<int>(cls)) {
       add_violation(Rule::kLockOrderInversion, e, key,
@@ -589,6 +593,13 @@ void Checker::process(const Event& e) {
       }
       break;
     }
+    case EventType::kTaskDispatch:
+    case EventType::kTaskBegin:
+    case EventType::kTaskEnd:
+    case EventType::kTaskJoin:
+      // Fork-join bracketing is offline material: the happens-before
+      // analysis (analyze.hpp) consumes it; no online rule does.
+      break;
   }
 }
 
@@ -680,12 +691,41 @@ void Checker::on_log_reset(std::uint64_t logger) {
 }
 
 void Checker::on_writeback(std::uint64_t line, std::uint64_t logger,
-                           std::uint64_t end) {
+                           std::uint64_t end, bool gate_observed) {
   Event e;
   e.type = EventType::kWriteback;
   e.line = line;
   e.a = logger;
   e.b = end;
+  if (gate_observed) e.flags |= kFlagGateObserved;
+  emit(e);
+}
+
+void Checker::on_task_dispatch(std::uint64_t token) {
+  Event e;
+  e.type = EventType::kTaskDispatch;
+  e.a = token;
+  emit(e);
+}
+
+void Checker::on_task_begin(std::uint64_t token) {
+  Event e;
+  e.type = EventType::kTaskBegin;
+  e.a = token;
+  emit(e);
+}
+
+void Checker::on_task_end(std::uint64_t token) {
+  Event e;
+  e.type = EventType::kTaskEnd;
+  e.a = token;
+  emit(e);
+}
+
+void Checker::on_task_join(std::uint64_t token) {
+  Event e;
+  e.type = EventType::kTaskJoin;
+  e.a = token;
   emit(e);
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "pax/common/types.hpp"
 
@@ -46,6 +47,15 @@ enum class EventType : std::uint8_t {
                   // b := snapshotted page count
   kPipelinePage,  // one page of that snapshot; line := the page's first
                   // pool line, a := epoch
+  // Fork/join (trace v2; not crash-countable). The PAX device brackets each
+  // parallel persist fan-out with these so the offline happens-before
+  // analysis (analyze.hpp) sees the pool's synchronization: dispatch
+  // happens-before every begin of the same token, and every end
+  // happens-before the join. a := fork token, unique per parallel section.
+  kTaskDispatch,  // coordinator announces a parallel section
+  kTaskBegin,     // a worker (or the coordinator itself) starts a slice
+  kTaskEnd,       // that slice finished
+  kTaskJoin,      // coordinator observed all slices complete
 };
 
 /// Lock classes in their required acquisition order (LOCK ORDER comment in
@@ -61,6 +71,12 @@ enum class LockClass : std::uint8_t {
 
 inline constexpr std::uint8_t kFlagEmptyFlush = 1u << 0;
 inline constexpr std::uint8_t kFlagSharedLock = 1u << 1;
+/// On kWriteback (trace v2): the emitting thread checked the logger's
+/// durable watermark (an acquire load that returned >= the record end)
+/// before writing the line back. The offline analyzer turns this into a
+/// happens-before edge from the covering kLogFlush, mirroring the real
+/// synchronization through UndoLogger's atomic watermark.
+inline constexpr std::uint8_t kFlagGateObserved = 1u << 2;
 
 /// Sentinel for events that are not about a particular line.
 inline constexpr std::uint64_t kNoLine = ~0ull;
@@ -77,6 +93,11 @@ struct Event {
 
 const char* event_type_name(EventType t);
 const char* lock_class_name(LockClass c);
+
+/// "class #instance" label for one end of a lock edge, e.g. "stripe #5" or
+/// "log-mu #1". Online violations and the offline lock-graph report use the
+/// same spelling so the two read identically.
+std::string describe_lock(LockClass cls, std::uint64_t id);
 
 /// True for the event types PmemDevice counts toward crash_events(): the
 /// device-level persistence actions a crash point is named after. Exactly

@@ -1,0 +1,143 @@
+// Automated flush/fence repair: from PaxScope findings to a validated fix.
+//
+// advise_repairs() turns the persist-order findings of an AnalysisReport
+// (analyze.hpp) into a minimal RepairPlan of two action kinds:
+//
+//   kInsertFlushBeforeCommit — a line was dirty (or un-fenced) at an epoch
+//     commit: flush it, then drain, immediately before that epoch's commit
+//     note. Derived from kCommitWindow findings.
+//
+//   kHoistLogFlush — data became (or could become) durable ahead of the
+//     undo record that rolls it back: force the covering region of the log
+//     extent durable immediately before any flush/write-back of the line.
+//     Derived from kUndoFlushWindow and kWritebackWindow findings.
+//
+// RepairShim executes a plan mechanically through the device's
+// PmemRepairShim interception points (pmem_device.hpp) — no workload edit,
+// no recompile. The shim is stateless across executions (standing rules,
+// applied on every matching callback), so a repaired workload still meets
+// the CrashExplorer determinism contract and can be re-validated under full
+// crash-point enumeration: validate_repair() explores the scenario without
+// the shim (expecting findings) and with it (expecting clean), and reports
+// whether the verdict flipped.
+//
+// The seeded scenarios double as the acceptance demo and regression
+// fixtures: "undo-flush" delays the undo-log flush until after the data
+// flush — silent online (no rule fires on the observed order), caught by
+// PaxScope's HB pass, repaired by hoisting the log flush; "missing-flush"
+// never flushes one data line before commit — repaired by inserting
+// flush+drain ahead of the commit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pax/check/analyze.hpp"
+#include "pax/check/crashpoint.hpp"
+#include "pax/common/status.hpp"
+#include "pax/common/types.hpp"
+#include "pax/pmem/pmem_device.hpp"
+
+namespace pax::check {
+
+enum class RepairActionKind : std::uint8_t {
+  kInsertFlushBeforeCommit,  // flush `line` + drain before commit of `epoch`
+  kHoistLogFlush,  // flush log [logger, logger+log_end) + drain before any
+                   // flush of `line`
+};
+
+const char* repair_action_kind_name(RepairActionKind k);
+
+struct RepairAction {
+  RepairActionKind kind = RepairActionKind::kInsertFlushBeforeCommit;
+  std::uint64_t line = kNoLine;
+  std::uint64_t epoch = 0;    // kInsertFlushBeforeCommit
+  std::uint64_t logger = 0;   // kHoistLogFlush: log extent offset
+  std::uint64_t log_end = 0;  // kHoistLogFlush: bytes of the extent to force
+  std::uint64_t at_seq = 0;   // trace event that motivated the action
+
+  std::string to_string() const;
+};
+
+struct RepairPlan {
+  std::vector<RepairAction> actions;
+
+  bool empty() const { return actions.empty(); }
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+/// Minimal plan for the persist-order findings of `report`: one insert per
+/// (epoch, line) commit window, one hoist per line with the largest undo
+/// record end seen for it. Lock findings have no mechanical repair and are
+/// ignored here.
+RepairPlan advise_repairs(const AnalysisReport& report);
+
+/// Executes a RepairPlan through the device interception points. Attach
+/// with PmemDevice::set_repair_shim inside the workload; the shim holds no
+/// per-execution state, so the same instance serves every crash-point
+/// re-execution unchanged.
+class RepairShim final : public pmem::PmemRepairShim {
+ public:
+  explicit RepairShim(const RepairPlan& plan);
+
+  void before_epoch_commit(pmem::PmemDevice& dev,
+                           std::uint64_t epoch) override;
+  void before_flush(pmem::PmemDevice& dev, LineIndex line) override;
+
+  /// Total interception-point firings that executed at least one action.
+  std::uint64_t activations() const {
+    return activations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Hoist {
+    std::uint64_t logger = 0;
+    std::uint64_t log_end = 0;
+  };
+  // epoch → lines to flush (then one drain) before that commit.
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>>
+      insert_by_epoch_;
+  // line → log region to force durable before any flush of the line.
+  std::vector<std::pair<std::uint64_t, Hoist>> hoist_by_line_;
+  std::atomic<std::uint64_t> activations_{0};
+};
+
+/// A deterministic seeded workload for the repair pipeline. `buggy` builds
+/// the broken variant (the repair target); the clean twin is the same
+/// workload with the ordering edge restored, used by tests to pin down that
+/// the analyzer's finding is the bug and nothing else.
+struct RepairScenario {
+  std::string name;
+  std::string description;
+  std::size_t device_bytes = 0;
+  CrashExplorer::Workload workload;
+};
+
+/// Scenarios by name: "undo-flush" (online-silent, HB-detected) and
+/// "missing-flush" (commit window). `buggy` = false yields the clean twin.
+Result<RepairScenario> seeded_repair_scenario(const std::string& name,
+                                              bool buggy = true);
+
+/// One crash-free recorded execution of the scenario: the .paxevt material
+/// PaxScope analyzes to derive the plan.
+Result<std::vector<Event>> record_scenario_trace(const RepairScenario& s);
+
+struct RepairValidation {
+  ExplorationResult before;  // exploration without the shim
+  ExplorationResult after;   // exploration with the plan applied
+  std::uint64_t activations = 0;
+
+  /// The acceptance bar: broken before, clean after.
+  bool flipped_clean() const { return !before.clean() && after.clean(); }
+  std::string to_string() const;
+};
+
+/// Full loop: explore the scenario as-is, then re-explore with `plan`
+/// applied through a RepairShim, under the same explorer options.
+Result<RepairValidation> validate_repair(const RepairScenario& scenario,
+                                         const RepairPlan& plan,
+                                         CrashExplorerOptions options = {});
+
+}  // namespace pax::check

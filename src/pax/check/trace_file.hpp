@@ -23,6 +23,13 @@
 // versions, and out-of-range event-type bytes. Bumping the format requires
 // bumping kTraceVersion; old readers then refuse new files explicitly
 // instead of misparsing them.
+//
+// Version history (records stay 40 bytes; the magic names the container,
+// the version field the vocabulary):
+//   v1 — event types through kPipelinePage.
+//   v2 — adds the fork-join types (kTaskDispatch..kTaskJoin) and the
+//        kFlagGateObserved flag on kWriteback. v1 files decode
+//        byte-for-byte identically; the writer always emits v2.
 #pragma once
 
 #include <cstdint>
@@ -36,20 +43,36 @@
 namespace pax::check {
 
 inline constexpr std::uint64_t kTraceMagic = 0x0a31545645584150ULL;  // "PAXEVT1\n"
-inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::uint32_t kTraceVersion = 2;
 inline constexpr std::size_t kTraceHeaderSize = 32;
 inline constexpr std::size_t kTraceRecordSize = 40;
 
-/// Serializes an event stream into a .paxevt byte buffer.
+/// A decoded trace plus the format version it was written with. Analyses
+/// that depend on v2-only records (gate flags, fork-join brackets) use the
+/// version to fall back to the lenient v1 interpretation on old artifacts.
+struct Trace {
+  std::uint32_t version = kTraceVersion;
+  std::vector<Event> events;
+};
+
+/// Serializes an event stream into a .paxevt byte buffer (current version).
 std::vector<std::byte> encode_trace(std::span<const Event> events);
 
-/// Validates and decodes a .paxevt byte buffer back into events.
+/// Validates and decodes a .paxevt byte buffer back into events. Accepts
+/// every version up to kTraceVersion, enforcing that version's event-type
+/// range.
 Result<std::vector<Event>> decode_trace(std::span<const std::byte> bytes);
+
+/// decode_trace, but also reports the file's format version.
+Result<Trace> decode_trace_versioned(std::span<const std::byte> bytes);
 
 /// encode_trace + atomic-enough file write (whole buffer, one open).
 Status write_trace(const std::string& path, std::span<const Event> events);
 
 /// Reads and decode_trace's a .paxevt file.
 Result<std::vector<Event>> read_trace(const std::string& path);
+
+/// Reads a .paxevt file, keeping the version alongside the events.
+Result<Trace> read_trace_versioned(const std::string& path);
 
 }  // namespace pax::check

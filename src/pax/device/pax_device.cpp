@@ -408,17 +408,22 @@ void PaxDevice::write_line_to_pm(Stripe& s, LineIndex line,
   // the undo record that can roll it back is durable.
   PAX_CHECK_MSG(record_is_durable(packed_record),
                 "write-back attempted before undo record was durable");
-  note_writeback(line, packed_record);
+  // This path reached the media only because record_is_durable observed the
+  // logger's watermark on this thread — record that gate for the offline
+  // happens-before analysis.
+  note_writeback(line, packed_record, /*gate_observed=*/true);
   pm_->store_line(line, data);
   pm_->flush_line(line);
   ++s.stats.pm_writeback_lines;
   s.hbm.mark_clean(line);
 }
 
-void PaxDevice::note_writeback(LineIndex line, std::uint64_t packed) const {
+void PaxDevice::note_writeback(LineIndex line, std::uint64_t packed,
+                               bool gate_observed) const {
   if (auto* chk = pm_->checker()) {
     const unsigned bank = (packed & kBankBit) ? 1 : 0;
-    chk->on_writeback(line.value, loggers_[bank]->id(), packed & ~kBankBit);
+    chk->on_writeback(line.value, loggers_[bank]->id(), packed & ~kBankBit,
+                      gate_observed);
   }
 }
 
@@ -484,7 +489,24 @@ void PaxDevice::fan_out(std::size_t total_lines,
   if (!persist_pool_) {
     persist_pool_ = std::make_unique<common::ThreadPool>(workers - 1);
   }
-  persist_pool_->parallel_for(n, [&](std::size_t i) { fn(*stripes_[i]); });
+  // Fork-join bracketing for the offline happens-before analysis: the pool
+  // itself is real synchronization (dispatch precedes every slice, every
+  // slice precedes the return from parallel_for), and these events make
+  // that ordering visible in the trace. Token is process-unique so
+  // overlapping sections on different devices never alias.
+  check::Checker* chk = pm_->checker();
+  std::uint64_t token = 0;
+  if (chk != nullptr) {
+    token = (static_cast<std::uint64_t>(device_id_) + 1) << 32 |
+            (task_token_.fetch_add(1, std::memory_order_relaxed) + 1);
+    chk->on_task_dispatch(token);
+  }
+  persist_pool_->parallel_for(n, [&](std::size_t i) {
+    if (chk != nullptr) chk->on_task_begin(token);
+    fn(*stripes_[i]);
+    if (chk != nullptr) chk->on_task_end(token);
+  });
+  if (chk != nullptr) chk->on_task_join(token);
 }
 
 std::optional<LineData> PaxDevice::pull_one(const PullFn& pull,

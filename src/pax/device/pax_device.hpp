@@ -442,7 +442,9 @@ class PaxDevice {
 
   // Emits the PaxCheck write-back event for `line` gated on the undo record
   // addressed by `packed` (no-op without an attached checker).
-  void note_writeback(LineIndex line, std::uint64_t packed) const;
+  // `gate_observed`: the caller checked record_is_durable on this thread.
+  void note_writeback(LineIndex line, std::uint64_t packed,
+                      bool gate_observed = false) const;
 
   // Handles the victim of an HbmCache::insert under s.mu: forces a log
   // flush if the victim's record isn't durable yet, then writes it back.
@@ -507,6 +509,9 @@ class PaxDevice {
 
   // Round-robin start cursor for tick()'s proactive write-back.
   std::atomic<std::uint64_t> tick_cursor_{0};
+
+  // Fork-token counter for fan_out's kTaskDispatch/..Join bracketing.
+  std::atomic<std::uint64_t> task_token_{0};
 
   // Persistent worker pool for the commit fan-out (persist_workers - 1
   // parked threads; the committing thread participates). Created lazily on

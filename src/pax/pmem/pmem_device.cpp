@@ -221,6 +221,10 @@ void PmemDevice::flush_line_locked(Shard& shard, LineIndex line) {
 
 void PmemDevice::flush_line(LineIndex line) {
   PAX_CHECK(line.byte_offset() + kCacheLineSize <= size_);
+  // Repair interception first: a hoisted log flush must reach the media
+  // (and the event stream) before the data flush it guards. The shim
+  // no-ops re-entrant calls, so its own flush_line calls pass through.
+  if (auto* shim = repair_shim()) shim->before_flush(*this, line);
   {
     Shard& shard = shard_for(line);
     std::lock_guard lock(shard.mu);
@@ -325,6 +329,9 @@ std::optional<CrashCut> PmemDevice::take_crash_cut() {
 }
 
 void PmemDevice::note_epoch_commit(std::uint64_t epoch) {
+  // Repair interception: inserted flush+drain actions land here, strictly
+  // before the kEpochCommit event and the epoch-cell store that follows.
+  if (auto* shim = repair_shim()) shim->before_epoch_commit(*this, epoch);
   if (auto* chk = checker()) chk->on_epoch_commit(epoch);
 }
 

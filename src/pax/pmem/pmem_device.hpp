@@ -99,6 +99,22 @@ struct CrashCut {
   std::vector<std::byte> resolve(const CrashConfig& config) const;
 };
 
+class PmemDevice;
+
+/// Interception points for the automated-repair layer (check/repair.hpp):
+/// a shim attached to the device gets a callback immediately before the
+/// actions a RepairPlan can patch — the epoch-commit note (where "insert
+/// flush_line(L)+drain before commit" lands) and a line flush (where
+/// "hoist log_flush above the write-back of L" lands). Implementations may
+/// call back into the device (flush_line/flush_range/drain); they must
+/// guard against the recursion those calls cause.
+class PmemRepairShim {
+ public:
+  virtual ~PmemRepairShim() = default;
+  virtual void before_epoch_commit(PmemDevice& dev, std::uint64_t epoch) = 0;
+  virtual void before_flush(PmemDevice& dev, LineIndex line) = 0;
+};
+
 class PmemDevice {
  public:
   /// Media held in DRAM; contents vanish with the object. For unit tests.
@@ -213,6 +229,18 @@ class PmemDevice {
     return checker_.load(std::memory_order_acquire);
   }
 
+  /// Attaches (or detaches, with nullptr) a repair shim. Same lifetime and
+  /// quiescence contract as set_checker. The shim fires on every
+  /// flush_line and note_epoch_commit, *before* the underlying action and
+  /// before its checker event — inserted ops are therefore ordered ahead
+  /// of the action they repair, in the trace and on the media.
+  void set_repair_shim(PmemRepairShim* shim) {
+    repair_shim_.store(shim, std::memory_order_release);
+  }
+  PmemRepairShim* repair_shim() const {
+    return repair_shim_.load(std::memory_order_acquire);
+  }
+
   /// Tells an attached checker that the caller is about to commit `epoch`
   /// via the 8-byte power-fail-atomic store (pool.hpp). Emitted *before*
   /// that store so the epoch cell's own store/flush/drain are not flagged
@@ -279,6 +307,7 @@ class PmemDevice {
   std::optional<CrashCut> crash_cut_;
 
   std::atomic<check::Checker*> checker_{nullptr};
+  std::atomic<PmemRepairShim*> repair_shim_{nullptr};
 };
 
 }  // namespace pax::pmem

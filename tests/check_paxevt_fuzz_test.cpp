@@ -164,5 +164,121 @@ TEST(PaxevtFuzz, MissingFileIsAnIoError) {
   ASSERT_FALSE(missing.ok());
 }
 
+// --- v1 ↔ v2 format compatibility ---------------------------------------
+
+// Rewrites the version field of an encoded trace and re-seals the header
+// CRC, leaving the records untouched — a byte-faithful stand-in for a file
+// written by the previous release.
+std::vector<std::byte> with_version(std::vector<std::byte> buf,
+                                    std::uint32_t version) {
+  std::memcpy(buf.data() + 8, &version, sizeof(version));
+  const std::uint32_t reseal = crc32c(buf.data(), 28);
+  std::memcpy(buf.data() + 28, &reseal, sizeof(reseal));
+  return buf;
+}
+
+// Events exercising everything v2 added: fork/join brackets and the
+// gate-observed write-back flag, interleaved with v1-era types.
+std::vector<Event> v2_feature_stream() {
+  std::vector<Event> events;
+  std::uint64_t seq = 0;
+  auto push = [&](EventType type, std::uint64_t line, std::uint64_t a,
+                  std::uint64_t b, std::uint8_t flags, std::uint16_t tid) {
+    Event e;
+    e.seq = ++seq;
+    e.line = line;
+    e.a = a;
+    e.b = b;
+    e.type = type;
+    e.flags = flags;
+    e.tid = tid;
+    events.push_back(e);
+  };
+  push(EventType::kLogAppend, 5, 4096, 96, 0, 0);
+  push(EventType::kLogFlush, kNoLine, 4096, 96, 0, 0);
+  push(EventType::kTaskDispatch, kNoLine, 42, 0, 0, 0);
+  push(EventType::kTaskBegin, kNoLine, 42, 0, 0, 1);
+  push(EventType::kWriteback, 5, 4096, 96, kFlagGateObserved, 1);
+  push(EventType::kTaskEnd, kNoLine, 42, 0, 0, 1);
+  push(EventType::kTaskJoin, kNoLine, 42, 0, 0, 0);
+  push(EventType::kEpochCommit, kNoLine, 1, 0, 0, 0);
+  return events;
+}
+
+TEST(PaxevtVersioning, WriterEmitsCurrentVersion) {
+  const std::vector<std::byte> buf = encode_trace(v2_feature_stream());
+  auto trace = decode_trace_versioned(buf);
+  ASSERT_TRUE(trace.ok()) << trace.status().to_string();
+  EXPECT_EQ(trace.value().version, kTraceVersion);
+  EXPECT_EQ(kTraceVersion, 2u);
+}
+
+TEST(PaxevtVersioning, V2RoundTripPreservesTaskAndGateRecords) {
+  const std::vector<Event> events = v2_feature_stream();
+  auto trace = decode_trace_versioned(encode_trace(events));
+  ASSERT_TRUE(trace.ok()) << trace.status().to_string();
+  ASSERT_EQ(trace.value().events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(trace.value().events[i].type, events[i].type) << "event " << i;
+    EXPECT_EQ(trace.value().events[i].flags, events[i].flags)
+        << "event " << i;
+    EXPECT_EQ(trace.value().events[i].a, events[i].a) << "event " << i;
+  }
+}
+
+TEST(PaxevtVersioning, V1FileDecodesByteForByte) {
+  // A stream of v1-era event types only, stamped version 1: exactly what a
+  // pre-v2 writer produced (the record layout never changed).
+  Report online;
+  const std::vector<Event> events = recorded_buggy_stream(&online);
+  const std::vector<std::byte> v1 = with_version(encode_trace(events), 1);
+  auto trace = decode_trace_versioned(v1);
+  ASSERT_TRUE(trace.ok()) << trace.status().to_string();
+  EXPECT_EQ(trace.value().version, 1u);
+  ASSERT_EQ(trace.value().events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(trace.value().events[i].seq, events[i].seq);
+    EXPECT_EQ(trace.value().events[i].type, events[i].type);
+    EXPECT_EQ(trace.value().events[i].line, events[i].line);
+  }
+  // The unversioned reader accepts it too.
+  EXPECT_TRUE(decode_trace(v1).ok());
+}
+
+TEST(PaxevtVersioning, V1RejectsV2EventTypes) {
+  // A v1 file cannot contain fork/join records: a version-1 header over a
+  // stream with kTaskDispatch must fail the per-record type check, not
+  // silently misdecode.
+  const std::vector<std::byte> skewed =
+      with_version(encode_trace(v2_feature_stream()), 1);
+  auto trace = decode_trace_versioned(skewed);
+  ASSERT_FALSE(trace.ok());
+  EXPECT_NE(trace.status().to_string().find("type"), std::string::npos)
+      << trace.status().to_string();
+}
+
+TEST(PaxevtFuzz, V2TruncationsAndBitFlipsRejectedCleanly) {
+  // The corruption sweeps above run on a v1-era stream; repeat both over
+  // the new record material (task brackets, gate flags).
+  const std::vector<std::byte> pristine = encode_trace(v2_feature_stream());
+  for (std::size_t len = 0; len < pristine.size(); ++len) {
+    EXPECT_FALSE(
+        decode_trace(std::span<const std::byte>(pristine.data(), len)).ok())
+        << "prefix of " << len << " bytes accepted";
+  }
+  Xoshiro256 rng(0x5eedu);
+  for (int round = 0; round < 128; ++round) {
+    std::vector<std::byte> corrupt = pristine;
+    const std::uint64_t flips = 1 + rng.next_below(4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      corrupt[rng.next_below(corrupt.size())] ^=
+          static_cast<std::byte>(1 + rng.next_below(255));
+    }
+    auto decoded = decode_trace(corrupt);
+    if (!decoded.ok()) continue;
+    ASSERT_EQ(corrupt, pristine);
+  }
+}
+
 }  // namespace
 }  // namespace pax::check

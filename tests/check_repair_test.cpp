@@ -1,0 +1,145 @@
+// The detection-to-repair loop end to end: record a seeded scenario, show
+// the online checker stays silent (or not), derive a RepairPlan from the
+// PaxScope findings, and prove under exhaustive crash-point exploration
+// that applying the plan through the device shim flips the verdict clean.
+#include "pax/check/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pax/check/analyze.hpp"
+#include "pax/check/checker.hpp"
+
+namespace pax::check {
+namespace {
+
+CrashExplorerOptions fast_options() {
+  // drop_all alone is the decisive mode for ordering bugs and keeps the
+  // exploration deterministic and quick; every crash point is enumerated.
+  CrashExplorerOptions options;
+  options.modes = {{"drop_all", pmem::CrashConfig::drop_all()}};
+  return options;
+}
+
+AnalysisReport analyze_scenario(const RepairScenario& scenario) {
+  auto events = record_scenario_trace(scenario);
+  EXPECT_TRUE(events.ok()) << events.status().to_string();
+  TraceAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.add_trace(events.value()).is_ok());
+  return analyzer.finish();
+}
+
+TEST(PaxScopeRepair, UndoFlushBugIsOnlineSilentButRepairable) {
+  auto scenario = seeded_repair_scenario("undo-flush");
+  ASSERT_TRUE(scenario.ok()) << scenario.status().to_string();
+
+  // 1. The online checker sees nothing wrong with the observed order.
+  auto events = record_scenario_trace(scenario.value());
+  ASSERT_TRUE(events.ok()) << events.status().to_string();
+  Checker checker;
+  EXPECT_TRUE(checker.replay(events.value()).clean());
+
+  // 2. PaxScope predicts the window from happens-before alone.
+  TraceAnalyzer analyzer;
+  ASSERT_TRUE(analyzer.add_trace(events.value()).is_ok());
+  const AnalysisReport report = analyzer.finish();
+  ASSERT_GE(report.count(FindingKind::kUndoFlushWindow), 1u)
+      << report.to_string();
+
+  // 3. The advisor turns the findings into hoist actions only.
+  const RepairPlan plan = advise_repairs(report);
+  ASSERT_FALSE(plan.empty());
+  for (const RepairAction& a : plan.actions) {
+    EXPECT_EQ(a.kind, RepairActionKind::kHoistLogFlush) << a.to_string();
+    EXPECT_GT(a.log_end, 0u);
+  }
+
+  // 4. Exhaustive exploration: broken without the shim, clean with it.
+  auto validation =
+      validate_repair(scenario.value(), plan, fast_options());
+  ASSERT_TRUE(validation.ok()) << validation.status().to_string();
+  EXPECT_FALSE(validation.value().before.clean())
+      << "seeded bug must be crash-visible";
+  EXPECT_TRUE(validation.value().after.clean())
+      << validation.value().to_string();
+  EXPECT_TRUE(validation.value().flipped_clean());
+  EXPECT_GT(validation.value().activations, 0u);
+}
+
+TEST(PaxScopeRepair, MissingFlushBugRepairedByInsertedFlush) {
+  auto scenario = seeded_repair_scenario("missing-flush");
+  ASSERT_TRUE(scenario.ok()) << scenario.status().to_string();
+
+  const AnalysisReport report = analyze_scenario(scenario.value());
+  ASSERT_GE(report.count(FindingKind::kCommitWindow), 1u)
+      << report.to_string();
+
+  const RepairPlan plan = advise_repairs(report);
+  ASSERT_FALSE(plan.empty());
+  bool has_insert = false;
+  for (const RepairAction& a : plan.actions) {
+    has_insert |= a.kind == RepairActionKind::kInsertFlushBeforeCommit;
+  }
+  EXPECT_TRUE(has_insert) << plan.to_string();
+
+  auto validation =
+      validate_repair(scenario.value(), plan, fast_options());
+  ASSERT_TRUE(validation.ok()) << validation.status().to_string();
+  EXPECT_TRUE(validation.value().flipped_clean())
+      << validation.value().to_string();
+}
+
+TEST(PaxScopeRepair, CleanTwinsExploreCleanWithoutRepair) {
+  for (const char* name : {"undo-flush", "missing-flush"}) {
+    auto scenario = seeded_repair_scenario(name, /*buggy=*/false);
+    ASSERT_TRUE(scenario.ok()) << name;
+
+    // Nothing to find, nothing to fix: the advisor yields an empty plan,
+    // and raw exploration is already clean.
+    const AnalysisReport report = analyze_scenario(scenario.value());
+    EXPECT_TRUE(report.clean()) << name << ": " << report.to_string();
+    EXPECT_TRUE(advise_repairs(report).empty()) << name;
+
+    CrashExplorer explorer(scenario.value().device_bytes,
+                           scenario.value().workload, fast_options());
+    auto result = explorer.explore();
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().to_string();
+    EXPECT_TRUE(result.value().clean())
+        << name << ": " << result.value().to_string();
+  }
+}
+
+TEST(PaxScopeRepair, AdvisorDeduplicatesAcrossEpochs) {
+  // The undo-flush scenario repeats the same (line, log_end) pattern every
+  // epoch because the log resets after each commit; the plan must collapse
+  // them to one hoist per line rather than one per occurrence.
+  auto scenario = seeded_repair_scenario("undo-flush");
+  ASSERT_TRUE(scenario.ok());
+  const AnalysisReport report = analyze_scenario(scenario.value());
+  const RepairPlan plan = advise_repairs(report);
+  std::vector<std::uint64_t> lines;
+  for (const RepairAction& a : plan.actions) {
+    EXPECT_TRUE(std::find(lines.begin(), lines.end(), a.line) == lines.end())
+        << "duplicate hoist for line " << a.line;
+    lines.push_back(a.line);
+  }
+}
+
+TEST(PaxScopeRepair, UnknownScenarioIsNotFound) {
+  auto scenario = seeded_repair_scenario("no-such-scenario");
+  EXPECT_FALSE(scenario.ok());
+}
+
+TEST(PaxScopeRepair, PlanRendersToTextAndJson) {
+  auto scenario = seeded_repair_scenario("undo-flush");
+  ASSERT_TRUE(scenario.ok());
+  const RepairPlan plan = advise_repairs(analyze_scenario(scenario.value()));
+  ASSERT_FALSE(plan.empty());
+  EXPECT_NE(plan.to_string().find("hoist-log-flush"), std::string::npos);
+  const std::string json = plan.to_json();
+  EXPECT_NE(json.find("\"kind\":\"hoist-log-flush\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pax::check

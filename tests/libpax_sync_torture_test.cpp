@@ -10,15 +10,33 @@
 #include <barrier>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "pax/check/checker.hpp"
+#include "pax/check/trace_file.hpp"
 #include "pax/libpax/runtime.hpp"
 
 namespace pax::libpax {
 namespace {
+
+// When PAX_TRACE_DIR is set (the CI analyze step), each crash/recover cycle
+// records its PaxCheck event stream as a .paxevt for the offline PaxScope
+// pass; a counter disambiguates the cycles within one process.
+const char* trace_dir() { return std::getenv("PAX_TRACE_DIR"); }
+int trace_counter = 0;
+
+void maybe_write_trace(check::Checker& checker, const char* mode) {
+  const char* dir = trace_dir();
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/sync_torture_" + mode + "_" +
+                           std::to_string(trace_counter++) + ".paxevt";
+  ASSERT_TRUE(check::write_trace(path, checker.recorded_events()).is_ok())
+      << path;
+}
 
 constexpr std::size_t kPool = 32 << 20;
 constexpr int kThreads = 4;
@@ -53,11 +71,14 @@ void fill_slab(std::byte* dst, int byte_pattern, std::size_t bytes) {
 // undo record (logged before its write-back), so recovery rolls it back.
 std::vector<std::byte> run_and_recover(pmem::PmemDevice* pm,
                                        const RuntimeOptions& opts,
-                                       const pmem::CrashConfig& crash) {
+                                       const pmem::CrashConfig& crash,
+                                       const char* mode) {
   // The whole cycle — racing mutators, flusher, async persists, crash,
   // recovery — runs under PaxCheck; any persist-order or lock-discipline
   // violation fails the test.
-  check::Checker checker;
+  check::CheckerOptions checker_opts;
+  checker_opts.record_events = trace_dir() != nullptr;
+  check::Checker checker(checker_opts);
   pm->set_checker(&checker);
   {
     auto rt = PaxRuntime::attach(pm, opts).value();
@@ -106,6 +127,7 @@ std::vector<std::byte> run_and_recover(pmem::PmemDevice* pm,
   auto report = checker.report();
   EXPECT_TRUE(report.clean()) << report.to_string();
   pm->set_checker(nullptr);
+  maybe_write_trace(checker, mode);
   return image;
 }
 
@@ -152,13 +174,13 @@ void run_all_configs_and_compare(const pmem::CrashConfig& crash,
   auto pm_c = pmem::PmemDevice::create_in_memory(kPool);
   auto pm_d = pmem::PmemDevice::create_in_memory(kPool);
   const std::vector<std::byte> legacy_image =
-      run_and_recover(pm_a.get(), legacy_config(), crash);
+      run_and_recover(pm_a.get(), legacy_config(), crash, mode);
   const std::vector<std::byte> batched_image =
-      run_and_recover(pm_b.get(), batched_config(), crash);
+      run_and_recover(pm_b.get(), batched_config(), crash, mode);
   const std::vector<std::byte> tracked_image =
-      run_and_recover(pm_c.get(), tracked_config(), crash);
+      run_and_recover(pm_c.get(), tracked_config(), crash, mode);
   const std::vector<std::byte> pipelined_image =
-      run_and_recover(pm_d.get(), pipelined_config(), crash);
+      run_and_recover(pm_d.get(), pipelined_config(), crash, mode);
 
   // Every slab byte holds the final round's pattern; the 0xEE garbage died
   // (dropped outright, or rolled back off its undo record if it survived).

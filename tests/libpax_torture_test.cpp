@@ -8,15 +8,31 @@
 // absorbing mutations for dozens of generations.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
+#include <string>
 #include <unordered_map>
 
 #include "pax/check/checker.hpp"
+#include "pax/check/trace_file.hpp"
 #include "pax/common/rng.hpp"
 #include "pax/libpax/persistent.hpp"
 
 namespace pax::libpax {
 namespace {
+
+// When PAX_TRACE_DIR is set (the CI analyze step does), every torture run
+// records its full PaxCheck event stream and writes it there as a .paxevt —
+// raw material for the offline PaxScope pass, which must find nothing.
+const char* trace_dir() { return std::getenv("PAX_TRACE_DIR"); }
+
+void maybe_write_trace(check::Checker& checker, const std::string& stem) {
+  const char* dir = trace_dir();
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + stem + ".paxevt";
+  ASSERT_TRUE(check::write_trace(path, checker.recorded_events()).is_ok())
+      << path;
+}
 
 using MapAlloc =
     PaxStlAllocator<std::pair<const std::uint64_t, std::uint64_t>>;
@@ -33,7 +49,9 @@ TEST_P(TortureTest, GenerationsOfCrashesNeverLoseACommittedSnapshot) {
   auto pm = pmem::PmemDevice::create_in_memory(64 << 20);
   // Every generation — mutation mix, crashes, recoveries — runs under
   // PaxCheck; the report is verified once per generation below.
-  check::Checker checker;
+  check::CheckerOptions checker_opts;
+  checker_opts.record_events = trace_dir() != nullptr;
+  check::Checker checker(checker_opts);
   pm->set_checker(&checker);
   RuntimeOptions opts;
   opts.log_size = 4 << 20;
@@ -125,6 +143,7 @@ TEST_P(TortureTest, GenerationsOfCrashesNeverLoseACommittedSnapshot) {
     ASSERT_TRUE(report.clean()) << "gen " << gen << "\n" << report.to_string();
   }
   pm->set_checker(nullptr);
+  maybe_write_trace(checker, "torture_" + std::to_string(seed));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TortureTest,

@@ -169,6 +169,58 @@ TEST(PaxctlTest, CheckReplayRejectsCorruptFile) {
   std::remove(junk.c_str());
 }
 
+TEST(PaxctlTest, AnalyzeFlagsRecordedUndoFlushTrace) {
+  // Record the online-silent seeded bug via `fix --record`, then feed the
+  // .paxevt back through `analyze`: nonzero exit, named finding kind.
+  const std::string path = "/tmp/paxctl_scope.paxevt";
+  auto rec = run("fix --scenario undo-flush --record " + path);
+  ASSERT_NE(rec.output.find("undo-flush-window"), std::string::npos)
+      << rec.output;
+
+  auto r = run("analyze " + path);
+  EXPECT_NE(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("undo-flush-window"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("hb edges"), std::string::npos) << r.output;
+
+  auto j = run("analyze " + path + " --json");
+  EXPECT_NE(j.exit_code, 0);
+  EXPECT_NE(j.output.find("\"clean\":false"), std::string::npos) << j.output;
+  EXPECT_NE(j.output.find("\"kind\":\"undo-flush-window\""),
+            std::string::npos)
+      << j.output;
+  std::remove(path.c_str());
+}
+
+TEST(PaxctlTest, AnalyzeCleanReplayTraceExitsZero) {
+  const std::string path = "/tmp/paxctl_scope_clean.paxevt";
+  std::vector<check::Event> events;
+  check::Event e;
+  e.seq = 1;
+  e.type = check::EventType::kStore;
+  e.line = 42;
+  events.push_back(e);
+  e.seq = 2;
+  e.type = check::EventType::kFlush;
+  events.push_back(e);
+  e.seq = 3;
+  e.type = check::EventType::kDrain;
+  e.line = check::kNoLine;
+  events.push_back(e);
+  ASSERT_TRUE(check::write_trace(path, events).is_ok());
+  auto r = run("analyze " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(PaxctlTest, FixValidateFlipsUndoFlushClean) {
+  auto r = run("fix --scenario undo-flush --validate");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("FLIPPED CLEAN"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("hoist-log-flush"), std::string::npos) << r.output;
+}
+
 TEST(PaxctlTest, UsageOnBadInvocation) {
   auto r = run("frobnicate /tmp/x");
   EXPECT_NE(r.exit_code, 0);

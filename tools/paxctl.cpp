@@ -33,6 +33,21 @@
 //                             it from the fit and exit 1 if any of
 //                             throughput/p50/p95/p99 misses the tolerance
 //                             band (default 0.35)
+//   paxctl analyze <file.paxevt>... [--json]   PaxScope offline predictive
+//                             analysis: rebuild the happens-before relation
+//                             of each recorded trace, aggregate the lock
+//                             graph across all of them, and report
+//                             deadlock cycles, rank violations, and
+//                             persist-order windows the online checker
+//                             could not see; exit 1 on any finding
+//   paxctl fix [<file.paxevt>] [--scenario NAME] [--record FILE]
+//                  [--validate] [--json]   derive a flush/fence RepairPlan
+//                             from a trace's PaxScope findings (default:
+//                             record the named seeded scenario, undo-flush);
+//                             --record saves that trace; --validate replays
+//                             the scenario under full crash-point
+//                             enumeration without and with the plan applied
+//                             and exits 1 unless the verdict flips clean
 //
 // Works on any pool produced by libpax, the pagewal baseline, or the
 // device-level API (they share the pool format).
@@ -42,8 +57,10 @@
 #include <string>
 #include <sys/stat.h>
 
+#include "pax/check/analyze.hpp"
 #include "pax/check/checker.hpp"
 #include "pax/check/crashpoint.hpp"
+#include "pax/check/repair.hpp"
 #include "pax/check/trace_file.hpp"
 #include "pax/coherence/trace.hpp"
 #include "pax/device/recovery.hpp"
@@ -69,7 +86,10 @@ int usage() {
                "[--max-points N] [--seed S] [--artifacts DIR] "
                "[--pipelined]\n"
                "       paxctl calibrate <fit.json> [<check.json>] "
-               "[--loops N] [--wave-us W] [--tolerance T]\n");
+               "[--loops N] [--wave-us W] [--tolerance T]\n"
+               "       paxctl analyze <file.paxevt>... [--json]\n"
+               "       paxctl fix [<file.paxevt>] [--scenario NAME] "
+               "[--record FILE] [--validate] [--json]\n");
   return 2;
 }
 
@@ -467,6 +487,100 @@ int cmd_explore(std::size_t pages, int epochs, std::uint64_t every,
   return result.value().clean() ? 0 : 1;
 }
 
+int cmd_analyze(const std::vector<std::string>& paths, bool json) {
+  auto report = check::analyze_trace_files(paths);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("%s\n", report.value().to_json().c_str());
+  } else {
+    for (const std::string& p : paths) {
+      std::printf("analyzed %s\n", p.c_str());
+    }
+    std::printf("%s", report.value().to_string().c_str());
+  }
+  return report.value().clean() ? 0 : 1;
+}
+
+int cmd_fix(const std::string& trace_path, const std::string& scenario_name,
+            const std::string& record_path, bool validate, bool json) {
+  // The scenario backs two things: the default trace source (when no
+  // .paxevt is given) and the --validate re-execution target.
+  auto scenario = check::seeded_repair_scenario(scenario_name);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().to_string().c_str());
+    return 1;
+  }
+
+  check::TraceAnalyzer analyzer;
+  if (!trace_path.empty()) {
+    auto trace = check::read_trace_versioned(trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.status().to_string().c_str());
+      return 1;
+    }
+    Status st =
+        analyzer.add_trace(trace.value().events, trace.value().version);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 1;
+    }
+  } else {
+    auto events = check::record_scenario_trace(scenario.value());
+    if (!events.ok()) {
+      std::fprintf(stderr, "%s\n", events.status().to_string().c_str());
+      return 1;
+    }
+    if (!record_path.empty()) {
+      Status st = check::write_trace(record_path, events.value());
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "%s\n", st.to_string().c_str());
+        return 1;
+      }
+      if (!json) std::printf("recorded trace -> %s\n", record_path.c_str());
+    }
+    Status st = analyzer.add_trace(events.value());
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 1;
+    }
+  }
+
+  const check::AnalysisReport report = analyzer.finish();
+  const check::RepairPlan plan = check::advise_repairs(report);
+  if (!json) {
+    std::printf("%s%s", report.to_string().c_str(), plan.to_string().c_str());
+  }
+
+  if (!validate) {
+    if (json) std::printf("%s\n", plan.to_json().c_str());
+    return 0;
+  }
+  check::CrashExplorerOptions options;
+  options.modes = {{"drop_all", pmem::CrashConfig::drop_all()}};
+  auto validation = check::validate_repair(scenario.value(), plan, options);
+  if (!validation.ok()) {
+    std::fprintf(stderr, "validate harness failed: %s\n",
+                 validation.status().to_string().c_str());
+    return 1;
+  }
+  const check::RepairValidation& v = validation.value();
+  if (json) {
+    std::printf("{\"plan\":%s,\"before_findings\":%zu,"
+                "\"after_findings\":%zu,\"activations\":%" PRIu64
+                ",\"flipped_clean\":%s}\n",
+                plan.to_json().c_str(), v.before.findings.size(),
+                v.after.findings.size(), v.activations,
+                v.flipped_clean() ? "true" : "false");
+  } else {
+    std::printf("validated scenario \"%s\" under crash enumeration\n%s",
+                scenario.value().name.c_str(), v.to_string().c_str());
+  }
+  return v.flipped_clean() ? 0 : 1;
+}
+
 // --- calibrate: fit the serving DES to a loadgen run, predict another ---
 
 // Minimal field scanner for the flat loadgen JSON this repo emits (keys are
@@ -661,6 +775,44 @@ int main(int argc, char** argv) {
     }
     return cmd_explore(pages, epochs, every, max_points, seed, artifacts,
                        pipelined);
+  }
+  if (cmd == "analyze") {
+    std::vector<std::string> paths;
+    bool json = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        json = true;
+      } else {
+        paths.push_back(arg);
+      }
+    }
+    if (paths.empty()) return usage();
+    return cmd_analyze(paths, json);
+  }
+  if (cmd == "fix") {
+    std::string trace_path;
+    std::string scenario = "undo-flush";
+    std::string record_path;
+    bool validate = false;
+    bool json = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--scenario" && i + 1 < argc) {
+        scenario = argv[++i];
+      } else if (arg == "--record" && i + 1 < argc) {
+        record_path = argv[++i];
+      } else if (arg == "--validate") {
+        validate = true;
+      } else if (arg == "--json") {
+        json = true;
+      } else if (trace_path.empty()) {
+        trace_path = arg;
+      } else {
+        return usage();
+      }
+    }
+    return cmd_fix(trace_path, scenario, record_path, validate, json);
   }
   if (cmd == "calibrate") {
     std::string fit_path;
