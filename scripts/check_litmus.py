@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI guard for the litmus harness: correctness first, then throughput.
+
+Reads BENCH_litmus.json (written by bench/abl_litmus) and enforces:
+
+  * findings == 0 on every row — a finding on the unfaulted domain is a
+    coherence or crash-consistency regression and blocks outright;
+  * the schedule pass covered all eight classic shapes, each with every
+    interleaving executed and at least one outcome observed;
+  * the crash pass ran on >= 3 shapes, each with crash_points > 0 and
+    recoveries > crash_points (more than one crash mode per point);
+  * conservative rate floors — schedule enumeration >= 5 interleavings/s
+    and crash product >= 3 crash points/s. The native figures are orders
+    of magnitude higher; the floors only catch pathological slowdowns and
+    still pass under ASan.
+
+Usage: check_litmus.py [path/to/BENCH_litmus.json]
+"""
+
+import json
+import sys
+
+EXPECTED_SHAPES = {"SB", "LB", "MP", "WRC", "IRIW", "CoRR", "CoWW", "2+2W"}
+MIN_INTERLEAVINGS_PER_S = 5
+MIN_CRASH_POINTS_PER_S = 3
+MIN_CRASH_SHAPES = 3
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_litmus.json"
+    with open(path) as f:
+        bench = json.load(f)
+
+    failures = []
+    rows = bench["rows"]
+
+    for r in rows:
+        if r["findings"] != 0:
+            failures.append(
+                f"{r['shape']} [{r['mode']}] reported {r['findings']} "
+                f"finding(s) on the unfaulted domain"
+            )
+
+    schedule = {r["shape"]: r for r in rows if r["mode"] == "schedule"}
+    missing = EXPECTED_SHAPES - schedule.keys()
+    if missing:
+        failures.append(f"schedule pass missing shapes: {sorted(missing)}")
+    for name, r in schedule.items():
+        if r["interleavings"] == 0 or r["outcomes"] == 0:
+            failures.append(f"{name} [schedule] enumerated nothing")
+        if r["interleavings_per_sec"] < MIN_INTERLEAVINGS_PER_S:
+            failures.append(
+                f"{name} [schedule] ran at "
+                f"{r['interleavings_per_sec']:.1f} interleavings/s "
+                f"(floor {MIN_INTERLEAVINGS_PER_S})"
+            )
+
+    crash = [r for r in rows if r["mode"] == "crash"]
+    if len(crash) < MIN_CRASH_SHAPES:
+        failures.append(
+            f"crash pass covered {len(crash)} shape(s) "
+            f"(need >= {MIN_CRASH_SHAPES})"
+        )
+    for r in crash:
+        if r["crash_points"] == 0:
+            failures.append(f"{r['shape']} [crash] explored no crash points")
+        elif r["recoveries"] <= r["crash_points"]:
+            failures.append(
+                f"{r['shape']} [crash] audited {r['recoveries']} "
+                f"recoveries over {r['crash_points']} points "
+                f"(expected > 1 mode per point)"
+            )
+        if r["crash_points_per_sec"] < MIN_CRASH_POINTS_PER_S:
+            failures.append(
+                f"{r['shape']} [crash] ran at "
+                f"{r['crash_points_per_sec']:.1f} crash points/s "
+                f"(floor {MIN_CRASH_POINTS_PER_S})"
+            )
+
+    if failures:
+        print(f"{path}: litmus guard FAILED")
+        for f_ in failures:
+            print(f"  - {f_}")
+        return 1
+
+    total_points = sum(r["crash_points"] for r in crash)
+    print(
+        f"{path}: litmus guard ok ({len(schedule)} shapes enumerated, "
+        f"{total_points} crash points audited across {len(crash)} shapes, "
+        f"0 findings)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

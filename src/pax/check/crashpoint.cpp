@@ -127,6 +127,62 @@ std::string ExplorationResult::to_string() const {
   return out;
 }
 
+// --- Determinism drift diagnostics ---------------------------------------
+
+namespace {
+
+// A re-execution disagreed with the reference on the crash-countable event
+// count. Diff the two countable subsequences and name the first diverging
+// event, so the failure localizes the nondeterminism instead of reporting
+// bare counts.
+std::string describe_event_drift(std::span<const Event> reference,
+                                 std::span<const Event> redo,
+                                 std::uint64_t expected,
+                                 std::uint64_t observed) {
+  const auto countable = [](std::span<const Event> events) {
+    std::vector<Event> kept;
+    for (const Event& e : events) {
+      if (is_crash_countable(e.type)) kept.push_back(e);
+    }
+    return kept;
+  };
+  const auto describe = [](const Event& e) {
+    std::string out = event_type_name(e.type);
+    if (e.line != kNoLine) out += " line " + std::to_string(e.line);
+    return out;
+  };
+
+  std::string out = "workload is not deterministic: reference run counted " +
+                    std::to_string(expected) +
+                    " crash-countable event(s), re-execution " +
+                    std::to_string(observed);
+  const std::vector<Event> ref = countable(reference);
+  const std::vector<Event> got = countable(redo);
+  const std::size_t common = std::min(ref.size(), got.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (ref[i].type == got[i].type && ref[i].line == got[i].line) continue;
+    out += "; first divergence at countable event " + std::to_string(i + 1) +
+           ": reference " + describe(ref[i]) + " vs re-execution " +
+           describe(got[i]);
+    return out;
+  }
+  if (ref.size() != got.size()) {
+    const bool ref_longer = ref.size() > got.size();
+    const Event& extra = ref_longer ? ref[common] : got[common];
+    out += "; streams agree through countable event " +
+           std::to_string(common) + ", then the re-execution " +
+           (ref_longer ? "ends early (next reference event: " +
+                             describe(extra) + ")"
+                       : "appends extra " + describe(extra));
+  } else {
+    out += "; the recorded streams are identical — the drift arose outside "
+           "the recorded window";
+  }
+  return out;
+}
+
+}  // namespace
+
 // --- Stream truncation ---------------------------------------------------
 
 std::span<const Event> truncate_at_crash_event(std::span<const Event> events,
@@ -212,17 +268,26 @@ Status CrashExplorer::audit_crash_point(std::uint64_t point,
                                         std::span<const Event> reference,
                                         const CrashOracle& oracle,
                                         ExplorationResult& result) {
-  // Re-execute with a consistent-cut capture armed at `point`.
+  // Re-execute with a consistent-cut capture armed at `point`. The stream
+  // is recorded (rules off — the reference pass already audited a clean
+  // run) purely so a determinism drift can name its first diverging event.
   auto device = pmem::PmemDevice::create_in_memory(device_bytes_);
   device->arm_crash_point(point);
+  CheckerOptions redo_options;
+  redo_options.persist_order = false;
+  redo_options.lock_discipline = false;
+  redo_options.record_events = true;
+  Checker redo(redo_options);
+  device->set_checker(&redo);
   CrashOracle scratch(device.get(), /*collect=*/false);
-  PAX_RETURN_IF_ERROR(workload_(*device, scratch));
+  const Status rerun = workload_(*device, scratch);
+  device->set_checker(nullptr);
+  PAX_RETURN_IF_ERROR(rerun);
   ++result.executions;
   if (device->crash_events() != result.total_events) {
     return failed_precondition(
-        "workload is not deterministic: reference run counted " +
-        std::to_string(result.total_events) + " event(s), re-execution " +
-        std::to_string(device->crash_events()));
+        describe_event_drift(reference, redo.recorded_events(),
+                             result.total_events, device->crash_events()));
   }
   auto cut = device->take_crash_cut();
   if (!cut.has_value()) {

@@ -38,21 +38,7 @@ CoherenceDomain::CoherenceDomain(device::PaxDevice* device,
       if (t_presnooped) return;
       for (unsigned j = 0; j < cores_.size(); ++j) {
         if (j == i) continue;
-        if (exclusive) {
-          // SnpInv: peers relinquish the line entirely; a Modified peer
-          // writes back through the device first.
-          cores_[j]->snoop_invalidate(line);
-        } else {
-          // SnpData: only a Modified peer matters for a load miss — it
-          // downgrades to Shared and its data reaches the home so our
-          // upcoming device read returns the newest value. (Shared peers
-          // hold the same bytes the device already has.)
-          if (cores_[j]->line_state(line) == MesiState::kModified) {
-            auto data = cores_[j]->snoop_data(line);
-            PAX_CHECK(data.has_value());
-            cores_[j]->device_writeback_for_snoop(line, *data);
-          }
-        }
+        snoop_peer(j, line, exclusive);
       }
     });
   }
@@ -63,12 +49,32 @@ void CoherenceDomain::presnoop_peers(unsigned core_id, LineIndex line,
   for (unsigned j = 0; j < cores_.size(); ++j) {
     if (j == core_id) continue;
     std::lock_guard peer_lock(*core_mu_[j]);
-    if (exclusive) {
-      cores_[j]->snoop_invalidate(line);
-    } else if (cores_[j]->line_state(line) == MesiState::kModified) {
-      auto data = cores_[j]->snoop_data(line);
-      PAX_CHECK(data.has_value());
-      cores_[j]->device_writeback_for_snoop(line, *data);
+    snoop_peer(j, line, exclusive);
+  }
+}
+
+void CoherenceDomain::snoop_peer(unsigned peer, LineIndex line,
+                                 bool exclusive) {
+  if (exclusive) {
+    // SnpInv: the peer relinquishes the line entirely; a Modified peer
+    // writes back through the device first — unless the seeded bug drops
+    // the dirty data on the floor.
+    if (faults_.suppress_snoop_writeback) {
+      cores_[peer]->drop_line_without_writeback(line);
+    } else {
+      cores_[peer]->snoop_invalidate(line);
+    }
+    return;
+  }
+  // SnpData: only a Modified peer matters for a load miss — it downgrades
+  // to Shared and its data reaches the home so the upcoming device read
+  // returns the newest value. (Shared peers hold the same bytes the device
+  // already has.)
+  if (cores_[peer]->line_state(line) == MesiState::kModified) {
+    auto data = cores_[peer]->snoop_data(line);
+    PAX_CHECK(data.has_value());
+    if (!faults_.suppress_snoop_writeback) {
+      cores_[peer]->device_writeback_for_snoop(line, *data);
     }
   }
 }
@@ -76,6 +82,15 @@ void CoherenceDomain::presnoop_peers(unsigned core_id, LineIndex line,
 void CoherenceDomain::load_one_line(unsigned core_id, PoolOffset offset,
                                     std::span<std::byte> out) {
   const LineIndex line = LineIndex::containing(offset);
+  std::shared_lock gate(gate_);
+  if (faults_.skip_line_serialization) {
+    // Seeded bug: the request never reaches the per-address ordering point,
+    // so no peer is snooped and a stale fill can be observed.
+    std::lock_guard core_lock(*core_mu_[core_id]);
+    PresnoopScope suppress;
+    cores_[core_id]->load(offset, out);
+    return;
+  }
   std::lock_guard line_lock(line_mutex(line));
   presnoop_peers(core_id, line, /*exclusive=*/false);
   std::lock_guard core_lock(*core_mu_[core_id]);
@@ -86,6 +101,12 @@ void CoherenceDomain::load_one_line(unsigned core_id, PoolOffset offset,
 Status CoherenceDomain::store_one_line(unsigned core_id, PoolOffset offset,
                                        std::span<const std::byte> data) {
   const LineIndex line = LineIndex::containing(offset);
+  std::shared_lock gate(gate_);
+  if (faults_.skip_line_serialization) {
+    std::lock_guard core_lock(*core_mu_[core_id]);
+    PresnoopScope suppress;
+    return cores_[core_id]->store(offset, data);
+  }
   std::lock_guard line_lock(line_mutex(line));
   presnoop_peers(core_id, line, /*exclusive=*/true);
   std::lock_guard core_lock(*core_mu_[core_id]);
@@ -131,7 +152,44 @@ Status CoherenceDomain::store_u64(unsigned core_id, PoolOffset offset,
   return store(core_id, offset, std::as_bytes(std::span(&value, 1)));
 }
 
+std::optional<LineData> CoherenceDomain::pull_newest_quiesced(LineIndex line) {
+  std::optional<LineData> newest;
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    // Downgrade every holder; the Modified one (at most one exists under
+    // MESI) supplies the value.
+    if (cores_[i]->line_state(line) == MesiState::kModified) {
+      newest = cores_[i]->snoop_data(line);
+    } else {
+      (void)cores_[i]->snoop_data(line);  // S/E → S downgrade
+    }
+  }
+  return newest;
+}
+
+Result<Epoch> CoherenceDomain::persist(device::PaxDevice* device) {
+  PAX_CHECK(device != nullptr);
+  // Exclusive gate: every dispatch op has drained and none can start, so
+  // the pull below reads the core simulators lock-free. Keeping the core
+  // mutexes out of the pull is load-bearing — a pull that locked them
+  // while the device holds its exclusive epoch lock would invert against
+  // dispatch (core mutex held → device epoch gate), the deadlock the LOCK
+  // ORDER note in the header rules out.
+  std::unique_lock gate(gate_);
+  if (faults_.skip_persist_pull) {
+    return device->persist(
+        [](LineIndex) -> std::optional<LineData> { return std::nullopt; });
+  }
+  return device->persist([this](LineIndex line) -> std::optional<LineData> {
+    return pull_newest_quiesced(line);
+  });
+}
+
 device::PaxDevice::PullFn CoherenceDomain::pull_fn() {
+  if (faults_.skip_persist_pull) {
+    // Seeded bug: claim the host caches nothing, without downgrading
+    // anyone — persist() then commits the device's stale copies.
+    return [](LineIndex) -> std::optional<LineData> { return std::nullopt; };
+  }
   return [this](LineIndex line) -> std::optional<LineData> {
     std::optional<LineData> newest;
     for (unsigned i = 0; i < cores_.size(); ++i) {

@@ -42,24 +42,55 @@
 //     locking each other's mutexes in opposite orders (at most one core
 //     lock is ever held per thread).
 //
-// LOCK ORDER: line-stripe mutex → (one) core mutex → device locks.
+// LOCK ORDER: domain gate → line-stripe mutex → (one) core mutex → device
+// locks.
 //
-// persist()/seal_epoch() with this domain's pull_fn() require QUIESCED
-// dispatch: the pull callback takes core mutexes, and a dispatch thread
-// blocked on the device's epoch gate while holding its core mutex would
-// deadlock the commit. Join or barrier the worker threads first — the same
-// stop-the-world epoch boundary the paper's runtime imposes (§3.5).
+// The domain gate is what makes persist() safe against live dispatch:
+// every dispatch op holds it shared for its whole duration (acquired
+// before any other lock), and persist() takes it exclusive before
+// entering the device — the stop-the-world epoch boundary the paper's
+// runtime imposes (§3.5). The exclusive gate quiesces all dispatch, so
+// the persist-time pull touches the core simulators without core mutexes
+// (cross-worker pulls are already serialized by the device's pull mutex);
+// without the gate, a dispatch thread blocked on the device's epoch gate
+// while holding its core mutex would deadlock against the commit thread
+// pulling under the exclusive epoch lock. The raw pull_fn() keeps the
+// core-locking behavior for direct single-threaded core() use.
 #pragma once
 
 #include <array>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
 #include "pax/coherence/host_cache.hpp"
 
 namespace pax::coherence {
+
+/// Seeded coherence-protocol faults for the litmus harness (pax::litmus).
+/// Each knob deletes one edge the MESI wiring below depends on; the litmus
+/// shapes must then observe a forbidden outcome, an SC divergence, or a
+/// durable-state divergence at some crash point — mutation-testing the
+/// harness itself. All off by default; never enable outside tests.
+struct DomainFaults {
+  /// A snoop that hits a Modified peer drops the dirty data instead of
+  /// routing it back through the device (lost update / stale fill).
+  bool suppress_snoop_writeback = false;
+  /// pull_fn() reports "host holds nothing" without snooping any core, so
+  /// persist() commits the device's stale copies of host-Modified lines.
+  bool skip_persist_pull = false;
+  /// Dispatch bypasses the per-address ordering point entirely: no
+  /// line-stripe mutex and no peer snoop before the access (the in-op
+  /// snooper stays suppressed exactly as on the normal dispatch path).
+  bool skip_line_serialization = false;
+
+  bool any() const {
+    return suppress_snoop_writeback || skip_persist_pull ||
+           skip_line_serialization;
+  }
+};
 
 class CoherenceDomain {
  public:
@@ -88,14 +119,27 @@ class CoherenceDomain {
 
   // --- Epoch plumbing -----------------------------------------------------
 
+  /// Commit an epoch against live dispatch: takes the domain gate
+  /// exclusive (quiescing every dispatch entry point), then runs
+  /// `device->persist()` with a pull covering every core. This is the safe
+  /// way to persist a domain driven through the dispatch entry points —
+  /// see the LOCK ORDER note in the header comment.
+  Result<Epoch> persist(device::PaxDevice* device);
+
   /// persist() pull covering every core: returns the Modified copy if any
   /// core holds one (downgrading it), else downgrades any Shared holders
   /// and reports nothing (the device's own copy is current). Takes the core
-  /// mutexes — dispatch must be quiesced (see the header comment).
+  /// mutexes — for direct single-threaded core() use only; domains driven
+  /// through dispatch must use persist() above instead.
   device::PaxDevice::PullFn pull_fn();
 
   /// Crash: every core's volatile state vanishes.
   void drop_all_without_writeback();
+
+  /// Seeded-bug knobs (litmus harness only). Set before driving traffic;
+  /// not synchronized against in-flight dispatch.
+  void set_faults(const DomainFaults& faults) { faults_ = faults; }
+  const DomainFaults& faults() const { return faults_; }
 
  private:
   // Serializes same-line traffic across cores. Sized like a snoop filter
@@ -111,14 +155,26 @@ class CoherenceDomain {
   // mirroring the wired in-op snooper exactly.
   void presnoop_peers(unsigned core_id, LineIndex line, bool exclusive);
 
+  // One peer snoop — the single protocol step both the wired in-op snooper
+  // and presnoop_peers() share (and where DomainFaults bite). Caller holds
+  // the peer's core mutex (or owns the whole domain single-threaded).
+  void snoop_peer(unsigned peer, LineIndex line, bool exclusive);
+
   void load_one_line(unsigned core_id, PoolOffset offset,
                      std::span<std::byte> out);
   Status store_one_line(unsigned core_id, PoolOffset offset,
                         std::span<const std::byte> data);
 
+  // The persist-time pull under the exclusive gate: no core mutexes — the
+  // gate has quiesced dispatch, and the device's pull mutex serializes the
+  // fan-out workers.
+  std::optional<LineData> pull_newest_quiesced(LineIndex line);
+
   std::vector<std::unique_ptr<HostCacheSim>> cores_;
   std::vector<std::unique_ptr<std::mutex>> core_mu_;
   std::array<std::mutex, kLineLockStripes> line_mu_;
+  std::shared_mutex gate_;
+  DomainFaults faults_;
 };
 
 }  // namespace pax::coherence

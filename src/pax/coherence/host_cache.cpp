@@ -282,6 +282,20 @@ void HostCacheSim::snoop_invalidate(LineIndex line) {
   data_.erase(line);
 }
 
+void HostCacheSim::drop_line_without_writeback(LineIndex line) {
+  auto it = state_.find(line);
+  if (it == state_.end()) return;
+  ++stats_.snoops_served;
+  // Deliberately no carried data and no device write-back: a Modified copy
+  // dies here. See the header comment — seeded-bug use only.
+  record(CxlOp::kSnpInv, line, /*carried_data=*/false);
+  l1_.remove(line);
+  l2_.remove(line);
+  llc_.remove(line);
+  state_.erase(it);
+  data_.erase(line);
+}
+
 void HostCacheSim::drop_all_without_writeback() {
   state_.clear();
   data_.clear();

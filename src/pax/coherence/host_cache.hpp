@@ -154,6 +154,13 @@ class HostCacheSim {
   /// multi-core CoherenceDomain when a peer requests exclusive ownership.
   void snoop_invalidate(LineIndex line);
 
+  /// A *faulty* SnpInv: invalidates `line` everywhere in this cache but
+  /// drops a Modified copy instead of writing it back — the classic
+  /// lost-update coherence bug. Only the litmus harness's seeded-bug mode
+  /// (coherence::DomainFaults) calls this; it exists so the harness can
+  /// prove it detects the bug.
+  void drop_line_without_writeback(LineIndex line);
+
   /// Forwards a snoop response's data to the device (the home), as the
   /// fabric does when SnpData hits a Modified line. The line must have been
   /// modified this epoch (it was, or it couldn't have been Modified).

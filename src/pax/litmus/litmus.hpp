@@ -1,0 +1,92 @@
+// Classic memory-model litmus shapes over vPM lines.
+//
+// Each Shape is a tiny multi-core program — per-core sequences of u64
+// loads/stores on one or two shared variables — plus a *forbidden-outcome*
+// predicate: the register/final-state combination that sequential
+// consistency rules out (SB's r0==0 && r1==0, MP's stale read, CoRR's
+// backwards read, ...). Since the harness (runner.hpp) drives the
+// CoherenceDomain one op at a time, every enumerated interleaving is a
+// sequentially consistent schedule by construction, and a MESI-correct
+// domain must reproduce exactly the SC outcome of that schedule —
+// simulate_sc() computes it. The forbidden predicates are therefore
+// redundant on a correct build (a self-check asserts no SC outcome is
+// forbidden) but give the seeded-bug findings their memory-model names.
+//
+// The shapes follow the usual litmus literature (and the CXLMemUring suite
+// referenced in SNIPPETS.md): SB, LB, MP, WRC, IRIW, CoRR, CoWW, 2+2W.
+// Variables live on distinct cache lines except where a shape is *about*
+// same-line ordering (CoRR, CoWW) or deliberately exercises false sharing
+// (2+2W packs both variables into one line, so per-line undo logging and
+// the persist pull see concurrent writers of one line).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pax::litmus {
+
+enum class OpKind : std::uint8_t { kLoad, kStore };
+
+struct Op {
+  OpKind kind = OpKind::kLoad;
+  unsigned var = 0;          // variable index
+  std::uint64_t value = 0;   // stored value (kStore)
+  unsigned reg = 0;          // destination register (kLoad)
+};
+
+/// What one execution observed: per-register loaded values plus the final
+/// (post-persist, post-power-loss) value of every variable.
+struct Outcome {
+  std::vector<std::uint64_t> regs;
+  std::vector<std::uint64_t> finals;
+
+  bool operator==(const Outcome&) const = default;
+  /// Canonical form, e.g. "r0=0 r1=1 | x=1 y=1".
+  std::string to_string() const;
+};
+
+struct Shape {
+  std::string name;
+  unsigned vars = 0;
+  unsigned regs = 0;
+  /// Pack all variables into one cache line (false-sharing variant).
+  bool same_line = false;
+  std::vector<std::vector<Op>> cores;
+  std::string forbidden_desc;
+  bool (*forbidden)(const Outcome&) = nullptr;
+
+  unsigned core_count() const {
+    return static_cast<unsigned>(cores.size());
+  }
+  std::size_t op_count() const;
+};
+
+/// Display name for variable `v`: "x", "y", then "v2", "v3", ...
+std::string var_name(unsigned v);
+
+/// The eight shapes, in a stable order.
+const std::vector<Shape>& all_shapes();
+
+/// Lookup by name (case-sensitive, e.g. "SB", "2+2W"); nullptr if unknown.
+const Shape* find_shape(std::string_view name);
+
+/// Every interleaving of the per-core programs, as sequences of core ids
+/// (one entry per op), in lexicographic order — the index into this vector
+/// is the stable "interleaving index" findings are named by.
+std::vector<std::vector<unsigned>> enumerate_interleavings(const Shape&);
+
+/// Human form of one interleaving, e.g. "P0 P1 P0 P1".
+std::string schedule_string(std::span<const unsigned> order);
+
+/// The outcome an ideal sequentially consistent memory produces for this
+/// exact interleaving — what a MESI-correct CoherenceDomain must match.
+Outcome simulate_sc(const Shape&, std::span<const unsigned> order);
+
+/// Sorted, de-duplicated canonical outcomes over all interleavings: the
+/// complete SC-allowed set (the torture test's membership oracle).
+std::vector<std::string> sc_outcome_set(const Shape&);
+
+}  // namespace pax::litmus

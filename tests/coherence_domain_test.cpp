@@ -125,6 +125,43 @@ TEST_F(DomainFixture, RandomizedMultiCoreOracle) {
   }
 }
 
+TEST_F(DomainFixture, CoRRSameLineReadsNeverGoBackwards) {
+  // CoRR through the *dispatch* entry points — the per-address ordering
+  // point the header comment claims: once a reader observes a store to a
+  // line, no later read of that line (same core or a fresh one) may
+  // observe an older value.
+  EXPECT_EQ(domain.load_u64(1, addr(0)), 0u);
+  ASSERT_TRUE(domain.store_u64(0, addr(0), 1).is_ok());
+  EXPECT_EQ(domain.load_u64(1, addr(0)), 1u);
+  EXPECT_EQ(domain.load_u64(1, addr(0)), 1u);  // never backwards
+  ASSERT_TRUE(domain.store_u64(0, addr(0), 2).is_ok());
+  EXPECT_EQ(domain.load_u64(1, addr(0)), 2u);
+  EXPECT_EQ(domain.load_u64(2, addr(0)), 2u);  // fresh reader agrees
+  EXPECT_EQ(domain.load_u64(1, addr(0)), 2u);
+}
+
+TEST_F(DomainFixture, CoWWSameLineWritesCommitInProgramOrder) {
+  // CoWW: same-line writes must commit in order — the durable value after
+  // persist is the *last* write, and a crash mid-next-epoch rolls back to
+  // it, never to an intermediate write.
+  ASSERT_TRUE(domain.store_u64(0, addr(0), 1).is_ok());
+  ASSERT_TRUE(domain.store_u64(0, addr(0), 2).is_ok());
+  EXPECT_EQ(domain.load_u64(3, addr(0)), 2u);
+  ASSERT_TRUE(domain.persist(&dev).ok());
+  EXPECT_EQ(tp.device->load_u64(addr(0)), 2u);
+
+  // Next epoch: the line is overwritten twice across cores, so the first
+  // write (3) reaches the device via the SnpInv write-back and may hit PM
+  // before the crash. Recovery must still land on 2, not 3 or 4.
+  ASSERT_TRUE(domain.store_u64(1, addr(0), 3).is_ok());
+  ASSERT_TRUE(domain.store_u64(2, addr(0), 4).is_ok());
+  domain.drop_all_without_writeback();
+  tp.device->crash(pmem::CrashConfig::drop_all());
+  auto pool = pmem::PmemPool::open(tp.device.get()).value();
+  ASSERT_TRUE(device::recover_pool(pool).ok());
+  EXPECT_EQ(tp.device->load_u64(addr(0)), 2u);
+}
+
 TEST_F(DomainFixture, FalseSharingIsCoherent) {
   // Two cores write different u64s in the SAME line: classic false sharing.
   // Ownership ping-pongs but neither update may be lost.

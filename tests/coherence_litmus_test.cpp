@@ -1,0 +1,217 @@
+// PaxLitmus: litmus-driven coherence schedule enumeration × crash-point
+// exploration.
+//
+// Three layers of assertions:
+//   * harness self-checks — the shape table enumerates the expected
+//     interleaving counts, and no SC outcome is forbidden (the predicates
+//     only reject what sequential consistency rules out);
+//   * clean runs — every shape enumerates with zero findings, exhaustively
+//     (--every 1) on the core shapes and sampled on the wide ones, with
+//     optional .paxevt recording under PAX_TRACE_DIR for the CI PaxScope
+//     zero-findings sweep;
+//   * mutation tests — each seeded coherence bug (coherence::DomainFaults)
+//     must be caught by a specific shape, with findings that localize it
+//     to (interleaving index, crash event index) coordinates.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "pax/check/checker.hpp"
+#include "pax/check/trace_file.hpp"
+#include "pax/litmus/runner.hpp"
+
+namespace pax::litmus {
+namespace {
+
+const char* trace_dir() { return std::getenv("PAX_TRACE_DIR"); }
+
+std::set<std::string> finding_kinds(const ShapeResult& result) {
+  std::set<std::string> kinds;
+  for (const LitmusFinding& f : result.findings) kinds.insert(f.kind);
+  return kinds;
+}
+
+bool has_crash_indexed_finding(const ShapeResult& result) {
+  for (const LitmusFinding& f : result.findings) {
+    if (f.crash_after != check::kNoCrashPoint) return true;
+  }
+  return false;
+}
+
+TEST(LitmusShapes, TableEnumeratesTheClassicEightExactly) {
+  const std::map<std::string, std::size_t> expected = {
+      {"SB", 6},  {"LB", 6},    {"MP", 6},   {"WRC", 30},
+      {"IRIW", 180}, {"CoRR", 3}, {"CoWW", 1}, {"2+2W", 6}};
+  ASSERT_EQ(all_shapes().size(), expected.size());
+  for (const Shape& shape : all_shapes()) {
+    auto it = expected.find(shape.name);
+    ASSERT_NE(it, expected.end()) << shape.name;
+    EXPECT_EQ(enumerate_interleavings(shape).size(), it->second)
+        << shape.name;
+    EXPECT_EQ(find_shape(shape.name), &shape);
+  }
+  EXPECT_EQ(find_shape("nope"), nullptr);
+}
+
+TEST(LitmusShapes, NoSequentiallyConsistentOutcomeIsForbidden) {
+  // The forbidden predicates must reject only what SC rules out: every
+  // outcome of every serialized interleaving passes.
+  for (const Shape& shape : all_shapes()) {
+    for (const auto& order : enumerate_interleavings(shape)) {
+      const Outcome outcome = simulate_sc(shape, order);
+      EXPECT_FALSE(shape.forbidden(outcome))
+          << shape.name << " @ " << schedule_string(order) << " -> "
+          << outcome.to_string();
+    }
+  }
+}
+
+TEST(LitmusRunner, AllShapesEnumerateCleanScheduleOnly) {
+  for (const Shape& shape : all_shapes()) {
+    LitmusOptions options;
+    options.crash_every = 0;  // schedule pass only
+    auto result = run_shape(shape, options);
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    const ShapeResult& r = result.value();
+    EXPECT_TRUE(r.clean()) << r.to_string();
+    EXPECT_EQ(r.interleavings, r.interleavings_total) << shape.name;
+    // The domain reproduced exactly the SC outcome set.
+    EXPECT_EQ(r.outcomes, sc_outcome_set(shape)) << shape.name;
+  }
+}
+
+TEST(LitmusRunner, ExhaustiveCrashProductCleanOnCoreShapes) {
+  // The acceptance matrix: SB/MP/LB at --every 1, all three crash modes,
+  // every interleaving. PAX_TRACE_DIR (set by the CI paxcheck job) makes
+  // each schedule pass record its .paxevt for the PaxScope sweep.
+  for (const char* name : {"SB", "MP", "LB"}) {
+    const Shape* shape = find_shape(name);
+    ASSERT_NE(shape, nullptr);
+    LitmusOptions options;
+    options.crash_every = 1;
+    if (trace_dir() != nullptr) options.trace_dir = trace_dir();
+    auto result = run_shape(*shape, options);
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    const ShapeResult& r = result.value();
+    EXPECT_TRUE(r.clean()) << r.to_string();
+    EXPECT_EQ(r.interleavings, r.interleavings_total);
+    EXPECT_GT(r.crash_points, 0u);
+    EXPECT_GT(r.recoveries, r.crash_points);  // >1 mode per point
+  }
+}
+
+TEST(LitmusRunner, SampledCrashProductCleanOnWideShapes) {
+  // WRC (30) and IRIW (180) are too wide for an exhaustive tier-1 cross
+  // product; sample interleavings and crash points evenly instead. CoRR,
+  // CoWW and 2+2W are narrow enough to keep exhaustive schedules.
+  for (const char* name : {"WRC", "IRIW", "CoRR", "CoWW", "2+2W"}) {
+    const Shape* shape = find_shape(name);
+    ASSERT_NE(shape, nullptr);
+    LitmusOptions options;
+    options.crash_every = 1;
+    options.max_crash_points = 4;
+    options.max_interleavings = 10;
+    options.modes = {{"drop_all", pmem::CrashConfig::drop_all()}};
+    auto result = run_shape(*shape, options);
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_TRUE(result.value().clean()) << result.value().to_string();
+    EXPECT_GT(result.value().crash_points, 0u) << name;
+  }
+}
+
+TEST(LitmusSeededBugs, SuppressedSnoopWritebackCaughtBySB) {
+  // Dropping the Modified-peer data on a snoop makes both SB loads read
+  // stale zeros (the classic forbidden outcome) and leaves the durable x
+  // at 0 — so the crash product must also flag post-commit divergence.
+  const Shape* sb = find_shape("SB");
+  ASSERT_NE(sb, nullptr);
+  LitmusOptions options;
+  options.faults.suppress_snoop_writeback = true;
+  options.modes = {{"drop_all", pmem::CrashConfig::drop_all()}};
+  options.max_findings = 0;  // collect everything
+  auto result = run_shape(*sb, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const ShapeResult& r = result.value();
+  ASSERT_FALSE(r.clean());
+  const auto kinds = finding_kinds(r);
+  EXPECT_TRUE(kinds.count("forbidden-outcome")) << r.to_string();
+  EXPECT_TRUE(kinds.count("sc-divergence")) << r.to_string();
+  EXPECT_TRUE(has_crash_indexed_finding(r)) << r.to_string();
+  // Findings localize to (interleaving, crash point) coordinates.
+  for (const LitmusFinding& f : r.findings) {
+    EXPECT_NE(f.to_string().find("interleaving"), std::string::npos);
+  }
+}
+
+TEST(LitmusSeededBugs, SkippedPersistPullCaughtByCoWW) {
+  // CoWW's single core holds x=2 Modified at persist time; skipping the
+  // pull commits the device's stale 0. The registers are fine (the core
+  // read its own cache), so only the post-power-loss finals and the crash
+  // product's SC-finals invariant can catch it — and must.
+  const Shape* coww = find_shape("CoWW");
+  ASSERT_NE(coww, nullptr);
+  LitmusOptions options;
+  options.faults.skip_persist_pull = true;
+  options.modes = {{"drop_all", pmem::CrashConfig::drop_all()}};
+  options.max_findings = 0;
+  auto result = run_shape(*coww, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const ShapeResult& r = result.value();
+  ASSERT_FALSE(r.clean());
+  const auto kinds = finding_kinds(r);
+  EXPECT_TRUE(kinds.count("forbidden-outcome")) << r.to_string();
+  EXPECT_TRUE(kinds.count("sc-divergence")) << r.to_string();
+  EXPECT_TRUE(has_crash_indexed_finding(r)) << r.to_string();
+}
+
+TEST(LitmusSeededBugs, SkippedLineSerializationCaughtBySBAnd2Plus2W) {
+  // Bypassing the per-address ordering point removes all peer snooping:
+  // SB observes the forbidden (0,0), and 2+2W's false-sharing line ends
+  // with two Modified copies whose merge loses one core's writes — the
+  // crash product's SC-finals invariant flags the durable divergence.
+  LitmusOptions options;
+  options.faults.skip_line_serialization = true;
+  options.modes = {{"drop_all", pmem::CrashConfig::drop_all()}};
+  options.max_findings = 0;
+
+  auto sb = run_shape(*find_shape("SB"), options);
+  ASSERT_TRUE(sb.ok()) << sb.status().to_string();
+  ASSERT_FALSE(sb.value().clean());
+  EXPECT_TRUE(finding_kinds(sb.value()).count("forbidden-outcome"))
+      << sb.value().to_string();
+
+  auto ttw = run_shape(*find_shape("2+2W"), options);
+  ASSERT_TRUE(ttw.ok()) << ttw.status().to_string();
+  ASSERT_FALSE(ttw.value().clean());
+  EXPECT_TRUE(has_crash_indexed_finding(ttw.value()))
+      << ttw.value().to_string();
+}
+
+TEST(LitmusTraces, RecordedTracesAreReplayable) {
+  const Shape* sb = find_shape("SB");
+  ASSERT_NE(sb, nullptr);
+  LitmusOptions options;
+  options.crash_every = 0;
+  options.trace_dir = ::testing::TempDir();
+  auto result = run_shape(*sb, options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(result.value().clean()) << result.value().to_string();
+
+  // Every interleaving left a replayable trace with a clean verdict.
+  for (std::uint64_t i = 0; i < result.value().interleavings; ++i) {
+    const std::string path =
+        options.trace_dir + "/litmus-SB-i" + std::to_string(i) + ".paxevt";
+    auto events = check::read_trace(path);
+    ASSERT_TRUE(events.ok()) << path << ": " << events.status().to_string();
+    ASSERT_FALSE(events.value().empty()) << path;
+    check::Checker checker;
+    checker.replay(events.value());
+    EXPECT_TRUE(checker.report().clean()) << path;
+  }
+}
+
+}  // namespace
+}  // namespace pax::litmus

@@ -66,6 +66,7 @@
 #include "pax/device/recovery.hpp"
 #include "pax/libpax/heap.hpp"
 #include "pax/libpax/runtime.hpp"
+#include "pax/litmus/runner.hpp"
 #include "pax/model/calibrate.hpp"
 #include "pax/pmem/pool.hpp"
 #include "pax/wal/wal.hpp"
@@ -85,6 +86,10 @@ int usage() {
                "       paxctl explore [pages] [epochs] [--every N] "
                "[--max-points N] [--seed S] [--artifacts DIR] "
                "[--pipelined]\n"
+               "       paxctl litmus [--shape S] [--every N] "
+               "[--max-points N] [--max-interleavings N] [--seed S] "
+               "[--seeded-bug snoop-writeback|persist-pull|"
+               "line-serialization] [--trace-dir DIR] [--no-crash]\n"
                "       paxctl calibrate <fit.json> [<check.json>] "
                "[--loops N] [--wave-us W] [--tolerance T]\n"
                "       paxctl analyze <file.paxevt>... [--json]\n"
@@ -487,6 +492,60 @@ int cmd_explore(std::size_t pages, int epochs, std::uint64_t every,
   return result.value().clean() ? 0 : 1;
 }
 
+int cmd_litmus(const std::string& shape_name, std::uint64_t every,
+               std::uint64_t max_points, std::uint64_t max_interleavings,
+               std::uint64_t seed, const std::string& seeded_bug,
+               const std::string& trace_dir, bool no_crash) {
+  litmus::LitmusOptions options;
+  options.crash_every = no_crash ? 0 : every;
+  options.max_crash_points = max_points;
+  options.max_interleavings = max_interleavings;
+  options.seed = seed;
+  options.trace_dir = trace_dir;
+  if (!seeded_bug.empty()) {
+    if (seeded_bug == "snoop-writeback") {
+      options.faults.suppress_snoop_writeback = true;
+    } else if (seeded_bug == "persist-pull") {
+      options.faults.skip_persist_pull = true;
+    } else if (seeded_bug == "line-serialization") {
+      options.faults.skip_line_serialization = true;
+    } else {
+      std::fprintf(stderr, "unknown --seeded-bug %s\n", seeded_bug.c_str());
+      return usage();
+    }
+  }
+
+  std::vector<const litmus::Shape*> shapes;
+  if (shape_name.empty() || shape_name == "all") {
+    for (const litmus::Shape& shape : litmus::all_shapes()) {
+      shapes.push_back(&shape);
+    }
+  } else {
+    const litmus::Shape* shape = litmus::find_shape(shape_name);
+    if (shape == nullptr) {
+      std::fprintf(stderr, "unknown --shape %s (try SB, LB, MP, WRC, IRIW, "
+                           "CoRR, CoWW, 2+2W or all)\n",
+                   shape_name.c_str());
+      return usage();
+    }
+    shapes.push_back(shape);
+  }
+
+  bool clean = true;
+  for (const litmus::Shape* shape : shapes) {
+    auto result = litmus::run_shape(*shape, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "litmus harness failed on %s: %s\n",
+                   shape->name.c_str(),
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s\n", result.value().to_string().c_str());
+    clean = clean && result.value().clean();
+  }
+  return clean ? 0 : 1;
+}
+
 int cmd_analyze(const std::vector<std::string>& paths, bool json) {
   auto report = check::analyze_trace_files(paths);
   if (!report.ok()) {
@@ -775,6 +834,36 @@ int main(int argc, char** argv) {
     }
     return cmd_explore(pages, epochs, every, max_points, seed, artifacts,
                        pipelined);
+  }
+  if (cmd == "litmus") {
+    std::string shape = "all";
+    std::uint64_t every = 1, max_points = 0, max_interleavings = 0, seed = 1;
+    std::string seeded_bug, trace_dir;
+    bool no_crash = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--shape" && i + 1 < argc) {
+        shape = argv[++i];
+      } else if (arg == "--every" && i + 1 < argc) {
+        every = std::strtoull(argv[++i], nullptr, 0);
+      } else if (arg == "--max-points" && i + 1 < argc) {
+        max_points = std::strtoull(argv[++i], nullptr, 0);
+      } else if (arg == "--max-interleavings" && i + 1 < argc) {
+        max_interleavings = std::strtoull(argv[++i], nullptr, 0);
+      } else if (arg == "--seed" && i + 1 < argc) {
+        seed = std::strtoull(argv[++i], nullptr, 0);
+      } else if (arg == "--seeded-bug" && i + 1 < argc) {
+        seeded_bug = argv[++i];
+      } else if (arg == "--trace-dir" && i + 1 < argc) {
+        trace_dir = argv[++i];
+      } else if (arg == "--no-crash") {
+        no_crash = true;
+      } else {
+        return usage();
+      }
+    }
+    return cmd_litmus(shape, every, max_points, max_interleavings, seed,
+                      seeded_bug, trace_dir, no_crash);
   }
   if (cmd == "analyze") {
     std::vector<std::string> paths;
